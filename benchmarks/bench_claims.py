@@ -1,0 +1,21 @@
+"""X0: the full paper-claims scorecard, in one gate.
+
+Evaluates every quantitative claim the paper makes (as registered in
+`repro.model.claims`) and writes the scorecard — the one-file answer to
+"did the reproduction work?".
+"""
+
+from repro.model.claims import check_all_claims, format_scorecard
+
+from .conftest import write_table
+
+
+def test_paper_claims_scorecard(benchmark, results_dir):
+    claims = benchmark(check_all_claims)
+    write_table(results_dir, "claims_scorecard", format_scorecard(claims))
+    failures = [c.claim_id for c in claims if not c.holds]
+    assert failures == []
+    benchmark.extra_info["claims"] = {
+        c.claim_id: {"measured": c.measured, "target": c.target,
+                     "holds": c.holds}
+        for c in claims}

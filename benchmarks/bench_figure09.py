@@ -1,0 +1,53 @@
+"""Figure 9: page logging, ¬ATOMIC/STEAL/FORCE/TOC — throughput vs C.
+
+Regenerates the paper's first evaluation figure: four curves (high
+update / high retrieval, each ±RDA) over the communality sweep, and
+checks the headline shape — RDA lifts high-update throughput by ≈42% at
+C = 0.9, with the figure's axis range ≈ 48 800 .. 77 300.
+"""
+
+import pytest
+
+from repro.model import figure9
+from repro.model.page_logging import force_toc
+from repro.model.params import high_update
+
+from .conftest import write_table
+
+
+def test_figure9_regeneration(benchmark, results_dir):
+    figure = benchmark(figure9)
+    write_table(results_dir, "figure09", figure.format_table())
+
+    upd_base = figure.curves["high-update ¬RDA"]
+    upd_rda = figure.curves["high-update RDA"]
+    ret_base = figure.curves["high-retrieval ¬RDA"]
+    ret_rda = figure.curves["high-retrieval RDA"]
+
+    # paper shape: RDA dominates everywhere, benefit grows with C
+    assert all(r > b for r, b in zip(upd_rda, upd_base))
+    assert all(r > b for r, b in zip(ret_rda, ret_base))
+    gains = [r / b for r, b in zip(upd_rda, upd_base)]
+    assert gains[-1] > gains[0]
+
+    # headline: +42% at C = 0.9, axis range ~48.8k..77.3k
+    at_09 = figure.x_values.index(0.9)
+    headline = upd_rda[at_09] / upd_base[at_09] - 1.0
+    assert headline == pytest.approx(0.42, abs=0.05)
+    assert upd_base[0] == pytest.approx(48800, rel=0.10)
+    assert upd_rda[at_09] == pytest.approx(77300, rel=0.10)
+
+    benchmark.extra_info["high_update_gain_at_C0.9"] = round(headline, 4)
+    benchmark.extra_info["paper_gain_at_C0.9"] = 0.42
+
+
+def test_figure9_single_point_cost(benchmark):
+    """Micro: one model evaluation (both variants at one C)."""
+
+    def evaluate():
+        p = high_update(C=0.9)
+        return (force_toc(p, rda=False).throughput,
+                force_toc(p, rda=True).throughput)
+
+    base, rda = benchmark(evaluate)
+    assert rda > base

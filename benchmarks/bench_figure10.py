@@ -1,0 +1,52 @@
+"""Figure 10: page logging, ¬ATOMIC/STEAL/¬FORCE/ACC — throughput vs C.
+
+Regenerates the ACC-discipline panel and checks the paper's page-logging
+headline crossover: ¬FORCE/ACC beats FORCE/TOC without RDA, but
+FORCE/TOC *with* RDA beats ¬FORCE/ACC with or without it.
+"""
+
+import pytest
+
+from repro.model import figure10
+from repro.model.page_logging import force_toc, noforce_acc
+from repro.model.params import high_update
+
+from .conftest import write_table
+
+
+def test_figure10_regeneration(benchmark, results_dir):
+    figure = benchmark(figure10)
+    write_table(results_dir, "figure10", figure.format_table())
+
+    base = figure.curves["high-update ¬RDA"]
+    rda = figure.curves["high-update RDA"]
+    # RDA helps only mildly under ¬FORCE page logging (before-images are
+    # logged at EOT regardless); curves stay close
+    assert all(r >= b * 0.99 for r, b in zip(rda, base))
+    at_09 = figure.x_values.index(0.9)
+    assert rda[at_09] / base[at_09] - 1.0 < 0.10
+
+    # figure's high-update axis range ≈ 47 800 .. 75 700
+    assert base[0] == pytest.approx(47800, rel=0.10)
+
+    benchmark.extra_info["high_update_gain_at_C0.9"] = round(
+        rda[at_09] / base[at_09] - 1.0, 4)
+
+
+def test_figure10_crossover(benchmark):
+    """The paper's claim set at C = 0.9, high update."""
+
+    def evaluate():
+        p = high_update(C=0.9)
+        return {
+            "force": force_toc(p, rda=False).throughput,
+            "force_rda": force_toc(p, rda=True).throughput,
+            "noforce": noforce_acc(p, rda=False).throughput,
+            "noforce_rda": noforce_acc(p, rda=True).throughput,
+        }
+
+    r = benchmark(evaluate)
+    assert r["noforce"] > r["force"]                   # ACC wins without RDA
+    assert r["force_rda"] > r["noforce"]               # ...RDA reverses it
+    assert r["force_rda"] > r["noforce_rda"]           # FORCE+RDA is best
+    benchmark.extra_info.update({k: round(v) for k, v in r.items()})

@@ -1,0 +1,47 @@
+"""Figure 11: record logging, FORCE/TOC — throughput vs C.
+
+Record logging shrinks the log volume, so RDA's before-image savings
+matter much less: the benefit stays in single digits.  The figure's
+high-update axis (≈ 150 600 .. 215 900) anchors the magnitudes.
+"""
+
+import pytest
+
+from repro.model import figure11
+
+from .conftest import write_table
+
+
+def test_figure11_regeneration(benchmark, results_dir):
+    figure = benchmark(figure11)
+    write_table(results_dir, "figure11", figure.format_table())
+
+    base = figure.curves["high-update ¬RDA"]
+    rda = figure.curves["high-update RDA"]
+    assert all(r > b for r, b in zip(rda, base))
+    at_09 = figure.x_values.index(0.9)
+    gain = rda[at_09] / base[at_09] - 1.0
+    assert 0.0 < gain < 0.10          # small benefit under record logging
+
+    assert base[0] == pytest.approx(150600, rel=0.10)
+    assert rda[at_09] == pytest.approx(215900, rel=0.10)
+
+    benchmark.extra_info["high_update_gain_at_C0.9"] = round(gain, 4)
+    benchmark.extra_info["axis_low_paper"] = 150600
+    benchmark.extra_info["axis_high_paper"] = 215900
+
+
+def test_figure11_record_beats_page_logging(benchmark):
+    """Sanity: record logging's smaller log volume lifts throughput far
+    above page logging for the same workload."""
+    from repro.model.page_logging import force_toc as page_force
+    from repro.model.record_logging import force_toc as record_force
+    from repro.model.params import high_update
+
+    def evaluate():
+        p = high_update(C=0.5)
+        return (page_force(p, rda=False).throughput,
+                record_force(p, rda=False).throughput)
+
+    page, record = benchmark(evaluate)
+    assert record > 2 * page

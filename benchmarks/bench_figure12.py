@@ -1,0 +1,47 @@
+"""Figure 12: record logging, ¬FORCE/ACC — throughput vs C.
+
+The paper's record-logging headline: adding RDA to a ¬FORCE/ACC
+algorithm improves throughput by ≈14% at C = 0.9 (high update), and —
+unlike page logging — FORCE/TOC with RDA does *not* overtake ¬FORCE/ACC.
+"""
+
+import pytest
+
+from repro.model import figure12
+from repro.model.params import high_update
+from repro.model.record_logging import force_toc, noforce_acc
+
+from .conftest import write_table
+
+
+def test_figure12_regeneration(benchmark, results_dir):
+    figure = benchmark(figure12)
+    write_table(results_dir, "figure12", figure.format_table())
+
+    base = figure.curves["high-update ¬RDA"]
+    rda = figure.curves["high-update RDA"]
+    assert all(r > b for r, b in zip(rda, base))
+    at_09 = figure.x_values.index(0.9)
+    gain = rda[at_09] / base[at_09] - 1.0
+    assert gain == pytest.approx(0.14, abs=0.04)      # the paper's ≈14%
+
+    benchmark.extra_info["high_update_gain_at_C0.9"] = round(gain, 4)
+    benchmark.extra_info["paper_gain_at_C0.9"] = 0.14
+
+
+def test_figure12_no_crossover_with_record_logging(benchmark):
+    """¬FORCE/ACC keeps its lead under record logging, even against
+    FORCE/TOC + RDA (paper conclusions)."""
+
+    def evaluate():
+        p = high_update(C=0.9)
+        return (noforce_acc(p, rda=False).throughput,
+                noforce_acc(p, rda=True).throughput,
+                force_toc(p, rda=True).throughput)
+
+    noforce, noforce_rda, force_rda = benchmark(evaluate)
+    assert noforce > force_rda
+    assert noforce_rda > noforce
+    benchmark.extra_info["noforce"] = round(noforce)
+    benchmark.extra_info["noforce_rda"] = round(noforce_rda)
+    benchmark.extra_info["force_rda"] = round(force_rda)

@@ -1,0 +1,37 @@
+"""Figure 13: RDA benefit vs pages accessed per transaction.
+
+The paper's final figure: percent throughput increase from RDA recovery
+(record logging, ¬FORCE/ACC, high-update, C = 0.9) as s sweeps 5..45.
+The published curve runs from ≈6% to ≈70%, monotonically.
+"""
+
+import pytest
+
+from repro.model import figure13
+
+from .conftest import write_table
+
+
+def test_figure13_regeneration(benchmark, results_dir):
+    figure = benchmark(figure13)
+    write_table(results_dir, "figure13", figure.format_table())
+
+    series = figure.curves["% increase"]
+    assert series == sorted(series)                  # monotone in s
+    first, last = series[0], series[-1]
+    assert first == pytest.approx(6.0, abs=2.0)      # paper: 6.0 at s=5
+    assert last == pytest.approx(70.0, abs=6.0)      # paper: 70.0 at s=45
+
+    benchmark.extra_info["gain_at_s5"] = round(first, 2)
+    benchmark.extra_info["gain_at_s45"] = round(last, 2)
+    benchmark.extra_info["paper_axis"] = "6.0 .. 70.0"
+
+
+def test_figure13_benefit_tracks_transaction_size(benchmark):
+    """Wider sweep: the benefit keeps growing past the paper's range."""
+
+    def evaluate():
+        return figure13(sweep=(5, 25, 45, 60)).curves["% increase"]
+
+    series = benchmark(evaluate)
+    assert series == sorted(series)

@@ -1,0 +1,82 @@
+"""X5: media recovery — parity rebuild vs the archive+log baseline.
+
+The paper's motivating comparison (Section 1): classical media recovery
+restores the lost disk from an archive copy rolled forward through the
+redo log, and requires periodic full dumps; a redundant array rebuilds
+from parity with no dumps at all.  Also prints the reliability table
+behind the intro's "media failure in under 25 days" claim.
+"""
+
+from repro.db import ArchiveManager, Database, preset
+from repro.model.reliability import paper_motivation_table
+from repro.storage import make_page
+
+from .conftest import write_table
+
+SIZES = dict(group_size=5, num_groups=20, buffer_capacity=20)
+
+
+def loaded_db(name):
+    db = Database(preset(name, **SIZES))
+    for page in range(0, db.num_data_pages, 2):
+        t = db.begin()
+        db.write_page(t, page, make_page(bytes([page % 250 + 1])))
+        db.commit(t)
+    db.buffer.flush_all_dirty()
+    return db
+
+
+def test_parity_rebuild_vs_archive_restore(benchmark, results_dir):
+    def campaign():
+        # RDA path: rebuild from parity, no dump ever taken
+        rda = loaded_db("page-force-rda")
+        rda.media_failure(2)
+        before = rda.stats.total
+        rda.media_recover(2)
+        rebuild_cost = rda.stats.total - before
+        assert rda.verify_parity() == []
+
+        # classical path: full dump + restore-from-archive + log replay
+        wal = loaded_db("page-force-log")
+        manager = ArchiveManager(wal)
+        dump_cost = manager.dump().transfers
+        t = wal.begin()
+        wal.write_page(t, 0, make_page(b"post-dump"))
+        wal.commit(t)
+        wal.media_failure(2)
+        restore_cost = manager.restore_failed_disk(2)
+        assert wal.verify_parity() == []
+        return rebuild_cost, dump_cost, restore_cost
+
+    rebuild, dump, restore = benchmark.pedantic(campaign, rounds=1,
+                                                iterations=1)
+    write_table(results_dir, "media_comparison",
+                "X5: media recovery cost (page transfers)\n"
+                f"parity rebuild (RDA array, no dumps): {rebuild}\n"
+                f"archive baseline: dump {dump} + restore {restore} "
+                f"(dumps recur; rebuild does not)")
+    # per incident the two are the same order (rebuilding a disk reads
+    # roughly the whole array; so does a dump).  The array's win is that
+    # dumps RECUR on a schedule whether or not a disk ever fails, and
+    # the log replay grows with the time since the last dump — amortized
+    # over any dump schedule the baseline costs strictly more:
+    assert 3 * dump + restore > rebuild
+    assert rebuild < 2 * (dump + restore)
+    benchmark.extra_info["rebuild"] = rebuild
+    benchmark.extra_info["dump"] = dump
+    benchmark.extra_info["restore"] = restore
+
+
+def test_reliability_motivation_table(benchmark, results_dir):
+    table = benchmark(paper_motivation_table)
+    lines = ["X5: MTTDL for a 200-disk farm (disk MTTF 30,000 h, MTTR 24 h)",
+             f"{'scheme':>20} | {'MTTDL (days)':>14} | {'overhead':>8}"]
+    for scheme, mttdl, overhead in table:
+        lines.append(f"{scheme:>20} | {mttdl / 24:14.0f} | {overhead:8.1%}")
+    write_table(results_dir, "media_reliability", "\n".join(lines))
+    by_name = {row[0]: row for row in table}
+    # the intro's claim: an unprotected farm loses data within ~a week
+    assert by_name["unprotected"][1] / 24 < 25
+    # parity protection buys orders of magnitude at ~1/10th the storage
+    assert by_name["twin-parity (RDA)"][1] > 50 * by_name["unprotected"][1]
+    assert by_name["twin-parity (RDA)"][2] < by_name["mirroring"][2]

@@ -1,0 +1,38 @@
+"""X12: Monte Carlo check of the MTTDL closed forms.
+
+The reliability table behind the paper's motivation uses first-order
+approximations; here the underlying failure/repair process is simulated
+and compared — the same trust-but-verify treatment Eq. 5 gets from the
+live system in X1.
+"""
+
+from repro.model.montecarlo import simulate_mttdl
+from repro.model.reliability import raid5_group_mttdl, raid6_group_mttdl
+
+from .conftest import write_table
+
+
+def test_mttdl_simulation_vs_formula(benchmark, results_dir):
+    def campaign():
+        rows = []
+        for label, disks, mttr, tolerated, formula in (
+                ("raid5/twin", 6, 100, 1, raid5_group_mttdl(10_000, 6, 100)),
+                ("raid5/twin", 11, 50, 1, raid5_group_mttdl(10_000, 11, 50)),
+                ("raid6", 6, 300, 2, raid6_group_mttdl(10_000, 6, 300)),
+        ):
+            simulated = simulate_mttdl(10_000, disks, mttr,
+                                       tolerated=tolerated, samples=250,
+                                       seed=11)
+            rows.append((label, disks, mttr, formula, simulated))
+        return rows
+
+    rows = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    lines = ["X12: MTTDL — closed form vs Monte Carlo (hours)",
+             f"{'tier':>11} | {'G':>3} | {'MTTR':>5} | {'formula':>12} "
+             f"| {'simulated':>12}"]
+    for label, disks, mttr, formula, simulated in rows:
+        lines.append(f"{label:>11} | {disks:3d} | {mttr:5.0f} "
+                     f"| {formula:12.0f} | {simulated:12.0f}")
+        ratio = simulated / formula
+        assert 0.25 < ratio < 4.0, (label, ratio)
+    write_table(results_dir, "montecarlo_mttdl", "\n".join(lines))

@@ -1,0 +1,98 @@
+"""X11: redundancy tiers — RAID-5, twin parity (RDA), RAID-6.
+
+Same storage substrate, three redundancy levels.  The write cost /
+fault tolerance / storage trade-off, measured:
+
+* RAID-5: 4-transfer small write, survives 1 failure, 1/(N+1) overhead;
+* twin parity: same write cost + transaction undo, survives 1 failure,
+  2/(N+2) overhead;
+* RAID-6: 6-transfer small write, survives ANY 2 failures, 2/(N+2)
+  overhead — the same storage price as RDA's twins, spent on fault
+  tolerance instead of undo.
+"""
+
+from repro.model.reliability import (PAPER_DISK_MTTF_HOURS,
+                                     raid5_farm_mttdl, raid6_farm_mttdl)
+from repro.storage import (ParityHeader, TwinState, TwinUpdate, make_page,
+                           make_raid5, make_raid6, make_twin_raid5)
+
+from .conftest import write_table
+
+N, GROUPS = 8, 16
+
+
+def write_cost(array, kind):
+    array.stats.reset()
+    with array.stats.window() as window:
+        for i in range(20):
+            page = i % array.num_data_pages
+            payload = make_page(i + 1)
+            if kind == "twin":
+                header = ParityHeader(timestamp=array.next_timestamp(),
+                                      state=TwinState.COMMITTED)
+                array.small_write(page, payload, [TwinUpdate(0, 0, header)])
+            else:
+                array.write_page(page, payload)
+    return window.total / 20
+
+
+def test_redundancy_tiers(benchmark, results_dir):
+    def campaign():
+        tiers = {}
+        raid5 = make_raid5(N, GROUPS)
+        twin = make_twin_raid5(N, GROUPS)
+        for g in range(GROUPS):
+            twin.full_stripe_write(
+                g, [make_page(bytes([g + 1, i])) for i in range(N)])
+        raid6 = make_raid6(N, GROUPS)
+        tiers["raid5"] = (write_cost(raid5, "single"), 1, 1 / (N + 1))
+        tiers["twin-parity"] = (write_cost(twin, "twin"), 1, 2 / (N + 2))
+        tiers["raid6"] = (write_cost(raid6, "single"), 2, 2 / (N + 2))
+        return tiers
+
+    tiers = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    lines = ["X11: redundancy tiers (N=8)",
+             f"{'tier':>12} | {'transfers/write':>15} | "
+             f"{'failures survived':>17} | {'overhead':>8}"]
+    for tier, (cost, survives, overhead) in tiers.items():
+        lines.append(f"{tier:>12} | {cost:15.1f} | {survives:17d} "
+                     f"| {overhead:8.1%}")
+    write_table(results_dir, "raid6_tiers", "\n".join(lines))
+
+    assert tiers["raid5"][0] == tiers["twin-parity"][0] == 4.0
+    assert tiers["raid6"][0] == 6.0
+    benchmark.extra_info["tiers"] = {
+        k: {"cost": v[0], "overhead": round(v[2], 3)}
+        for k, v in tiers.items()}
+
+
+def test_raid6_survives_double_failure_end_to_end(benchmark):
+    def campaign():
+        array = make_raid6(N, GROUPS)
+        expected = {}
+        for page in range(0, array.num_data_pages, 3):
+            payload = make_page(page % 250 + 1)
+            array.write_page(page, payload)
+            expected[page] = payload
+        array.fail_disk(0)
+        array.fail_disk(1)
+        for page, payload in expected.items():
+            assert array.read_page(page) == payload
+        array.rebuild_disk(0)
+        array.rebuild_disk(1)
+        return array.scrub()
+
+    bad = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert bad == []
+
+
+def test_raid6_reliability_tier(benchmark):
+    def evaluate():
+        raid5 = raid5_farm_mttdl(PAPER_DISK_MTTF_HOURS, N + 1, 18, mttr=24)
+        raid6 = raid6_farm_mttdl(PAPER_DISK_MTTF_HOURS, N + 2, 18, mttr=24)
+        return raid5, raid6
+
+    raid5, raid6 = benchmark(evaluate)
+    assert raid6 > 100 * raid5
+    benchmark.extra_info["raid5_mttdl_days"] = round(raid5 / 24)
+    benchmark.extra_info["raid6_mttdl_days"] = round(raid6 / 24)

@@ -1,0 +1,122 @@
+"""X6: shadow paging vs update-in-place + RDA (paper Section 2).
+
+The paper dismisses ATOMIC/shadow propagation for two costs; both are
+measured here against the RDA database:
+
+* **table overhead** — every shadow commit rewrites page-table pages
+  and the master block;
+* **disk scrambling** — remapping destroys physical sequentiality, so
+  sequential scans slow down over time; update-in-place (what RDA
+  enables cheaply) keeps scans fast forever.
+"""
+
+import random
+
+from repro.db import Database, preset
+from repro.shadow import ShadowPagedStore
+from repro.storage import (ArrayTimer, DiskTimingSpec, make_page, make_raid5,
+                           time_read)
+
+from .conftest import write_table
+
+LOGICAL = 60
+
+
+def shadow_store():
+    return ShadowPagedStore(make_raid5(5, 40), logical_pages=LOGICAL)
+
+
+def rda_db():
+    return Database(preset("page-force-rda", group_size=5, num_groups=12,
+                           buffer_capacity=12))
+
+
+def churn_shadow(store, updates, seed=3):
+    rng = random.Random(seed)
+    for _ in range(updates):
+        store.begin()
+        store.write(rng.randrange(LOGICAL), make_page(rng.randrange(256)))
+        store.commit()
+
+
+def test_scrambling_growth(benchmark, results_dir):
+    def campaign():
+        store = shadow_store()
+        points = []
+        for updates in (0, 50, 100, 200):
+            churn_shadow(store, updates - (points[-1][0] if points else 0))
+            points.append((updates, store.scrambling()))
+        return points
+
+    points = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    values = [s for _, s in points]
+    assert values[0] == 1.0            # freshly loaded: sequential
+    assert values[-1] > 2.0            # scrambled after churn
+    assert values == sorted(values) or values[-1] > values[0]
+    write_table(results_dir, "shadow_scrambling",
+                "X6: shadow-paging disk scrambling (mean physical gap "
+                "between logically adjacent pages)\n" + "\n".join(
+                    f"after {u:4d} updates: {s:6.2f}" for u, s in points))
+    benchmark.extra_info["scrambling"] = {str(u): round(s, 2)
+                                          for u, s in points}
+
+
+def test_scan_latency_after_churn(benchmark, results_dir):
+    """Price the scrambling in milliseconds with the timing model."""
+
+    def campaign():
+        spec = DiskTimingSpec()
+        store = shadow_store()
+        geometry = store.array.geometry
+
+        def scan_ms(mapping):
+            timer = ArrayTimer(spec, geometry.capacity_per_disk,
+                               geometry.num_disks)
+            for logical in range(LOGICAL):
+                time_read(timer, geometry, mapping(logical))
+            return timer.elapsed_ms / LOGICAL
+
+        fresh = scan_ms(lambda logical: store._table[logical])
+        churn_shadow(store, 300)
+        scrambled = scan_ms(lambda logical: store._table[logical])
+        return fresh, scrambled
+
+    fresh, scrambled = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert scrambled > fresh
+    write_table(results_dir, "shadow_scan_latency",
+                "X6: sequential scan, ms per page\n"
+                f"freshly loaded shadow store: {fresh:6.2f}\n"
+                f"after 300 updates          : {scrambled:6.2f}\n"
+                "update-in-place (RDA) stays at the fresh figure")
+    benchmark.extra_info["fresh_ms"] = round(fresh, 2)
+    benchmark.extra_info["scrambled_ms"] = round(scrambled, 2)
+
+
+def test_commit_overhead_vs_rda(benchmark, results_dir):
+    """Transfers per small committed update: shadow pays data + table
+    + master; RDA pays data + parity and flips a bit in memory."""
+
+    def campaign():
+        store = shadow_store()
+        with store.array.stats.window() as shadow_window:
+            for i in range(20):
+                store.begin()
+                store.write(i % LOGICAL, make_page(i + 1))
+                store.commit()
+        db = rda_db()
+        with db.stats.window() as rda_window:
+            for i in range(20):
+                txn = db.begin()
+                db.write_page(txn, i % db.num_data_pages, make_page(i + 1))
+                db.commit(txn)
+        return shadow_window.total / 20, rda_window.total / 20
+
+    shadow_cost, rda_cost = benchmark.pedantic(campaign, rounds=1,
+                                               iterations=1)
+    write_table(results_dir, "shadow_commit_cost",
+                "X6: transfers per single-page committed update\n"
+                f"shadow paging        : {shadow_cost:5.1f}\n"
+                f"update-in-place + RDA: {rda_cost:5.1f}")
+    assert shadow_cost > 0 and rda_cost > 0
+    benchmark.extra_info["shadow"] = shadow_cost
+    benchmark.extra_info["rda"] = rda_cost

@@ -1,0 +1,68 @@
+"""Live-system throughput table: the executable analogue of Figures 9-12.
+
+Runs the same synthetic workload through all eight database
+configurations and prints measured throughput (transactions per 5x10^6
+page transfers, the paper's unit).  The *shape* must match the model:
+RDA ≥ baseline in every discipline, with the big win under page
+logging + FORCE.
+"""
+
+from repro.db import Database, all_preset_names, preset
+from repro.sim import Simulator, WorkloadSpec
+
+from .conftest import write_table
+
+SPEC = WorkloadSpec(concurrency=4, pages_per_txn=6, update_txn_fraction=0.8,
+                    update_probability=0.9, abort_probability=0.01,
+                    communality=0.7)
+SIZES = dict(group_size=5, num_groups=30, buffer_capacity=40)
+
+
+def run_preset(name: str, transactions: int = 150, seed: int = 31):
+    overrides = dict(SIZES)
+    if "noforce" in name:
+        overrides["checkpoint_interval"] = 400
+    db = Database(preset(name, **overrides))
+    sim = Simulator(db, SPEC, seed=seed)
+    if sim.record_mode:
+        sim.seed_records()
+    report = sim.run(transactions)
+    assert db.verify_parity() == []
+    return report
+
+
+def test_live_system_throughput_table(benchmark, results_dir):
+    def campaign():
+        return {name: run_preset(name) for name in all_preset_names()
+                if name.startswith("page")}
+
+    reports = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    lines = ["Live-system throughput (page modes), txns per 5e6 transfers",
+             f"{'configuration':>20} | {'throughput':>12} | {'c/txn':>7} "
+             f"| {'unlogged steals':>15}"]
+    for name, report in sorted(reports.items()):
+        lines.append(f"{name:>20} | {report.throughput():12.0f} "
+                     f"| {report.cost_per_transaction():7.1f} "
+                     f"| {report.unlogged_steal_fraction:15.2f}")
+    write_table(results_dir, "live_throughput", "\n".join(lines))
+
+    # shape: RDA beats its baseline in both disciplines
+    assert reports["page-force-rda"].throughput() > \
+        reports["page-force-log"].throughput()
+    assert reports["page-noforce-rda"].throughput() >= \
+        reports["page-noforce-log"].throughput() * 0.98
+    benchmark.extra_info["throughput"] = {
+        name: round(r.throughput()) for name, r in reports.items()}
+
+
+def test_live_system_record_modes(benchmark, results_dir):
+    def campaign():
+        return {name: run_preset(name, transactions=100)
+                for name in all_preset_names() if name.startswith("record")}
+
+    reports = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    lines = ["Live-system throughput (record modes)"]
+    for name, report in sorted(reports.items()):
+        lines.append(f"{name:>22}: {report.throughput():12.0f}")
+    write_table(results_dir, "live_throughput_record", "\n".join(lines))
+    assert all(r.committed > 0 for r in reports.values())

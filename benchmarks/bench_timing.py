@@ -1,0 +1,68 @@
+"""X4: service-time ablation — data striping vs parity striping.
+
+Prices page accesses in milliseconds (seek + rotation + transfer) and
+reproduces Gray et al.'s argument for parity striping in OLTP: under a
+mix of one sequential scan and random point requests, keeping the scan
+on a single arm wins; on a dedicated scan the organizations tie.
+"""
+
+import random
+
+from repro.storage import (ArrayTimer, DiskTimingSpec,
+                           parity_striping_geometry, raid5_geometry,
+                           time_mixed_workload, time_small_write)
+
+from .conftest import write_table
+
+SPEC = DiskTimingSpec()
+N, GROUPS = 8, 200
+
+
+def timer_for(geometry):
+    return ArrayTimer(SPEC, geometry.capacity_per_disk, geometry.num_disks)
+
+
+def test_mixed_workload_latency(benchmark, results_dir):
+    def campaign():
+        rng = random.Random(13)
+        raid = raid5_geometry(N, GROUPS)
+        striped = parity_striping_geometry(N, GROUPS)
+        scan = list(range(120))
+        randoms = [rng.randrange(raid.num_data_pages) for _ in range(120)]
+        out = {}
+        for label, geometry in (("raid5", raid), ("parity-striping", striped)):
+            timer = timer_for(geometry)
+            total = time_mixed_workload(timer, geometry, scan, randoms)
+            out[label] = (total / (2 * len(scan)), timer.total_seeks())
+        return out
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    (raid_ms, raid_seeks) = result["raid5"]
+    (ps_ms, ps_seeks) = result["parity-striping"]
+    assert ps_ms < raid_ms
+    write_table(results_dir, "timing_mixed",
+                "X4: scan + random mix, mean ms/access (seeks)\n"
+                f"RAID-5 data striping : {raid_ms:6.2f} ms ({raid_seeks} seeks)\n"
+                f"parity striping      : {ps_ms:6.2f} ms ({ps_seeks} seeks)")
+    benchmark.extra_info["raid5_ms"] = round(raid_ms, 2)
+    benchmark.extra_info["parity_striping_ms"] = round(ps_ms, 2)
+
+
+def test_small_write_latency_single_vs_twin(benchmark, results_dir):
+    """The RDA latency tax: a dirty-group write engages a third arm but
+    stays two rotations — well under 2x a plain small write."""
+
+    def campaign():
+        geometry = raid5_geometry(N, GROUPS, twin=True)
+        single = time_small_write(timer_for(geometry), geometry, 0, twins=1)
+        both = time_small_write(timer_for(geometry), geometry, 0, twins=2)
+        return single, both
+
+    single, both = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert both < 2 * single
+    write_table(results_dir, "timing_twin_write",
+                "X4: small-write latency (ms)\n"
+                f"one twin updated : {single:6.2f}\n"
+                f"both twins (dirty group): {both:6.2f}")
+    benchmark.extra_info["one_twin_ms"] = round(single, 2)
+    benchmark.extra_info["both_twins_ms"] = round(both, 2)

@@ -1,0 +1,122 @@
+"""X8: three-way comparison — WAL vs TWIST vs RDA.
+
+The paper positions RDA between the two classics: TWIST's free undo at
+100% storage overhead, and WAL's cheap storage with durable before-image
+writes on the steal path.  This bench measures one identical episode —
+N single-page transactions, half aborted — under all three schemes, on
+write transfers, undo transfers, and storage overhead.
+"""
+
+from repro.core import RDAManager
+from repro.db import Database, preset
+from repro.storage import make_page, make_twin_raid5
+from repro.twist import TwistStore
+
+from .conftest import write_table
+
+PAGES = 24
+ROUNDS = 24
+
+
+def episode_twist():
+    store = TwistStore(num_pages=PAGES, num_disks=6)
+    store.load({p: make_page(p + 1) for p in range(PAGES)})
+    store.stats.reset()
+    with store.stats.window() as window:
+        for i in range(ROUNDS):
+            txn = i + 1
+            store.write(i % PAGES, make_page(i + 100), txn_id=txn)
+            if i % 2:
+                store.abort(txn)
+            else:
+                store.commit(txn)
+    return window.total, store.storage_overhead()
+
+
+def episode_rda():
+    array = make_twin_raid5(6, PAGES // 6)
+    for g in range(array.geometry.num_groups):
+        array.full_stripe_write(
+            g, [make_page(bytes([g + 1, j])) for j in range(6)])
+    rda = RDAManager(array)
+    array.stats.reset()
+    with array.stats.window() as window:
+        for i in range(ROUNDS):
+            txn = i + 1
+            page = i % PAGES
+            rda.write_uncommitted(page, make_page(i + 100), txn_id=txn)
+            if i % 2:
+                rda.abort_txn(txn)
+            else:
+                rda.commit_txn(txn)
+    return window.total, array.geometry.storage_overhead()
+
+
+def episode_wal():
+    db = Database(preset("page-force-log", group_size=6,
+                         num_groups=PAGES // 6, buffer_capacity=4,
+                         log_transfers_per_page=4))
+    db.load_pages({p: make_page(p + 1) for p in range(PAGES)})
+    db.stats.reset()
+    with db.stats.window() as window:
+        for i in range(ROUNDS):
+            txn = db.begin()
+            page = i % PAGES
+            db.write_page(txn, page, make_page(i + 100))
+            db.buffer.flush_pages_of(txn)        # steal (needs the log)
+            if i % 2:
+                db.abort(txn)
+            else:
+                db.commit(txn)
+    overhead = 1 / (db.config.group_size + 1)
+    return window.total, overhead
+
+
+def test_three_way_comparison(benchmark, results_dir):
+    def campaign():
+        return {"TWIST": episode_twist(), "RDA": episode_rda(),
+                "WAL": episode_wal()}
+
+    results = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    lines = [f"X8: {ROUNDS} single-page txns (half aborted), transfers "
+             "and storage overhead",
+             f"{'scheme':>6} | {'transfers':>9} | {'overhead':>8}"]
+    for scheme in ("TWIST", "RDA", "WAL"):
+        transfers, overhead = results[scheme]
+        lines.append(f"{scheme:>6} | {transfers:9d} | {overhead:8.1%}")
+    write_table(results_dir, "twist_three_way", "\n".join(lines))
+
+    twist_cost, twist_overhead = results["TWIST"]
+    rda_cost, rda_overhead = results["RDA"]
+    wal_cost, wal_overhead = results["WAL"]
+    # TWIST is cheapest on transfers (1 write, free undo) but costs 2x
+    # storage; RDA sits between; WAL pays the log on every steal
+    assert twist_cost < rda_cost < wal_cost
+    assert wal_overhead < rda_overhead < twist_overhead
+    benchmark.extra_info["transfers"] = {
+        scheme: cost for scheme, (cost, _) in results.items()}
+
+
+def test_twist_crash_scan_cost(benchmark):
+    """TWIST restart scans 2 slots per PAGE; RDA scans 2 per GROUP —
+    the (100/N)% theme again, this time in restart reads."""
+
+    def campaign():
+        store = TwistStore(num_pages=PAGES, num_disks=6)
+        store.crash()
+        with store.stats.window() as twist_window:
+            store.recover(committed_txns=set())
+
+        array = make_twin_raid5(6, PAGES // 6)
+        rda = RDAManager(array)
+        with array.stats.window() as rda_window:
+            rda.crash_scan(committed_txns=set())
+        return twist_window.reads, rda_window.reads
+
+    twist_reads, rda_reads = benchmark.pedantic(campaign, rounds=1,
+                                                iterations=1)
+    assert rda_reads < twist_reads
+    assert twist_reads == 2 * PAGES
+    assert rda_reads == 2 * PAGES // 6
+    benchmark.extra_info["twist_reads"] = twist_reads
+    benchmark.extra_info["rda_reads"] = rda_reads

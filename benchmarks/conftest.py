@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark writes its regenerated data table to
+``benchmarks/results/<name>.txt`` so the series the paper reports can be
+inspected after a run (pytest captures stdout); headline numbers also go
+into pytest-benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory for regenerated figure tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one figure's table and echo it for -s runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Regenerate every evaluation figure of the paper (Figures 9-13).
+
+Prints the data series behind each figure as plain-text tables — the
+same curves the paper plots: throughput vs communality for the four
+algorithm classes (±RDA, both environments) and the RDA benefit vs
+transaction size.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.model import all_figures
+
+
+def main():
+    for figure in all_figures():
+        print(figure.format_table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

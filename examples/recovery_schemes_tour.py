@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A tour of the recovery schemes the paper positions RDA against.
+
+Runs the same episode — update a page inside a transaction, then abort —
+under four schemes and prints what each one paid:
+
+* WAL            — classical undo logging (before-image to the log);
+* shadow paging  — ATOMIC page-table swap (Lorie);
+* TWIST          — twin data pages (Wu & Fuchs, the paper's ref. [12]);
+* RDA            — twin *parity* pages (this paper).
+
+Run:  python examples/recovery_schemes_tour.py
+"""
+
+from repro.core import RDAManager
+from repro.db import Database, preset
+from repro.shadow import ShadowPagedStore
+from repro.storage import make_page, make_raid5, make_twin_raid5
+from repro.twist import TwistStore
+
+
+def wal_episode():
+    db = Database(preset("page-force-log", group_size=5, num_groups=8,
+                         buffer_capacity=4, log_transfers_per_page=4))
+    db.load_pages({0: make_page(b"base")})
+    with db.stats.window() as window:
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"oops"))
+        db.buffer.flush_pages_of(txn)
+        db.abort(txn)
+    assert db.disk_page(0) == make_page(b"base")
+    return window.total, 1 / 6
+
+
+def shadow_episode():
+    store = ShadowPagedStore(make_raid5(5, 8), logical_pages=20)
+    store.begin()
+    store.write(0, make_page(b"base"))
+    store.commit()
+    with store.array.stats.window() as window:
+        store.begin()
+        store.write(0, make_page(b"oops"))
+        store.abort()
+    assert store.read(0) == make_page(b"base")
+    return window.total, 1 / 6
+
+
+def twist_episode():
+    store = TwistStore(num_pages=20, num_disks=6)
+    store.load({0: make_page(b"base")})
+    with store.stats.window() as window:
+        store.write(0, make_page(b"oops"), txn_id=1)
+        store.abort(1)
+    assert store.read(0) == make_page(b"base")
+    return window.total, 0.5
+
+
+def rda_episode():
+    array = make_twin_raid5(5, 8)
+    array.full_stripe_write(0, [make_page(b"base")] + [make_page(i + 1)
+                                                       for i in range(4)])
+    rda = RDAManager(array)
+    with array.stats.window() as window:
+        rda.write_uncommitted(0, make_page(b"oops"), txn_id=1)
+        rda.abort_txn(1)
+    assert array.read_page(0) == make_page(b"base")
+    return window.total, 2 / 7
+
+
+def main():
+    episodes = [("WAL (undo logging)", wal_episode),
+                ("shadow paging", shadow_episode),
+                ("TWIST (twin data pages)", twist_episode),
+                ("RDA (twin parity pages)", rda_episode)]
+    print("one update-then-abort episode, apples to apples:\n")
+    print(f"{'scheme':>26} | {'transfers':>9} | {'storage overhead':>16}")
+    print("-" * 60)
+    for name, fn in episodes:
+        transfers, overhead = fn()
+        print(f"{name:>26} | {transfers:9d} | {overhead:16.1%}")
+    print("\nTWIST gets free undo by doubling storage; RDA keeps most of "
+          "the\nundo savings at roughly (100/N)% extra storage — the "
+          "paper's pitch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment has setuptools 65 without the ``wheel`` package and no
+network, so PEP 660 editable installs fail with "invalid command
+'bdist_wheel'".  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on newer
+toolchains) work everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Buffer frames.
+
+A :class:`Frame` is one page-sized slot of the buffer pool.  Besides the
+payload it tracks what the recovery protocols need to know:
+
+* ``dirty`` — the in-buffer copy differs from the on-disk copy;
+* ``modifiers`` — ids of transactions with *uncommitted* modifications
+  to this page (one under page locking; possibly several under record
+  locking, where the paper notes concurrent transactions share pages);
+* ``pin_count`` — pinned frames are never evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Frame:
+    """One buffer slot.
+
+    Attributes:
+        page_id: logical page held, or None when the frame is free.
+        payload: current in-buffer page contents.
+        dirty: True when the payload differs from the on-disk copy.
+        pin_count: number of outstanding pins; evictable only at zero.
+        modifiers: ids of transactions with uncommitted changes here.
+    """
+
+    page_id: int | None = None
+    payload: bytes = b""
+    dirty: bool = False
+    pin_count: int = 0
+    modifiers: set = field(default_factory=set)
+
+    @property
+    def in_use(self) -> bool:
+        """True when the frame holds a page."""
+        return self.page_id is not None
+
+    @property
+    def uncommitted(self) -> bool:
+        """True when some active transaction has modified this page."""
+        return bool(self.modifiers)
+
+    def clear(self) -> None:
+        """Return the frame to the free state."""
+        self.page_id = None
+        self.payload = b""
+        self.dirty = False
+        self.pin_count = 0
+        self.modifiers.clear()

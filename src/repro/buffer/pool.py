@@ -1,0 +1,252 @@
+"""The buffer pool.
+
+Implements the buffer-management half of the Haerder/Reuter taxonomy the
+paper builds on (Section 2):
+
+* **STEAL / NO-STEAL** — whether a page modified by an *uncommitted*
+  transaction may be evicted (written back) to make room.  RDA recovery
+  exists precisely to make STEAL cheap: the parity twins replace the
+  UNDO log record the steal would otherwise require.
+* **FORCE / NO-FORCE** — whether a committing transaction's pages are
+  flushed at EOT (:meth:`BufferPool.flush_pages_of`).
+
+The pool is storage-agnostic: misses call ``fetch_fn(page_id)`` and
+write-backs call ``writeback_fn(page_id, payload, modifiers)``.  The
+recovery layer supplies a ``writeback_fn`` that decides between UNDO
+logging and parity protection — the paper's central decision point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BufferFullError, PageNotPinnedError
+from .frame import Frame
+from .replacement import make_policy
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/steal counters; the empirical side of the model's
+    communality ``C`` and steal probability ``p_s``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    steals: int = 0
+
+    @property
+    def references(self) -> int:
+        """Total page references."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of references served from the buffer (≈ C)."""
+        if self.references == 0:
+            return 0.0
+        return self.hits / self.references
+
+
+class BufferPool:
+    """Fixed-capacity page buffer with pluggable policy and disciplines.
+
+    Args:
+        capacity: number of frames (the model's ``B``).
+        fetch_fn: ``page_id -> bytes`` used on a miss.
+        writeback_fn: ``(page_id, payload, modifiers: frozenset) -> None``
+            used when a dirty frame is evicted or flushed.  ``modifiers``
+            is the set of transactions with uncommitted changes to the
+            page at write-back time — non-empty means this is a *steal*.
+        policy: ``"lru"`` (default) or ``"clock"``.
+        steal: allow eviction of uncommitted-dirty frames (STEAL).
+    """
+
+    def __init__(self, capacity: int, fetch_fn, writeback_fn,
+                 policy: str = "lru", steal: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._fetch = fetch_fn
+        self._writeback = writeback_fn
+        self._policy = make_policy(policy)
+        self.steal = steal
+        self._frames = [Frame() for _ in range(capacity)]
+        self._table: dict = {}
+        self.stats = BufferStats()
+
+    # -- lookups -----------------------------------------------------------------
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._table
+
+    def resident_pages(self) -> list:
+        """Sorted ids of pages currently buffered."""
+        return sorted(self._table)
+
+    def is_dirty(self, page_id: int) -> bool:
+        """True if the page is buffered and dirty."""
+        index = self._table.get(page_id)
+        return index is not None and self._frames[index].dirty
+
+    def modifiers_of(self, page_id: int):
+        """Frozen set of uncommitted modifiers of a buffered page."""
+        index = self._table.get(page_id)
+        if index is None:
+            return frozenset()
+        return frozenset(self._frames[index].modifiers)
+
+    # -- the main interface ------------------------------------------------------------
+
+    def get_page(self, page_id: int) -> bytes:
+        """Return the page's current contents, loading it on a miss."""
+        frame = self._frame_for(page_id)
+        return frame.payload
+
+    def put_page(self, page_id: int, payload: bytes,
+                 txn_id: int | None = None) -> None:
+        """Replace the page's contents in the buffer.
+
+        ``txn_id`` registers an uncommitted modifier; pass None for
+        changes that are already durable-equivalent (e.g. recovery
+        writes).  The page is loaded first if absent so its frame exists.
+        """
+        frame = self._frame_for(page_id, load=False)
+        frame.payload = bytes(payload)
+        frame.dirty = True
+        if txn_id is not None:
+            frame.modifiers.add(txn_id)
+
+    def pin(self, page_id: int) -> bytes:
+        """Load (if needed) and pin the page; returns its contents."""
+        frame = self._frame_for(page_id)
+        frame.pin_count += 1
+        return frame.payload
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin."""
+        index = self._table.get(page_id)
+        if index is None or self._frames[index].pin_count == 0:
+            raise PageNotPinnedError(f"page {page_id} is not pinned")
+        self._frames[index].pin_count -= 1
+
+    # -- flushing and invalidation ------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> bool:
+        """Write back the page if buffered and dirty; returns True if a
+        write-back happened.  The frame stays resident and becomes clean."""
+        index = self._table.get(page_id)
+        if index is None:
+            return False
+        frame = self._frames[index]
+        if not frame.dirty:
+            return False
+        self._writeback(page_id, frame.payload, frozenset(frame.modifiers))
+        frame.dirty = False
+        frame.modifiers.clear()
+        return True
+
+    def flush_pages_of(self, txn_id: int) -> list:
+        """FORCE discipline: write back every page the transaction has
+        modified (and not yet stolen).  Returns the page ids flushed."""
+        flushed = []
+        for frame in list(self._frames):
+            if frame.in_use and txn_id in frame.modifiers:
+                self.flush_page(frame.page_id)
+                flushed.append(frame.page_id)
+        return flushed
+
+    def flush_all_dirty(self) -> list:
+        """Checkpoint helper: write back every dirty frame."""
+        flushed = []
+        for frame in list(self._frames):
+            if frame.in_use and frame.dirty:
+                self.flush_page(frame.page_id)
+                flushed.append(frame.page_id)
+        return flushed
+
+    def clear_modifier(self, txn_id: int) -> None:
+        """Commit bookkeeping: the transaction's buffered changes are no
+        longer *uncommitted* (frames stay dirty for later write-back)."""
+        for frame in self._frames:
+            frame.modifiers.discard(txn_id)
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop the buffered copy without writing it back.
+
+        Used on abort for pages whose only uncommitted version lives in
+        the buffer: the on-disk copy *is* the before-image.
+        """
+        index = self._table.pop(page_id, None)
+        if index is None:
+            return
+        self._policy.forget(index)
+        self._frames[index].clear()
+
+    def invalidate_all(self) -> None:
+        """Simulate losing main memory in a crash."""
+        for page_id in list(self._table):
+            self.invalidate(page_id)
+        self.stats = BufferStats()
+
+    def dirty_pages(self) -> list:
+        """Sorted ids of dirty buffered pages."""
+        return sorted(f.page_id for f in self._frames if f.in_use and f.dirty)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _frame_for(self, page_id: int, load: bool = True) -> Frame:
+        index = self._table.get(page_id)
+        if index is not None:
+            self.stats.hits += 1
+            self._policy.touch(index)
+            return self._frames[index]
+        self.stats.misses += 1
+        index = self._free_frame()
+        frame = self._frames[index]
+        frame.page_id = page_id
+        frame.payload = self._fetch(page_id) if load else b""
+        frame.dirty = False
+        frame.pin_count = 0
+        frame.modifiers = set()
+        self._table[page_id] = index
+        self._policy.touch(index)
+        return frame
+
+    def _free_frame(self) -> int:
+        for index, frame in enumerate(self._frames):
+            if not frame.in_use:
+                return index
+        return self._evict()
+
+    def _evictable(self) -> list:
+        out = []
+        for index, frame in enumerate(self._frames):
+            if not frame.in_use or frame.pin_count > 0:
+                continue
+            if frame.uncommitted and frame.dirty and not self.steal:
+                continue
+            out.append(index)
+        return out
+
+    def _evict(self) -> int:
+        candidates = self._evictable()
+        if not candidates:
+            raise BufferFullError(
+                "buffer full: every frame is pinned"
+                + ("" if self.steal else " or protected by NO-STEAL")
+            )
+        index = self._policy.choose_victim(candidates)
+        frame = self._frames[index]
+        self.stats.evictions += 1
+        if frame.dirty:
+            self.stats.dirty_evictions += 1
+            if frame.uncommitted:
+                self.stats.steals += 1
+            self._writeback(frame.page_id, frame.payload,
+                            frozenset(frame.modifiers))
+        del self._table[frame.page_id]
+        self._policy.forget(index)
+        frame.clear()
+        return index

@@ -1,0 +1,106 @@
+"""Replacement policies for the buffer pool.
+
+Two classic policies are provided behind one small interface:
+
+* :class:`LRUPolicy` — least recently used, the discipline assumed by
+  the paper's model (a page referenced by a transaction tends to stay
+  buffered until EOT unless stolen under memory pressure);
+* :class:`ClockPolicy` — second-chance approximation, cheaper bookkeeping.
+
+A policy ranks candidate frame indices; the pool supplies which frames
+are *evictable* (unpinned, and not uncommitted-dirty under NO-STEAL).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import BufferFullError
+
+
+class ReplacementPolicy:
+    """Interface: track touches, pick a victim among evictable frames."""
+
+    def touch(self, frame_index: int) -> None:
+        """Note a reference to the frame (hit or load)."""
+        raise NotImplementedError
+
+    def forget(self, frame_index: int) -> None:
+        """The frame was freed; drop any bookkeeping."""
+        raise NotImplementedError
+
+    def choose_victim(self, evictable) -> int:
+        """Pick a frame index from the non-empty iterable ``evictable``.
+
+        Raises:
+            BufferFullError: if ``evictable`` is empty.
+        """
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently touched evictable frame."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict = OrderedDict()
+
+    def touch(self, frame_index: int) -> None:
+        self._order.pop(frame_index, None)
+        self._order[frame_index] = True
+
+    def forget(self, frame_index: int) -> None:
+        self._order.pop(frame_index, None)
+
+    def choose_victim(self, evictable) -> int:
+        candidates = set(evictable)
+        if not candidates:
+            raise BufferFullError("no evictable frame (all pinned or protected)")
+        never_touched = candidates - self._order.keys()
+        if never_touched:
+            return min(never_touched)
+        for frame_index in self._order:
+            if frame_index in candidates:
+                return frame_index
+        raise AssertionError("unreachable: every candidate is tracked")
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance: sweep a hand, clearing reference bits, and evict
+    the first evictable frame whose bit is already clear."""
+
+    def __init__(self) -> None:
+        self._referenced: dict = {}
+        self._hand = 0
+
+    def touch(self, frame_index: int) -> None:
+        self._referenced[frame_index] = True
+
+    def forget(self, frame_index: int) -> None:
+        self._referenced.pop(frame_index, None)
+
+    def choose_victim(self, evictable) -> int:
+        candidates = sorted(set(evictable))
+        if not candidates:
+            raise BufferFullError("no evictable frame (all pinned or protected)")
+        # two full sweeps guarantee a pick: the first clears bits
+        ring = [i for i in candidates if i >= self._hand] + \
+               [i for i in candidates if i < self._hand]
+        for _ in range(2):
+            for frame_index in ring:
+                if self._referenced.get(frame_index, False):
+                    self._referenced[frame_index] = False
+                else:
+                    self._hand = frame_index + 1
+                    return frame_index
+        self._hand = ring[0] + 1
+        return ring[0]
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Factory: ``"lru"`` or ``"clock"``."""
+    policies = {"lru": LRUPolicy, "clock": ClockPolicy}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; "
+                         f"choose from {sorted(policies)}") from None

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+    python -m repro figures [--figure 9..13]
+    python -m repro simulate --preset page-force-rda --transactions 200
+    python -m repro reliability [--disks 200] [--mttr 24]
+    python -m repro demo
+
+``figures`` regenerates the paper's evaluation tables, ``simulate``
+drives the live system, ``reliability`` prints the Section 1 motivation
+numbers, and ``demo`` walks the three recovery scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .db import Database, all_preset_names, preset
+from .model import figures as figure_module
+from .model.reliability import paper_motivation_table
+from .sim import Simulator, WorkloadSpec
+from .storage import make_page
+
+
+def _cmd_figures(args) -> int:
+    wanted = args.figure
+    for figure in figure_module.all_figures():
+        number = int(figure.name.replace("figure", ""))
+        if wanted is not None and number != wanted:
+            continue
+        print(figure.to_csv() if args.csv else figure.format_table())
+        print()
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    overrides = dict(group_size=args.group_size, num_groups=args.num_groups,
+                     buffer_capacity=args.buffer)
+    if "noforce" in args.preset:
+        overrides["checkpoint_interval"] = args.checkpoint_interval
+    db = Database(preset(args.preset, **overrides))
+    spec = WorkloadSpec(concurrency=args.concurrency,
+                        pages_per_txn=args.pages_per_txn,
+                        update_txn_fraction=args.update_fraction,
+                        update_probability=args.update_probability,
+                        abort_probability=args.abort_probability,
+                        communality=args.communality)
+    simulator = Simulator(db, spec, seed=args.seed)
+    if simulator.record_mode:
+        simulator.seed_records()
+    report = simulator.run(args.transactions,
+                           crash_every=args.crash_every)
+    print(f"configuration : {db.config.algorithm_name}")
+    print(f"result        : {report.summary()}")
+    print(f"throughput    : {report.throughput():.0f} txns per 5e6 transfers")
+    if report.crashes:
+        print(f"crashes       : {report.crashes} "
+              f"({report.recovery_transfers} recovery transfers)")
+    bad = db.verify_parity()
+    print(f"parity scrub  : {'clean' if not bad else bad}")
+    return 0 if not bad else 1
+
+
+def _cmd_reliability(args) -> int:
+    print(f"{'scheme':>20} | {'MTTDL (days)':>14} | {'overhead':>8}")
+    for scheme, mttdl, overhead in paper_motivation_table(
+            disks=args.disks, mttr_hours=args.mttr,
+            group_size=args.group_size):
+        print(f"{scheme:>20} | {mttdl / 24:14.0f} | {overhead:8.1%}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    db = Database(preset("page-force-rda", group_size=4, num_groups=16,
+                         buffer_capacity=8))
+    print("1) commit, steal an uncommitted page, abort via parity twins")
+    t = db.begin()
+    db.write_page(t, 0, make_page(b"committed"))
+    db.commit(t)
+    loser = db.begin()
+    db.write_page(loser, 0, make_page(b"scribble"))
+    db.buffer.flush_pages_of(loser)
+    print(f"   on disk while active: {db.disk_page(0)[:9]!r}, "
+          f"undo records: {db.counters.before_images_logged}")
+    db.abort(loser)
+    print(f"   after abort        : {db.disk_page(0)[:9]!r}")
+    print("2) crash with a loser in flight")
+    loser = db.begin()
+    db.write_page(loser, 1, make_page(b"doomed"))
+    db.crash()
+    stats = db.recover()
+    print(f"   recovery: losers={stats['losers']} "
+          f"transfers={stats['page_transfers']}")
+    print("3) media failure")
+    db.media_failure(2)
+    report = db.media_recover(2)
+    print(f"   rebuilt {report.slots_rebuilt} slots; "
+          f"scrub: {db.verify_parity() or 'clean'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database recovery using redundant disk arrays "
+                    "(ICDE 1992) - reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures 9-13")
+    figures.add_argument("--figure", type=int, choices=range(9, 14),
+                         help="only this figure")
+    figures.add_argument("--csv", action="store_true",
+                         help="emit CSV instead of a table")
+    figures.set_defaults(func=_cmd_figures)
+
+    simulate = sub.add_parser("simulate", help="drive the live system")
+    simulate.add_argument("--preset", choices=all_preset_names(),
+                          default="page-force-rda")
+    simulate.add_argument("--transactions", type=int, default=200)
+    simulate.add_argument("--concurrency", type=int, default=4)
+    simulate.add_argument("--pages-per-txn", type=int, default=6)
+    simulate.add_argument("--update-fraction", type=float, default=0.8)
+    simulate.add_argument("--update-probability", type=float, default=0.9)
+    simulate.add_argument("--abort-probability", type=float, default=0.01)
+    simulate.add_argument("--communality", type=float, default=0.6)
+    simulate.add_argument("--group-size", type=int, default=5)
+    simulate.add_argument("--num-groups", type=int, default=30)
+    simulate.add_argument("--buffer", type=int, default=40)
+    simulate.add_argument("--checkpoint-interval", type=float, default=400)
+    simulate.add_argument("--crash-every", type=int, default=None)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    reliability = sub.add_parser("reliability",
+                                 help="Section 1 motivation numbers")
+    reliability.add_argument("--disks", type=int, default=200)
+    reliability.add_argument("--mttr", type=float, default=24.0)
+    reliability.add_argument("--group-size", type=int, default=10)
+    reliability.set_defaults(func=_cmd_reliability)
+
+    demo = sub.add_parser("demo", help="walk the three recovery scenarios")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

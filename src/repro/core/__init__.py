@@ -1,0 +1,7 @@
+"""The RDA recovery core: parity groups, twin management, checkpoints."""
+
+from .checkpoint import ACCCheckpointer
+from .parity_group import DirtyEntry, DirtySet
+from .rda import RDAManager
+
+__all__ = ["ACCCheckpointer", "DirtyEntry", "DirtySet", "RDAManager"]

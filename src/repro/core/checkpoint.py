@@ -1,0 +1,72 @@
+"""Checkpointing disciplines (paper Section 2, "Checkpointing Schemes").
+
+* **TOC** (transaction-oriented): every commit propagates the
+  transaction's pages — this is just the FORCE discipline at EOT, so it
+  needs no separate machinery; the paper models it with checkpoint cost
+  ``c_c = 0``.
+* **ACC** (action-consistent): taken between update statements; flushes
+  the dirty buffer pages and writes a checkpoint record naming the
+  transactions active at the checkpoint.  Crash recovery REDOes
+  committed work from the last checkpoint record forward.
+
+:class:`ACCCheckpointer` is dependency-injected (flush / log / active-set
+callables) so it can be unit-tested without a full database; the
+:class:`~repro.db.database.Database` wires the real ones in.  It also
+tracks work done since the last checkpoint so a driver can checkpoint
+every *I* cost units — the model's checkpoint interval.
+"""
+
+from __future__ import annotations
+
+from ..wal.records import CheckpointRecord
+
+
+class ACCCheckpointer:
+    """Action-consistent checkpoint generator.
+
+    Args:
+        flush_dirty: zero-arg callable flushing every dirty buffer page;
+            returns the flushed page ids.
+        append_and_force: callable taking a log record, appending it to
+            the (redo) log and forcing it durable; returns the LSN.
+        active_txn_ids: zero-arg callable returning ids of transactions
+            active right now (the checkpoint is action-consistent, not
+            transaction-consistent, so these may be non-empty).
+        interval: cost units between automatic checkpoints (the model's
+            ``I``); None disables :meth:`maybe_checkpoint`.
+    """
+
+    def __init__(self, flush_dirty, append_and_force, active_txn_ids,
+                 interval: float | None = None) -> None:
+        self._flush_dirty = flush_dirty
+        self._append_and_force = append_and_force
+        self._active_txn_ids = active_txn_ids
+        self.interval = interval
+        self._work_since = 0.0
+        self.checkpoints_taken = 0
+        self.last_checkpoint_lsn = None
+
+    def checkpoint(self) -> int:
+        """Take a checkpoint now; returns the checkpoint record's LSN."""
+        flushed = tuple(self._flush_dirty())
+        record = CheckpointRecord(txn_id=0,
+                                  active_txns=tuple(self._active_txn_ids()),
+                                  flushed_pages=flushed)
+        lsn = self._append_and_force(record)
+        self.checkpoints_taken += 1
+        self.last_checkpoint_lsn = lsn
+        self._work_since = 0.0
+        return lsn
+
+    def note_work(self, cost_units: float) -> None:
+        """Accumulate work toward the next automatic checkpoint."""
+        self._work_since += cost_units
+
+    def maybe_checkpoint(self) -> int | None:
+        """Checkpoint if the configured interval has elapsed.
+
+        Returns the LSN if a checkpoint was taken, else None.
+        """
+        if self.interval is None or self._work_since < self.interval:
+            return None
+        return self.checkpoint()

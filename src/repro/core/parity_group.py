@@ -1,0 +1,138 @@
+"""Parity-group state machine and the Dirty_Set table (paper Figure 3).
+
+A parity group is **clean** when no page in it has been written to disk
+by an uncommitted transaction without UNDO logging, and **dirty** when
+exactly one such page has.  The paper keeps a main-memory table — the
+*Dirty_Set* — holding, for each dirty group, the page that dirtied it
+(only ``log N`` bits per group) plus one bit naming the working parity
+twin.  This module is that table, extended with the owning transaction
+and the working twin's timestamp, which the recovery and rebuild paths
+need.
+
+The transition rules (Figure 3):
+
+* clean --(uncommitted page D_i stolen, unlogged)--> dirty(i)
+* dirty(i) --(same transaction re-steals D_i)--> dirty(i)   (still unlogged)
+* dirty(i) --(owning transaction commits or aborts)--> clean
+* while dirty(i), any *other* page written back must be UNDO-logged
+  first (:meth:`DirtySet.can_write_without_undo` answers this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParityGroupError
+
+
+@dataclass(frozen=True)
+class DirtyEntry:
+    """One dirty group's bookkeeping.
+
+    Attributes:
+        group: the parity group id.
+        txn_id: the transaction whose unlogged stolen page dirtied it.
+        page_id: the logical page written back without UNDO logging.
+        page_index: the page's index within the group (what the paper
+            stores in log N bits).
+        working_twin: which twin (0/1) holds the working parity.
+        working_timestamp: the stamp on the working twin.
+    """
+
+    group: int
+    txn_id: int
+    page_id: int
+    page_index: int
+    working_twin: int
+    working_timestamp: int
+
+
+class DirtySet:
+    """Main-memory table of dirty parity groups (the paper's Dirty_Set)."""
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self._by_txn: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, group: int) -> bool:
+        return group in self._entries
+
+    def is_dirty(self, group: int) -> bool:
+        """True when the group has an unlogged uncommitted page on disk."""
+        return group in self._entries
+
+    def entry(self, group: int) -> DirtyEntry:
+        """The group's :class:`DirtyEntry`.
+
+        Raises:
+            ParityGroupError: if the group is clean.
+        """
+        try:
+            return self._entries[group]
+        except KeyError:
+            raise ParityGroupError(f"group {group} is clean") from None
+
+    def get(self, group: int) -> DirtyEntry | None:
+        """The group's entry, or None when clean."""
+        return self._entries.get(group)
+
+    def can_write_without_undo(self, group: int, page_id: int,
+                               txn_id: int) -> bool:
+        """The paper's write-back rule: no UNDO logging is needed iff the
+        group is clean, or it is dirty *for this very page by this very
+        transaction* (the re-steal self-loop of Figure 3)."""
+        entry = self._entries.get(group)
+        if entry is None:
+            return True
+        return entry.page_id == page_id and entry.txn_id == txn_id
+
+    def mark_dirty(self, entry: DirtyEntry) -> None:
+        """Record a clean-to-dirty transition (or refresh a re-steal).
+
+        Raises:
+            ParityGroupError: on an illegal second unlogged page — the
+                invariant is one unlogged page per group.
+        """
+        existing = self._entries.get(entry.group)
+        if existing is not None and (existing.page_id != entry.page_id
+                                     or existing.txn_id != entry.txn_id):
+            raise ParityGroupError(
+                f"group {entry.group} already dirty with page "
+                f"{existing.page_id} (txn {existing.txn_id}); cannot add "
+                f"page {entry.page_id} (txn {entry.txn_id}) unlogged"
+            )
+        if existing is not None:
+            self._by_txn[existing.txn_id].discard(entry.group)
+        self._entries[entry.group] = entry
+        self._by_txn.setdefault(entry.txn_id, set()).add(entry.group)
+
+    def clean(self, group: int) -> DirtyEntry:
+        """Remove a group from the table (commit, abort, or promotion).
+
+        Returns the entry that was removed.
+        """
+        entry = self.entry(group)
+        del self._entries[group]
+        owned = self._by_txn.get(entry.txn_id)
+        if owned is not None:
+            owned.discard(group)
+            if not owned:
+                del self._by_txn[entry.txn_id]
+        return entry
+
+    def groups_of(self, txn_id: int) -> list:
+        """Sorted dirty groups owned by a transaction."""
+        return sorted(self._by_txn.get(txn_id, ()))
+
+    def entries(self) -> list:
+        """All entries, sorted by group."""
+        return [self._entries[g] for g in sorted(self._entries)]
+
+    def lose_memory(self) -> None:
+        """Crash: the main-memory table vanishes (rebuilt by scanning
+        the parity twins, Section 4.3)."""
+        self._entries.clear()
+        self._by_txn.clear()

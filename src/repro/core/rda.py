@@ -1,0 +1,359 @@
+"""The RDA recovery manager: write policy, undo-via-parity, crash scan.
+
+This is the paper's contribution (Section 4) as an executable policy
+layer over :class:`~repro.storage.twin_array.TwinParityArray`:
+
+* decide, per write-back, whether UNDO logging is required
+  (:meth:`RDAManager.needs_undo_log` — the Figure 3 rule);
+* perform uncommitted writes into the free parity twin
+  (:meth:`write_uncommitted`), committed/logged writes in place or into
+  both twins of a dirty group (:meth:`write_committed`);
+* commit by flipping the in-memory current-parity bit — **zero I/O**
+  (:meth:`commit_txn`);
+* abort by recomputing the before-image ``D_old = P_w ⊕ P_c ⊕ D_new``
+  and restoring it (:meth:`abort_txn` / :meth:`undo_group`), five to six
+  page transfers per page, exactly the ``6 p_l + 5 (1 - p_l)`` term of
+  the paper's cost model;
+* after a crash, rebuild the Dirty_Set and the current-parity bitmap by
+  scanning the twin headers against the log's commit set
+  (:meth:`crash_scan`, Section 4.3 and the Figure 7/8 machinery);
+* supply the Dirty_Set view that media rebuild needs
+  (:meth:`dirty_info_for_rebuild`, :meth:`after_media_rebuild`).
+
+The manager keeps a main-memory cache of twin headers (the paper's
+current-parity bit map plus the twin states of Figure 8); the cache is
+lost in a crash and rebuilt by :meth:`crash_scan`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParityGroupError, RecoveryError
+from ..storage.page import NO_PAGE, NO_TXN, ParityHeader, TwinState, xor_pages
+from ..storage.twin_array import (DirtyGroupInfo, TwinParityArray, TwinUpdate,
+                                  select_current_twin)
+from .parity_group import DirtyEntry, DirtySet
+
+
+class RDAManager:
+    """Policy engine for RDA recovery over a twin-parity array."""
+
+    def __init__(self, array: TwinParityArray, dirty_set: DirtySet | None = None) -> None:
+        self.array = array
+        self.dirty_set = dirty_set if dirty_set is not None else DirtySet()
+        self._headers: dict = {}       # group -> [header0, header1] cache
+        self._current: dict = {}       # group -> current twin index (the bit map)
+
+    # -- header cache -------------------------------------------------------------
+
+    def _cached_headers(self, group: int) -> list:
+        """Twin headers for ``group`` from the main-memory map.
+
+        The map is maintained incrementally from array-initialization
+        time (the paper keeps the current-parity bit map and twin states
+        in main memory), so priming an entry consults the simulator's
+        uncounted view rather than charging page transfers; after a
+        crash the map is rebuilt by :meth:`crash_scan`, which *does* pay
+        for its reads.
+        """
+        headers = self._headers.get(group)
+        if headers is None:
+            _, h0 = self.array.peek_twin(group, 0)
+            _, h1 = self.array.peek_twin(group, 1)
+            headers = [h0, h1]
+            self._headers[group] = headers
+            self._current.setdefault(group, select_current_twin((h0, h1)))
+        return headers
+
+    def current_twin(self, group: int) -> int:
+        """Index of the twin holding the group's valid parity."""
+        if group not in self._current:
+            self._cached_headers(group)
+        return self._current[group]
+
+    def lose_memory(self) -> None:
+        """Crash: Dirty_Set, header cache and bitmap all vanish."""
+        self.dirty_set.lose_memory()
+        self._headers.clear()
+        self._current.clear()
+
+    # -- the write-back rule (paper Figure 3) -----------------------------------------
+
+    def needs_undo_log(self, page: int, txn_id: int) -> bool:
+        """True when writing this uncommitted page back would require an
+        UNDO log record first (the group is dirty with another page or
+        another transaction)."""
+        group = self.array.geometry.group_of(page)
+        return not self.dirty_set.can_write_without_undo(group, page, txn_id)
+
+    def write_uncommitted(self, page: int, payload: bytes, txn_id: int,
+                          old_data: bytes | None = None,
+                          logged: bool = False) -> None:
+        """Write back a page modified by an active transaction.
+
+        With ``logged=False`` the write must satisfy the Figure 3 rule
+        (clean group, or re-steal of the same page by the same
+        transaction) and is protected by the parity twins alone; the
+        group becomes (or stays) dirty.  With ``logged=True`` the caller
+        has already made an UNDO record durable, and the write updates
+        the parity like a committed write (both twins if the group is
+        dirty, so the twin-XOR identity keeps isolating the unlogged
+        page).
+
+        Raises:
+            ParityGroupError: unlogged write violating the rule.
+        """
+        group = self.array.geometry.group_of(page)
+        if logged:
+            self._parity_tracking_write(group, page, payload, old_data)
+            return
+        entry = self.dirty_set.get(group)
+        if entry is None:
+            self._first_steal(group, page, payload, txn_id, old_data)
+        elif entry.page_id == page and entry.txn_id == txn_id:
+            self._resteal(entry, payload, old_data)
+        else:
+            raise ParityGroupError(
+                f"unlogged write of page {page} (txn {txn_id}) into dirty "
+                f"group {group} (page {entry.page_id}, txn {entry.txn_id})"
+            )
+
+    def _first_steal(self, group: int, page: int, payload: bytes, txn_id: int,
+                     old_data: bytes | None) -> None:
+        headers = self._cached_headers(group)
+        current = self.current_twin(group)
+        target = 1 - current
+        stamp = self.array.next_timestamp()
+        index = self.array.geometry.index_in_group(page)
+        header = ParityHeader(timestamp=stamp, txn_id=txn_id,
+                              dirty_page_index=index, state=TwinState.WORKING)
+        self.array.small_write(page, payload,
+                               [TwinUpdate(current, target, header)],
+                               old_data=old_data)
+        headers[target] = header
+        self.dirty_set.mark_dirty(DirtyEntry(
+            group=group, txn_id=txn_id, page_id=page, page_index=index,
+            working_twin=target, working_timestamp=stamp))
+
+    def _resteal(self, entry: DirtyEntry, payload: bytes,
+                 old_data: bytes | None) -> None:
+        headers = self._cached_headers(entry.group)
+        stamp = self.array.next_timestamp()
+        header = ParityHeader(timestamp=stamp, txn_id=entry.txn_id,
+                              dirty_page_index=entry.page_index,
+                              state=TwinState.WORKING)
+        which = entry.working_twin
+        self.array.small_write(entry.page_id, payload,
+                               [TwinUpdate(which, which, header)],
+                               old_data=old_data)
+        headers[which] = header
+        self.dirty_set.mark_dirty(DirtyEntry(
+            group=entry.group, txn_id=entry.txn_id, page_id=entry.page_id,
+            page_index=entry.page_index, working_twin=which,
+            working_timestamp=stamp))
+
+    def write_committed(self, page: int, payload: bytes,
+                        old_data: bytes | None = None) -> None:
+        """Write back a page whose changes are committed (or UNDO-logged):
+        parity tracks the data; no undo information is consumed."""
+        group = self.array.geometry.group_of(page)
+        self._parity_tracking_write(group, page, payload, old_data)
+
+    def _parity_tracking_write(self, group: int, page: int, payload: bytes,
+                               old_data: bytes | None) -> None:
+        headers = self._cached_headers(group)
+        entry = self.dirty_set.get(group)
+        if entry is None:
+            current = self.current_twin(group)
+            stamp = self.array.next_timestamp()
+            header = ParityHeader(timestamp=stamp, state=TwinState.COMMITTED)
+            self.array.small_write(page, payload,
+                                   [TwinUpdate(current, current, header)],
+                                   old_data=old_data)
+            headers[current] = header
+            return
+        # dirty group: update BOTH twins so P_w ⊕ P_c stays the dirty
+        # page's delta (paper Figure 6); each twin keeps its role
+        working = entry.working_twin
+        committed = 1 - working
+        committed_header = headers[committed].with_(state=TwinState.COMMITTED)
+        working_header = headers[working]
+        self.array.small_write(page, payload, [
+            TwinUpdate(committed, committed, committed_header),
+            TwinUpdate(working, working, working_header),
+        ], old_data=old_data)
+        headers[committed] = committed_header
+
+    # -- EOT processing ------------------------------------------------------------------
+
+    def commit_txn(self, txn_id: int) -> list:
+        """Commit: each dirty group's working twin becomes the current
+        parity.  Pure main-memory bit flips — **no page transfers**; the
+        durable commit record in the log is what makes the WORKING twins
+        valid at recovery time.  Returns the groups cleaned."""
+        groups = self.dirty_set.groups_of(txn_id)
+        for group in groups:
+            entry = self.dirty_set.clean(group)
+            self._current[group] = entry.working_twin
+        return groups
+
+    def abort_txn(self, txn_id: int, buffered=None) -> dict:
+        """Abort: undo every unlogged stolen page of the transaction via
+        the parity twins.  ``buffered`` optionally maps ``page_id`` to
+        the page's current *on-disk-equivalent* contents to save the
+        D_new read.  Returns ``{page_id: restored_before_image}``."""
+        restored = {}
+        for group in self.dirty_set.groups_of(txn_id):
+            entry = self.dirty_set.entry(group)
+            new_data = None if buffered is None else buffered.get(entry.page_id)
+            page, image = self.undo_group(group, new_data)
+            restored[page] = image
+        return restored
+
+    def undo_group(self, group: int, new_data: bytes | None = None) -> tuple:
+        """Undo the unlogged stolen page of a dirty group.
+
+        Reads both twins (2 transfers), the current page if not supplied
+        (1), restores the before-image (1 write), and invalidates the
+        working twin (1) — the model's 5-6 transfers per recovered page.
+
+        Returns ``(page_id, before_image)``.
+        """
+        entry = self.dirty_set.entry(group)
+        working_payload, _ = self.array.read_twin(group, entry.working_twin)
+        committed_payload, _ = self.array.read_twin(group, 1 - entry.working_twin)
+        if new_data is None:
+            new_data = self.array.read_page(entry.page_id)
+        before = xor_pages(working_payload, committed_payload, new_data)
+        self.array.write_data_only(entry.page_id, before)
+        invalid = ParityHeader(timestamp=entry.working_timestamp,
+                               txn_id=entry.txn_id,
+                               dirty_page_index=entry.page_index,
+                               state=TwinState.INVALID)
+        self.array.rewrite_twin_header(group, entry.working_twin, invalid)
+        headers = self._cached_headers(group)
+        headers[entry.working_twin] = invalid
+        survivor = 1 - entry.working_twin
+        if headers[survivor].state is not TwinState.COMMITTED:
+            # a never-updated group's twin still wears its formatted
+            # OBSOLETE header; stamp it COMMITTED so later twin selection
+            # (and media reconstruction) can trust it outright
+            promoted = ParityHeader(timestamp=self.array.next_timestamp(),
+                                    state=TwinState.COMMITTED)
+            self.array.rewrite_twin_header(group, survivor, promoted)
+            headers[survivor] = promoted
+        self._current[group] = survivor
+        self.dirty_set.clean(group)
+        return entry.page_id, before
+
+    def promote_to_logged(self, group: int, log_before_image) -> tuple:
+        """Convert a dirty group's unlogged page to a logged one.
+
+        Needed when a page stolen without logging must be written again
+        in a way the parity twins cannot cover (e.g. another transaction
+        modifies it under record locking).  The before-image is
+        materialized from the twins, handed to ``log_before_image(txn_id,
+        page_id, image)`` — which must make it durable — and only then is
+        the working twin durably re-stamped as the group's committed
+        parity (it matches the on-disk data).
+
+        Returns ``(txn_id, page_id)`` of the promoted steal.
+        """
+        entry = self.dirty_set.entry(group)
+        working_payload, _ = self.array.read_twin(group, entry.working_twin)
+        committed_payload, _ = self.array.read_twin(group, 1 - entry.working_twin)
+        new_data = self.array.read_page(entry.page_id)
+        before = xor_pages(working_payload, committed_payload, new_data)
+        log_before_image(entry.txn_id, entry.page_id, before)
+        stamp = self.array.next_timestamp()
+        header = ParityHeader(timestamp=stamp, state=TwinState.COMMITTED)
+        self.array.rewrite_twin_header(group, entry.working_twin, header)
+        headers = self._cached_headers(group)
+        headers[entry.working_twin] = header
+        self._current[group] = entry.working_twin
+        self.dirty_set.clean(group)
+        return entry.txn_id, entry.page_id
+
+    # -- crash recovery (Section 4.3) ---------------------------------------------------------
+
+    def crash_scan(self, committed_txns: set) -> list:
+        """Rebuild the Dirty_Set and current-parity bitmap from disk.
+
+        Reads both twins of every group (the background bitmap
+        reconstruction the paper schedules in idle periods), classifies
+        WORKING twins against the log's commit set, and re-registers
+        every *loser* transaction's unlogged stolen page in the
+        Dirty_Set.  Returns the loser :class:`DirtyEntry` list.
+
+        Raises:
+            RecoveryError: if both twins of a group claim WORKING for
+                uncommitted transactions (protocol violation).
+        """
+        self.lose_memory()
+        losers = []
+        for group in range(self.array.geometry.num_groups):
+            (_, h0), (_, h1) = self.array.read_twins(group)
+            self._headers[group] = [h0, h1]
+            self.array.observe_timestamp(max(h0.timestamp, h1.timestamp))
+            active_working = [
+                (which, header) for which, header in enumerate((h0, h1))
+                if header.state is TwinState.WORKING
+                and header.txn_id not in committed_txns
+                and header.txn_id != NO_TXN
+            ]
+            if len(active_working) > 1:
+                raise RecoveryError(
+                    f"group {group}: both twins working for uncommitted "
+                    f"transactions {[h.txn_id for _, h in active_working]}"
+                )
+            self._current[group] = select_current_twin((h0, h1), committed_txns)
+            if active_working:
+                which, header = active_working[0]
+                if header.dirty_page_index == NO_PAGE:
+                    raise RecoveryError(
+                        f"group {group}: working twin lacks dirty page index")
+                page = self.array.geometry.group_pages(group)[header.dirty_page_index]
+                entry = DirtyEntry(group=group, txn_id=header.txn_id,
+                                   page_id=page,
+                                   page_index=header.dirty_page_index,
+                                   working_twin=which,
+                                   working_timestamp=header.timestamp)
+                self.dirty_set.mark_dirty(entry)
+                losers.append(entry)
+        return losers
+
+    # -- media recovery hooks ----------------------------------------------------------------
+
+    def dirty_info_for_rebuild(self) -> dict:
+        """The Dirty_Set in the form ``TwinParityArray.rebuild_disk`` wants."""
+        return {
+            entry.group: DirtyGroupInfo(
+                txn_id=entry.txn_id,
+                dirty_page_index=entry.page_index,
+                working_timestamp=entry.working_timestamp,
+                working_twin=entry.working_twin)
+            for entry in self.dirty_set.entries()
+        }
+
+    def rebuild_disk(self, disk_id: int, on_lost_undo: str = "raise"):
+        """Rebuild a failed disk, passing the live Dirty_Set along, and
+        reconcile the in-memory state afterwards.
+
+        Returns ``(report, must_commit_txns)`` where ``must_commit_txns``
+        are transactions whose parity-encoded before-image was lost (only
+        non-empty with ``on_lost_undo="adopt"``).
+        """
+        report = self.array.rebuild_disk(disk_id,
+                                         dirty_info=self.dirty_info_for_rebuild(),
+                                         on_lost_undo=on_lost_undo)
+        must_commit = set()
+        for group in report.lost_undo_groups:
+            entry = self.dirty_set.clean(group)
+            must_commit.add(entry.txn_id)
+            self._headers.pop(group, None)
+            self._current.pop(group, None)
+        # header cache entries for rebuilt parity slots are stale
+        for group in self.array.geometry.groups_with_parity_on(disk_id):
+            self._headers.pop(group, None)
+            if group not in self.dirty_set:
+                self._current.pop(group, None)
+        return report, must_commit

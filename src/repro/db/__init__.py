@@ -1,0 +1,31 @@
+"""The database facade: configurations, slotted pages, heaps, recovery."""
+
+from .archive import ArchiveCopy, ArchiveManager
+from .btree import BTree, BTreeError
+from .catalog import Catalog, CatalogError
+from .config import DBConfig, all_preset_names, preset
+from .database import Database, LockWait, WriteCounters
+from .heap import HeapFile
+from .recovery import RecoveryManager
+from .slotted_page import PageFullError, SlottedPage
+from .verify import verify_database
+
+__all__ = [
+    "ArchiveCopy",
+    "ArchiveManager",
+    "BTree",
+    "BTreeError",
+    "Catalog",
+    "CatalogError",
+    "DBConfig",
+    "all_preset_names",
+    "preset",
+    "Database",
+    "LockWait",
+    "WriteCounters",
+    "HeapFile",
+    "RecoveryManager",
+    "PageFullError",
+    "SlottedPage",
+    "verify_database",
+]

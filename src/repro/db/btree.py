@@ -1,0 +1,288 @@
+"""A crash-recoverable B-tree index over the transactional record API.
+
+Each tree node occupies one slotted page and is stored as that page's
+single record (slot 0), so every structural mutation — inserts, splits,
+root growth — flows through :meth:`Database.update_record` and is therefore
+locked, logged, and recovered by whichever of the paper's eight
+configurations the database runs; aborting a transaction rolls back its
+index mutations (including half-done splits), and crash recovery
+restores a consistent tree.
+
+Design choices kept deliberately simple and verifiable:
+
+* fixed fan-out by byte budget (keys and values are short byte strings);
+* splits propagate upward eagerly during insert (no deferred SMOs);
+* the root lives at a fixed page, so the tree is found after a crash
+  without a catalog;
+* deletion removes the key but does not rebalance (like many production
+  trees, space is reclaimed by later inserts; invariants stay intact).
+
+Keys are arbitrary ``bytes`` ordered lexicographically; values are
+``bytes`` up to :data:`MAX_VALUE` long.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+from .slotted_page import PageFullError
+
+MAX_KEY = 64
+MAX_VALUE = 64
+NODE_BYTE_BUDGET = 360     # serialized-node budget within one 512B page
+
+
+class BTreeError(ReproError):
+    """Index-level failures (full page pool, oversized keys, ...)."""
+
+
+def _encode(node: dict) -> bytes:
+    doc = {
+        "leaf": node["leaf"],
+        "keys": [k.hex() for k in node["keys"]],
+        "vals": ([v.hex() for v in node["vals"]] if node["leaf"]
+                 else node["vals"]),
+    }
+    return json.dumps(doc, separators=(",", ":")).encode("ascii")
+
+
+def _decode(blob: bytes) -> dict:
+    doc = json.loads(blob.decode("ascii"))
+    return {
+        "leaf": doc["leaf"],
+        "keys": [bytes.fromhex(k) for k in doc["keys"]],
+        "vals": ([bytes.fromhex(v) for v in doc["vals"]] if doc["leaf"]
+                 else doc["vals"]),
+    }
+
+
+class BTree:
+    """A B-tree bound to a database and a fixed pool of pages.
+
+    Args:
+        db: the database (record-logging mode).
+        pages: page ids the tree may use; ``pages[0]`` is the root.
+            Format them first with ``db.format_record_pages``.
+        create: initialize an empty tree (root leaf) — do this once,
+            inside a transaction that you commit.
+    """
+
+    def __init__(self, db, pages, txn_id: int | None = None,
+                 create: bool = False) -> None:
+        if len(pages) < 1:
+            raise BTreeError("a B-tree needs at least one page")
+        self.db = db
+        self.pages = list(pages)
+        self.root_page = self.pages[0]
+        if create:
+            if txn_id is None:
+                raise BTreeError("creating a tree needs a transaction")
+            self._write_node(txn_id, self.root_page,
+                             {"leaf": True, "keys": [], "vals": []},
+                             fresh=True)
+
+    # -- node I/O (everything goes through the record API) ---------------------
+
+    def _read_node(self, txn_id: int, page: int) -> dict:
+        return _decode(self.db.read_record(txn_id, page, 0))
+
+    def _write_node(self, txn_id: int, page: int, node: dict,
+                    fresh: bool = False) -> None:
+        blob = _encode(node)
+        if fresh:
+            slot = self.db.insert_record(txn_id, page, blob)
+            if slot != 0:
+                raise BTreeError(f"page {page} was not empty")
+        else:
+            self.db.update_record(txn_id, page, 0, blob)
+
+    def _allocate_page(self, txn_id: int) -> int:
+        """A pool page not yet holding a node."""
+        from .slotted_page import SlottedPage
+        for page in self.pages:
+            sp = SlottedPage.from_bytes(self.db.buffer.get_page(page))
+            if sp.record_count == 0:
+                return page
+        raise BTreeError("B-tree page pool exhausted")
+
+    @staticmethod
+    def _node_fits(node: dict) -> bool:
+        return len(_encode(node)) <= NODE_BYTE_BUDGET
+
+    # -- search -------------------------------------------------------------------
+
+    def get(self, txn_id: int, key: bytes) -> bytes | None:
+        """Value for ``key``, or None."""
+        self._check_key(key)
+        page = self.root_page
+        while True:
+            node = self._read_node(txn_id, page)
+            if node["leaf"]:
+                try:
+                    index = node["keys"].index(key)
+                except ValueError:
+                    return None
+                return node["vals"][index]
+            page = self._child_for(node, key)
+
+    @staticmethod
+    def _child_for(node: dict, key: bytes) -> int:
+        index = 0
+        while index < len(node["keys"]) and key >= node["keys"][index]:
+            index += 1
+        return node["vals"][index]
+
+    def range(self, txn_id: int, low: bytes = b"", high: bytes | None = None):
+        """Yield ``(key, value)`` pairs with ``low <= key < high`` in order."""
+        yield from self._range_walk(txn_id, self.root_page, low, high)
+
+    def _range_walk(self, txn_id, page, low, high):
+        node = self._read_node(txn_id, page)
+        if node["leaf"]:
+            for key, value in zip(node["keys"], node["vals"]):
+                if key < low:
+                    continue
+                if high is not None and key >= high:
+                    return
+                yield key, value
+            return
+        children = node["vals"]
+        for index, child in enumerate(children):
+            upper = node["keys"][index] if index < len(node["keys"]) else None
+            lower = node["keys"][index - 1] if index > 0 else b""
+            if high is not None and lower >= high:
+                return
+            if upper is not None and upper <= low:
+                continue
+            yield from self._range_walk(txn_id, child, low, high)
+
+    # -- insert -----------------------------------------------------------------------
+
+    def _check_key(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or not key:
+            raise BTreeError("keys must be non-empty bytes")
+        if len(key) > MAX_KEY:
+            raise BTreeError(f"key longer than {MAX_KEY} bytes")
+
+    def put(self, txn_id: int, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        self._check_key(key)
+        if len(value) > MAX_VALUE:
+            raise BTreeError(f"value longer than {MAX_VALUE} bytes")
+        split = self._put_into(txn_id, self.root_page, key, bytes(value))
+        if split is not None:
+            separator, right_page = split
+            # grow a new root: move the old root to a fresh page so the
+            # root page id stays stable
+            old_root = self._read_node(txn_id, self.root_page)
+            moved = self._allocate_page(txn_id)
+            self._write_node(txn_id, moved, old_root, fresh=True)
+            self._write_node(txn_id, self.root_page, {
+                "leaf": False, "keys": [separator],
+                "vals": [moved, right_page]})
+
+    def _put_into(self, txn_id: int, page: int, key: bytes, value: bytes):
+        """Insert below ``page``; returns ``(separator, new_right_page)``
+        if this node split, else None."""
+        node = self._read_node(txn_id, page)
+        if node["leaf"]:
+            self._leaf_insert(node, key, value)
+        else:
+            child = self._child_for(node, key)
+            split = self._put_into(txn_id, child, key, value)
+            if split is None:
+                return None
+            separator, right_page = split
+            index = 0
+            while index < len(node["keys"]) and separator >= node["keys"][index]:
+                index += 1
+            node["keys"].insert(index, separator)
+            node["vals"].insert(index + 1, right_page)
+        if self._node_fits(node):
+            self._write_node(txn_id, page, node)
+            return None
+        return self._split(txn_id, page, node)
+
+    @staticmethod
+    def _leaf_insert(node: dict, key: bytes, value: bytes) -> None:
+        keys = node["keys"]
+        index = 0
+        while index < len(keys) and keys[index] < key:
+            index += 1
+        if index < len(keys) and keys[index] == key:
+            node["vals"][index] = value
+            return
+        keys.insert(index, key)
+        node["vals"].insert(index, value)
+
+    def _split(self, txn_id: int, page: int, node: dict):
+        middle = len(node["keys"]) // 2
+        if node["leaf"]:
+            separator = node["keys"][middle]
+            right = {"leaf": True, "keys": node["keys"][middle:],
+                     "vals": node["vals"][middle:]}
+            left = {"leaf": True, "keys": node["keys"][:middle],
+                    "vals": node["vals"][:middle]}
+        else:
+            separator = node["keys"][middle]
+            right = {"leaf": False, "keys": node["keys"][middle + 1:],
+                     "vals": node["vals"][middle + 1:]}
+            left = {"leaf": False, "keys": node["keys"][:middle],
+                    "vals": node["vals"][:middle + 1]}
+        right_page = self._allocate_page(txn_id)
+        self._write_node(txn_id, right_page, right, fresh=True)
+        self._write_node(txn_id, page, left)
+        return separator, right_page
+
+    # -- delete ------------------------------------------------------------------------
+
+    def delete(self, txn_id: int, key: bytes) -> bool:
+        """Remove ``key``; returns True if it existed."""
+        self._check_key(key)
+        page = self.root_page
+        while True:
+            node = self._read_node(txn_id, page)
+            if node["leaf"]:
+                if key not in node["keys"]:
+                    return False
+                index = node["keys"].index(key)
+                del node["keys"][index]
+                del node["vals"][index]
+                self._write_node(txn_id, page, node)
+                return True
+            page = self._child_for(node, key)
+
+    # -- verification ------------------------------------------------------------------------
+
+    def check_invariants(self, txn_id: int) -> int:
+        """Walk the tree asserting order and separator invariants;
+        returns the number of keys seen.
+
+        Raises:
+            BTreeError: on any violation.
+        """
+        keys = list(self.range(txn_id))
+        flat = [key for key, _ in keys]
+        if flat != sorted(flat):
+            raise BTreeError("leaf keys out of order")
+        if len(set(flat)) != len(flat):
+            raise BTreeError("duplicate keys")
+        self._check_node(txn_id, self.root_page, b"", None)
+        return len(flat)
+
+    def _check_node(self, txn_id, page, low, high) -> None:
+        node = self._read_node(txn_id, page)
+        for key in node["keys"]:
+            if key < low or (high is not None and key >= high):
+                raise BTreeError(
+                    f"key {key!r} outside separator range on page {page}")
+        if node["keys"] != sorted(node["keys"]):
+            raise BTreeError(f"node {page} keys unsorted")
+        if not node["leaf"]:
+            if len(node["vals"]) != len(node["keys"]) + 1:
+                raise BTreeError(f"node {page} child count mismatch")
+            bounds = [low] + node["keys"] + [high]
+            for index, child in enumerate(node["vals"]):
+                self._check_node(txn_id, child, bounds[index],
+                                 bounds[index + 1])

@@ -1,0 +1,143 @@
+"""A persistent catalog: named heaps and B-trees that survive restarts.
+
+The catalog is one record (slot 0 of a designated page) holding the
+object directory and the page allocator's high-water mark plus free
+list.  Because it lives behind the transactional record API, creating
+and dropping objects is atomic with the rest of the transaction and
+recovers like everything else: a crash mid-``create_btree`` rolls the
+allocation back; after restart, :meth:`Catalog.open` finds exactly the
+committed objects.
+
+Works in record-logging mode (the page/record APIs the objects
+themselves need).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+from .btree import BTree
+from .heap import HeapFile
+
+
+class CatalogError(ReproError):
+    """Catalog-level failures (duplicate names, space exhaustion...)."""
+
+
+class Catalog:
+    """The object directory of one database.
+
+    Args:
+        db: a record-logging database.
+        catalog_page: the page holding the directory record (default 0;
+            object pages are allocated after it).
+    """
+
+    def __init__(self, db, catalog_page: int = 0) -> None:
+        if not db.config.record_logging:
+            raise CatalogError("the catalog needs record-logging mode")
+        self.db = db
+        self.catalog_page = catalog_page
+
+    # -- directory record ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, db, txn_id: int, catalog_page: int = 0) -> "Catalog":
+        """Initialize an empty catalog (run once, then commit)."""
+        catalog = cls(db, catalog_page)
+        doc = {"objects": {}, "next_free": catalog_page + 1, "free": []}
+        slot = db.insert_record(txn_id, catalog_page,
+                                catalog._serialize(doc))
+        if slot != 0:
+            raise CatalogError(f"page {catalog_page} was not empty")
+        return catalog
+
+    @staticmethod
+    def _serialize(doc: dict) -> bytes:
+        return json.dumps(doc, separators=(",", ":")).encode("ascii")
+
+    def _load(self, txn_id: int) -> dict:
+        try:
+            blob = self.db.read_record(txn_id, self.catalog_page, 0)
+        except KeyError:
+            raise CatalogError("no catalog on this database; call "
+                               "Catalog.create first") from None
+        return json.loads(blob.decode("ascii"))
+
+    def _store(self, txn_id: int, doc: dict) -> None:
+        self.db.update_record(txn_id, self.catalog_page, 0,
+                              self._serialize(doc))
+
+    # -- allocation ----------------------------------------------------------------
+
+    def _allocate(self, doc: dict, pages: int) -> list:
+        allocated = []
+        while doc["free"] and len(allocated) < pages:
+            allocated.append(doc["free"].pop())
+        while len(allocated) < pages:
+            page = doc["next_free"]
+            if page >= self.db.num_data_pages:
+                raise CatalogError("database out of pages")
+            doc["next_free"] = page + 1
+            allocated.append(page)
+        return sorted(allocated)
+
+    # -- objects --------------------------------------------------------------------
+
+    def list_objects(self, txn_id: int) -> dict:
+        """``{name: kind}`` of every catalogued object."""
+        doc = self._load(txn_id)
+        return {name: meta["kind"] for name, meta in doc["objects"].items()}
+
+    def _register(self, txn_id: int, name: str, kind: str,
+                  pages: int) -> list:
+        doc = self._load(txn_id)
+        if name in doc["objects"]:
+            raise CatalogError(f"object {name!r} already exists")
+        allocated = self._allocate(doc, pages)
+        doc["objects"][name] = {"kind": kind, "pages": allocated}
+        self._store(txn_id, doc)
+        return allocated
+
+    def create_heap(self, txn_id: int, name: str, pages: int) -> HeapFile:
+        """Allocate and register a heap file."""
+        allocated = self._register(txn_id, name, "heap", pages)
+        return HeapFile(self.db, allocated)
+
+    def create_btree(self, txn_id: int, name: str, pages: int) -> BTree:
+        """Allocate, register, and initialize a B-tree."""
+        allocated = self._register(txn_id, name, "btree", pages)
+        return BTree(self.db, allocated, txn_id=txn_id, create=True)
+
+    def open(self, txn_id: int, name: str):
+        """Open a catalogued object by name (a HeapFile or BTree)."""
+        doc = self._load(txn_id)
+        meta = doc["objects"].get(name)
+        if meta is None:
+            raise CatalogError(f"no object named {name!r}")
+        if meta["kind"] == "heap":
+            return HeapFile(self.db, meta["pages"])
+        return BTree(self.db, meta["pages"])
+
+    def drop(self, txn_id: int, name: str) -> None:
+        """Remove an object; its pages return to the free list.
+
+        The pages' contents are left for later reuse (record pages parse
+        as empty only when zeroed, so reallocation clears them —
+        see :meth:`_allocate` users like :meth:`create_btree`, which
+        insert fresh records over whatever is there after a
+        :class:`~repro.db.heap.HeapFile` user clears its records).
+        """
+        doc = self._load(txn_id)
+        meta = doc["objects"].pop(name, None)
+        if meta is None:
+            raise CatalogError(f"no object named {name!r}")
+        # clear the pages now, within the transaction, so reuse starts blank
+        from .slotted_page import SlottedPage
+        for page in meta["pages"]:
+            sp = SlottedPage.from_bytes(self.db.buffer.get_page(page))
+            for slot in sp.slots():
+                self.db.delete_record(txn_id, page, slot)
+        doc["free"].extend(meta["pages"])
+        self._store(txn_id, doc)

@@ -1,0 +1,118 @@
+"""Database configurations: the paper's algorithm classes as presets.
+
+Section 5 evaluates four algorithm classes, each with and without RDA
+recovery — eight configurations:
+
+==================  ============  =============  =====
+class               logging       EOT/checkpoint  RDA
+==================  ============  =============  =====
+Figure 9            page          FORCE + TOC    ±
+Figure 10           page          ¬FORCE + ACC   ±
+Figure 11           record        FORCE + TOC    ±
+Figure 12           record        ¬FORCE + ACC   ±
+==================  ============  =============  =====
+
+A :class:`DBConfig` captures one cell; :func:`preset` builds any of them
+by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..storage.geometry import Placement
+
+
+@dataclass(frozen=True)
+class DBConfig:
+    """One recovery configuration.
+
+    Attributes:
+        group_size: N, data pages per parity group.
+        num_groups: G, number of parity groups (S = N * G data pages).
+        buffer_capacity: B, buffer frames.
+        record_logging: record-granularity logging (else page logging).
+        force: FORCE + TOC discipline (else ¬FORCE + ACC).
+        rda: use RDA recovery (twin-parity array) instead of plain WAL
+            over a single-parity array.
+        steal: allow uncommitted dirty pages to be written back (the
+            paper's assumption; RDA exists to make this cheap).  With
+            NO-STEAL no undo information is ever needed, but a buffer
+            full of uncommitted pages refuses further work.
+        placement: data striping (RAID-5) or parity striping.
+        replacement: buffer replacement policy name.
+        checkpoint_interval: cost units between automatic ACC
+            checkpoints (None = manual checkpoints only); ignored under
+            FORCE.
+        log_page_size: bytes per log page (model constant l_p).
+        log_transfers_per_page: page transfers charged per filled log
+            page per mirror copy.
+    """
+
+    group_size: int = 4
+    num_groups: int = 16
+    buffer_capacity: int = 32
+    record_logging: bool = False
+    force: bool = True
+    rda: bool = True
+    steal: bool = True
+    placement: Placement = Placement.STRIPED
+    replacement: str = "lru"
+    checkpoint_interval: float | None = None
+    log_page_size: int = 2020
+    log_transfers_per_page: int = 1
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ModelError("group_size (N) must be at least 2")
+        if self.num_groups < 1:
+            raise ModelError("num_groups (G) must be at least 1")
+        if self.buffer_capacity < 2:
+            raise ModelError("buffer_capacity (B) must be at least 2")
+
+    @property
+    def num_data_pages(self) -> int:
+        """S: the database size in pages."""
+        return self.group_size * self.num_groups
+
+    @property
+    def algorithm_name(self) -> str:
+        """Human-readable name matching the paper's terminology."""
+        logging = "record" if self.record_logging else "page"
+        discipline = "FORCE/TOC" if self.force else "¬FORCE/ACC"
+        recovery = "RDA" if self.rda else "¬RDA"
+        return f"{logging} logging, {discipline}, {recovery}"
+
+
+_PRESETS = {
+    "page-force-rda": dict(record_logging=False, force=True, rda=True),
+    "page-force-log": dict(record_logging=False, force=True, rda=False),
+    "page-noforce-rda": dict(record_logging=False, force=False, rda=True),
+    "page-noforce-log": dict(record_logging=False, force=False, rda=False),
+    "record-force-rda": dict(record_logging=True, force=True, rda=True),
+    "record-force-log": dict(record_logging=True, force=True, rda=False),
+    "record-noforce-rda": dict(record_logging=True, force=False, rda=True),
+    "record-noforce-log": dict(record_logging=True, force=False, rda=False),
+}
+
+
+def preset(name: str, **overrides) -> DBConfig:
+    """Build one of the eight paper configurations by name.
+
+    Names are ``{page|record}-{force|noforce}-{rda|log}``; keyword
+    overrides adjust sizes etc.
+    """
+    try:
+        base = _PRESETS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown preset {name!r}; choose from {sorted(_PRESETS)}") from None
+    merged = dict(base)
+    merged.update(overrides)
+    return DBConfig(**merged)
+
+
+def all_preset_names() -> list:
+    """The eight configuration names, sorted."""
+    return sorted(_PRESETS)

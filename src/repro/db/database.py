@@ -1,0 +1,575 @@
+"""The database facade: the paper's eight recovery configurations, live.
+
+A :class:`Database` wires together the disk array (twin-parity for RDA,
+single-parity otherwise), the buffer pool, the lock and transaction
+managers, the duplexed log(s), the RDA manager, and the recovery
+manager, according to a :class:`~repro.db.config.DBConfig`:
+
+* **page logging / record logging** — what the log carries and the lock
+  granularity (page locks vs record locks);
+* **FORCE + TOC / ¬FORCE + ACC** — whether commit flushes the
+  transaction's pages (TOC needs no checkpoints) or leaves them dirty
+  (ACC checkpoints + REDO at restart);
+* **RDA / ¬RDA** — whether steals of uncommitted pages are protected by
+  the parity twins (no UNDO logging when the Figure 3 rule allows) or by
+  classical before-image logging.
+
+The write-back hook (:meth:`Database._writeback`) is the paper's
+decision point: every steal either rides the parity twins or pays for a
+durable before-image first (the WAL rule is enforced here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..buffer import BufferPool
+from ..core import ACCCheckpointer, RDAManager
+from ..errors import RecoveryError, TransactionError
+from ..storage import IOStats, SingleParityArray, TwinParityArray
+from ..storage.geometry import Geometry
+from ..storage.page import PAGE_SIZE, ZERO_PAGE
+from ..txn import LockManager, LockMode, TransactionManager, TxnState
+from ..wal import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
+                   LogManager, PageAfterImage, PageBeforeImage,
+                   RecordAfterEntry, RecordBeforeEntry)
+from .config import DBConfig
+from .recovery import RecoveryManager
+from .slotted_page import SlottedPage
+
+
+class LockWait(TransactionError):
+    """The operation must wait for a lock (re-issue it after the grant).
+
+    Raised instead of blocking: the library is single-threaded, so a
+    driver (e.g. :mod:`repro.sim`) suspends the transaction and retries
+    the operation when :meth:`Database.grants_for` reports the grant.
+    """
+
+    def __init__(self, txn_id: int, resource) -> None:
+        self.txn_id = txn_id
+        self.resource = resource
+        super().__init__(f"transaction {txn_id} must wait for {resource!r}")
+
+
+@dataclass
+class WriteCounters:
+    """Empirical counters behind the model's probabilities.
+
+    ``unlogged_steals / (unlogged_steals + logged_steals)`` is the
+    measured complement of the logging probability ``p_l`` (Eq. 5).
+    """
+
+    unlogged_steals: int = 0
+    logged_steals: int = 0
+    committed_writebacks: int = 0
+    before_images_logged: int = 0
+    promotions: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+
+    @property
+    def steals(self) -> int:
+        """All write-backs of uncommitted pages."""
+        return self.unlogged_steals + self.logged_steals
+
+    @property
+    def unlogged_fraction(self) -> float:
+        """Measured 1 - p_l."""
+        if self.steals == 0:
+            return 0.0
+        return self.unlogged_steals / self.steals
+
+
+class Database:
+    """A recoverable page/record store over a redundant disk array."""
+
+    def __init__(self, config: DBConfig) -> None:
+        self.config = config
+        self.stats = IOStats()
+        geometry = Geometry(config.group_size, config.num_groups,
+                            twin=config.rda, placement=config.placement)
+        if config.rda:
+            self.array = TwinParityArray(geometry, stats=self.stats)
+            self.rda = RDAManager(self.array)
+        else:
+            self.array = SingleParityArray(geometry, stats=self.stats)
+            self.rda = None
+        self.buffer = BufferPool(config.buffer_capacity, self._fetch,
+                                 self._writeback, policy=config.replacement,
+                                 steal=config.steal)
+        self.locks = LockManager()
+        self.txns = TransactionManager()
+        log_kwargs = dict(page_size=config.log_page_size,
+                          transfers_per_log_page=config.log_transfers_per_page,
+                          stats=self.stats)
+        if config.force:
+            self.undo_log = LogManager(name="undo", **log_kwargs)
+            self.redo_log = LogManager(name="redo", **log_kwargs)
+            self.checkpointer = None
+        else:
+            combined = LogManager(name="log", **log_kwargs)
+            self.undo_log = combined
+            self.redo_log = combined
+            self.checkpointer = ACCCheckpointer(
+                self.buffer.flush_all_dirty, self._append_and_force_redo,
+                lambda: [t.txn_id for t in self.txns.active_transactions()],
+                interval=config.checkpoint_interval)
+        self.recovery = RecoveryManager(self)
+        self.counters = WriteCounters()
+
+        # per-transaction bookkeeping (all lost in a crash)
+        self._before_images: dict = {}   # (txn, page) -> pre-txn page bytes
+        self._undo_logged: set = set()   # (txn, page) with before-image in log
+        self._logged_stolen: set = set()  # (txn, page) stolen WITH logging
+        self._last_stolen: dict = {}     # (txn, page) -> last on-disk payload
+        self._pending_undo: dict = {}    # txn -> [RecordBeforeEntry] (RDA defer)
+        self._bot_written: set = set()
+        self._bot_lsns: dict = {}        # txn -> BOT record LSN (for trim_log)
+        self._residue: set = set()       # pages with committed-unflushed data
+
+    # -- construction helpers --------------------------------------------------------
+
+    @property
+    def num_data_pages(self) -> int:
+        """S: logical pages in the database."""
+        return self.array.num_data_pages
+
+    def load_pages(self, payloads: dict) -> None:
+        """Bulk-load initial contents (full-stripe writes, outside any
+        transaction).  Missing pages stay zero."""
+        geometry = self.array.geometry
+        for group in range(geometry.num_groups):
+            pages = geometry.group_pages(group)
+            images = [payloads.get(p, ZERO_PAGE) for p in pages]
+            if all(image == ZERO_PAGE for image in images):
+                continue
+            self.array.full_stripe_write(group, images)
+
+    def format_record_pages(self, pages) -> None:
+        """Initialize the given pages as empty slotted pages."""
+        empty = SlottedPage.empty().to_bytes()
+        self.load_pages({page: empty for page in pages})
+
+    # -- buffer hooks -------------------------------------------------------------------
+
+    def _fetch(self, page: int) -> bytes:
+        return self.array.read_page(page)
+
+    def _writeback(self, page: int, payload: bytes, modifiers: frozenset) -> None:
+        """The decision point: steal via parity twins or via the log."""
+        if not modifiers:
+            self._residue.discard(page)
+            self.counters.committed_writebacks += 1
+            self._write_committed(page, payload)
+            return
+        single = next(iter(modifiers)) if len(modifiers) == 1 else None
+        old = self._old_disk_version(single, page)
+        was_residue = page in self._residue
+        self._residue.discard(page)
+        if (self.rda is not None and single is not None and not was_residue
+                and not self.rda.needs_undo_log(page, single)):
+            self.rda.write_uncommitted(page, payload, single, old_data=old)
+            self.counters.unlogged_steals += 1
+            self.txns.get(single).note_steal(page)
+            self._last_stolen[(single, page)] = payload
+            return
+        # logged steal: WAL — undo information durable before the write
+        self._ensure_undo_durable(page, modifiers)
+        if self.rda is not None:
+            owner = single if single is not None else next(iter(modifiers))
+            self.rda.write_uncommitted(page, payload, owner, old_data=old,
+                                       logged=True)
+        else:
+            self.array.write_page(page, payload, old_data=old)
+        self.counters.logged_steals += 1
+        for txn_id in modifiers:
+            self.txns.get(txn_id).note_steal(page)
+            self._logged_stolen.add((txn_id, page))
+            self._last_stolen[(txn_id, page)] = payload
+
+    def _old_disk_version(self, txn_id, page: int):
+        """The page's current on-disk bytes, if this transaction knows
+        them (first steal: the captured before-image; re-steal: what it
+        wrote last time).  Saves one read in the small-write protocol —
+        the model's ``a = 3`` case."""
+        if txn_id is None:
+            return None
+        key = (txn_id, page)
+        if key in self._last_stolen:
+            return self._last_stolen[key]
+        before = self._before_images.get(key)
+        if before is not None and page not in self._residue \
+                and key not in self._logged_stolen:
+            return before
+        return None
+
+    def _ensure_undo_durable(self, page: int, modifiers) -> None:
+        """Append (if deferred) and force the undo information covering
+        every uncommitted modifier of this page."""
+        appended = False
+        for txn_id in sorted(modifiers):
+            key = (txn_id, page)
+            if self.config.record_logging:
+                pending = self._pending_undo.get(txn_id, [])
+                keep, flush = [], []
+                for entry in pending:
+                    (flush if entry.page_id == page else keep).append(entry)
+                if flush:
+                    for entry in flush:
+                        self.undo_log.append(entry)
+                        self.counters.before_images_logged += 1
+                    self._pending_undo[txn_id] = keep
+                    appended = True
+            else:
+                if key not in self._undo_logged:
+                    image = self._before_images.get(key)
+                    if image is not None:
+                        self.undo_log.append(PageBeforeImage(
+                            txn_id=txn_id, page_id=page, image=image))
+                        self._undo_logged.add(key)
+                        self.counters.before_images_logged += 1
+                        appended = True
+        if appended or self.undo_log.forced_lsn < self.undo_log.last_lsn:
+            self.undo_log.force()
+
+    def _write_committed(self, page: int, payload: bytes,
+                         old_data=None) -> None:
+        """Parity-tracking write of committed (or log-protected) data."""
+        if self.rda is not None:
+            self.rda.write_committed(page, payload, old_data=old_data)
+        else:
+            self.array.write_page(page, payload, old_data=old_data)
+
+    def _append_and_force_redo(self, record) -> int:
+        lsn = self.redo_log.append(record)
+        self.redo_log.force()
+        return lsn
+
+    # -- locking ------------------------------------------------------------------------------
+
+    def _lock(self, txn_id: int, resource, mode: LockMode) -> None:
+        if not self.locks.acquire(txn_id, resource, mode):
+            raise LockWait(txn_id, resource)
+
+    def grants_for(self, txn_id: int) -> bool:
+        """True when the transaction holds no pending waits (safe to
+        retry the last operation)."""
+        return not self.locks.waiting(txn_id)
+
+    # -- transaction API -----------------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Start a transaction; returns its id."""
+        return self.txns.begin().txn_id
+
+    def _ensure_bot(self, txn_id: int) -> None:
+        if txn_id not in self._bot_written:
+            lsn = self.undo_log.append(BOTRecord(txn_id=txn_id))
+            self._bot_written.add(txn_id)
+            self._bot_lsns[txn_id] = lsn
+
+    def read_page(self, txn_id: int, page: int) -> bytes:
+        """Read a full page under a shared page lock."""
+        txn = self.txns.require_active(txn_id)
+        self._lock(txn_id, ("page", page), LockMode.SHARED)
+        payload = self.buffer.get_page(page)
+        txn.note_read(page)
+        return payload
+
+    def write_page(self, txn_id: int, page: int, payload: bytes) -> None:
+        """Replace a full page under an exclusive page lock (page-logging
+        mode only)."""
+        if self.config.record_logging:
+            raise TransactionError(
+                "write_page is for page-logging mode; use record operations")
+        if len(payload) != PAGE_SIZE:
+            raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        txn = self.txns.require_active(txn_id)
+        self._lock(txn_id, ("page", page), LockMode.EXCLUSIVE)
+        self._ensure_bot(txn_id)
+        current = self.buffer.get_page(page)
+        key = (txn_id, page)
+        if key not in self._before_images:
+            self._before_images[key] = current
+            if self.rda is None and not self.config.force:
+                # classical WAL: before-image logged at first modification
+                self.undo_log.append(PageBeforeImage(
+                    txn_id=txn_id, page_id=page, image=current))
+                self._undo_logged.add(key)
+                self.counters.before_images_logged += 1
+        self.buffer.put_page(page, payload, txn_id)
+        txn.note_write(page)
+
+    # -- record API (record-logging mode) ------------------------------------------------------------
+
+    def _slotted(self, page: int) -> SlottedPage:
+        return SlottedPage.from_bytes(self.buffer.get_page(page))
+
+    def _require_record_mode(self) -> None:
+        if not self.config.record_logging:
+            raise TransactionError(
+                "record operations need record-logging mode")
+
+    def read_record(self, txn_id: int, page: int, slot: int) -> bytes:
+        """Read one record under a shared record lock."""
+        self._require_record_mode()
+        txn = self.txns.require_active(txn_id)
+        self._lock(txn_id, ("rec", page, slot), LockMode.SHARED)
+        txn.note_read(page)
+        return self._slotted(page).read(slot)
+
+    def _maybe_promote(self, page: int, txn_id: int) -> None:
+        """If another transaction's unlogged stolen page is about to be
+        shared, materialize its before-image into the log first."""
+        if self.rda is None:
+            return
+        group = self.array.geometry.group_of(page)
+        entry = self.rda.dirty_set.get(group)
+        if entry is None or entry.page_id != page or entry.txn_id == txn_id:
+            return
+
+        def log_fn(owner, page_id, image):
+            self.undo_log.append(PageBeforeImage(
+                txn_id=owner, page_id=page_id, image=image))
+            self.undo_log.force()
+            self._undo_logged.add((owner, page_id))
+            self._logged_stolen.add((owner, page_id))
+
+        self.rda.promote_to_logged(group, log_fn)
+        self.counters.promotions += 1
+
+    def _record_modify(self, txn_id: int, page: int, slot: int,
+                       before: bytes, after: bytes, mutate) -> None:
+        """Shared tail of update/insert/delete: log, mutate, buffer."""
+        txn = self.txns.require_active(txn_id)
+        self._ensure_bot(txn_id)
+        self._maybe_promote(page, txn_id)
+        undo = RecordBeforeEntry(txn_id=txn_id, page_id=page, slot=slot,
+                                 image=before)
+        if self.rda is not None:
+            self._pending_undo.setdefault(txn_id, []).append(undo)
+        else:
+            self.undo_log.append(undo)
+            self.counters.before_images_logged += 1
+        self.redo_log.append(RecordAfterEntry(txn_id=txn_id, page_id=page,
+                                              slot=slot, image=after))
+        sp = self._slotted(page)
+        mutate(sp)
+        self.buffer.put_page(page, sp.to_bytes(), txn_id)
+        txn.note_record_write(page, slot)
+
+    def update_record(self, txn_id: int, page: int, slot: int,
+                      data: bytes) -> None:
+        """Overwrite one record under an exclusive record lock."""
+        self._require_record_mode()
+        self.txns.require_active(txn_id)
+        self._lock(txn_id, ("rec", page, slot), LockMode.EXCLUSIVE)
+        before = self._slotted(page).read(slot)
+        self._record_modify(txn_id, page, slot, before, data,
+                            lambda sp: sp.update(slot, data))
+
+    def insert_record(self, txn_id: int, page: int, data: bytes) -> int:
+        """Insert a record; returns its slot.  Takes an exclusive *page*
+        lock (structure modification)."""
+        self._require_record_mode()
+        self.txns.require_active(txn_id)
+        self._lock(txn_id, ("page", page), LockMode.EXCLUSIVE)
+        sp = self._slotted(page)
+        probe = SlottedPage.from_bytes(sp.to_bytes())
+        slot = probe.insert(data)       # find the slot without mutating
+        self._lock(txn_id, ("rec", page, slot), LockMode.EXCLUSIVE)
+        self._record_modify(txn_id, page, slot, b"", data,
+                            lambda target: target.insert(data))
+        return slot
+
+    def delete_record(self, txn_id: int, page: int, slot: int) -> bytes:
+        """Delete a record under an exclusive record lock; returns the
+        removed bytes."""
+        self._require_record_mode()
+        self.txns.require_active(txn_id)
+        self._lock(txn_id, ("rec", page, slot), LockMode.EXCLUSIVE)
+        before = self._slotted(page).read(slot)
+        self._record_modify(txn_id, page, slot, before, b"",
+                            lambda sp: sp.delete(slot))
+        return before
+
+    # -- EOT -------------------------------------------------------------------------------------------
+
+    def commit(self, txn_id: int) -> None:
+        """Commit: force pages (FORCE) or just the log (¬FORCE), write
+        the EOT record, release locks."""
+        txn = self.txns.require_active(txn_id)
+        if txn.is_update_transaction:
+            self._ensure_bot(txn_id)
+            if self.config.force:
+                self.buffer.flush_pages_of(txn_id)
+            if not self.config.record_logging:
+                for page in sorted(txn.pages_written):
+                    self.redo_log.append(PageAfterImage(
+                        txn_id=txn_id, page_id=page,
+                        image=self._after_image(txn_id, page)))
+            self.redo_log.append(CommitRecord(txn_id=txn_id))
+            self.undo_log.force()
+            self.redo_log.force()
+            if self.rda is not None:
+                self.rda.commit_txn(txn_id)
+            self.buffer.clear_modifier(txn_id)
+            if not self.config.force:
+                for page in txn.pages_written:
+                    if self.buffer.is_dirty(page):
+                        self._residue.add(page)
+        self.locks.release_all(txn_id)
+        self.txns.finish(txn_id, TxnState.COMMITTED)
+        self._forget(txn_id)
+        self.counters.transactions_committed += 1
+
+    def _after_image(self, txn_id: int, page: int) -> bytes:
+        if page in self.buffer:
+            return self.buffer.get_page(page)
+        return self._last_stolen[(txn_id, page)]
+
+    def abort(self, txn_id: int) -> None:
+        """Roll the transaction back (parity twins and/or log) and
+        release its locks."""
+        self.recovery.abort(txn_id)
+
+    # -- checkpoints ------------------------------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Take an ACC checkpoint (¬FORCE configurations only)."""
+        if self.checkpointer is None:
+            raise TransactionError(
+                "FORCE/TOC configurations take no checkpoints")
+        return self.checkpointer.checkpoint()
+
+    def trim_log(self, archive_floor: int | None = None) -> int:
+        """Discard log records no future recovery can need.
+
+        The safe point is the minimum of: the oldest active
+        transaction's BOT (its undo must stay reachable); under
+        ¬FORCE/ACC, the last checkpoint record (restart REDO starts
+        there — with no checkpoint yet, nothing can be trimmed, because
+        committed data may exist only in the log); and ``archive_floor``
+        — pass the ``dump_lsn`` of the oldest
+        :class:`~repro.db.archive.ArchiveCopy` you still intend to roll
+        forward from, or leave None if archive media recovery is not in
+        use.  Returns the number of records discarded.
+        """
+        candidates = [self.undo_log.last_lsn + 1]
+        for txn in self.txns.active_transactions():
+            lsn = self._bot_lsns.get(txn.txn_id)
+            if lsn is not None:
+                candidates.append(lsn)
+        if archive_floor is not None:
+            candidates.append(archive_floor + 1)
+        if not self.config.force:
+            checkpoint_lsn = None
+            for record in self.redo_log.scan(CheckpointRecord):
+                checkpoint_lsn = record.lsn
+            if checkpoint_lsn is None:
+                return 0        # committed data may exist only in the log
+            candidates.append(checkpoint_lsn)
+            return self.undo_log.truncate_before(min(candidates))
+        # FORCE/TOC: the undo log only needs active transactions'
+        # records.  Dropping a finished transaction's BOT is always safe
+        # (it simply stops being a loser *candidate*).
+        dropped = self.undo_log.truncate_before(min(candidates))
+        # The redo log is cross-referenced by restart analysis: a BOT
+        # surviving in the undo log whose commit record was trimmed here
+        # would be misclassified as a loser.  Only a *quiescent* trim
+        # (no active transactions, hence no surviving BOTs) avoids the
+        # coupling; it is bounded by the archive roll-forward floor.
+        if archive_floor is not None and not self.txns.active_transactions():
+            dropped += self.redo_log.truncate_before(archive_floor + 1)
+        return dropped
+
+    # -- failures ----------------------------------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose main memory: buffer, lock table, transaction registry,
+        Dirty_Set, unforced log tails."""
+        self.buffer.invalidate_all()
+        self.locks = LockManager()
+        self.txns.lose_memory()
+        if self.rda is not None:
+            self.rda.lose_memory()
+        self.undo_log.crash()
+        if self.redo_log is not self.undo_log:
+            self.redo_log.crash()
+        self._before_images.clear()
+        self._undo_logged.clear()
+        self._logged_stolen.clear()
+        self._last_stolen.clear()
+        self._pending_undo.clear()
+        self._bot_written.clear()
+        self._bot_lsns.clear()
+        self._residue.clear()
+
+    def recover(self, fault_hook=None) -> dict:
+        """Restart after :meth:`crash`; returns recovery statistics.
+
+        ``fault_hook`` is a test seam: called before each recovery
+        write; raising from it simulates a crash during recovery.
+        """
+        return self.recovery.crash_recover(fault_hook=fault_hook)
+
+    def media_failure(self, disk_id: int) -> None:
+        """Fail-stop one disk of the array."""
+        self.array.fail_disk(disk_id)
+
+    def media_recover(self, disk_id: int, on_lost_undo: str = "raise"):
+        """Rebuild a failed disk from the surviving redundancy."""
+        return self.recovery.media_recover(disk_id, on_lost_undo=on_lost_undo)
+
+    # -- bookkeeping --------------------------------------------------------------------------------------------
+
+    def _forget(self, txn_id: int) -> None:
+        for key in [k for k in self._before_images if k[0] == txn_id]:
+            del self._before_images[key]
+        self._undo_logged = {k for k in self._undo_logged if k[0] != txn_id}
+        self._logged_stolen = {k for k in self._logged_stolen if k[0] != txn_id}
+        for key in [k for k in self._last_stolen if k[0] == txn_id]:
+            del self._last_stolen[key]
+        self._pending_undo.pop(txn_id, None)
+        self._bot_written.discard(txn_id)
+        self._bot_lsns.pop(txn_id, None)
+
+    # -- inspection (tests/examples; uncounted) ------------------------------------------------------------------
+
+    def disk_page(self, page: int) -> bytes:
+        """On-disk bytes of a page (no buffer, no accounting)."""
+        return self.array.peek_page(page)
+
+    def committed_view(self, page: int) -> bytes:
+        """The page as a new reader would see it (buffer-first)."""
+        if page in self.buffer:
+            return self.buffer.get_page(page)
+        return self.array.peek_page(page)
+
+    def verify_parity(self) -> list:
+        """Groups whose parity disagrees with their data (should be [])."""
+        return self.array.scrub()
+
+    def statistics(self) -> dict:
+        """A monitoring snapshot: transfers, buffer behaviour, steal
+        accounting, log sizes, dirty groups, active transactions."""
+        stats = {
+            "page_transfers": self.stats.total,
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "buffer_hit_ratio": self.buffer.stats.hit_ratio,
+            "buffer_steals": self.buffer.stats.steals,
+            "unlogged_steals": self.counters.unlogged_steals,
+            "logged_steals": self.counters.logged_steals,
+            "before_images_logged": self.counters.before_images_logged,
+            "promotions": self.counters.promotions,
+            "transactions_committed": self.counters.transactions_committed,
+            "transactions_aborted": self.counters.transactions_aborted,
+            "active_transactions": len(self.txns.active_transactions()),
+            "undo_log_bytes": self.undo_log.size_bytes,
+            "redo_log_bytes": self.redo_log.size_bytes,
+            "dirty_groups": (len(self.rda.dirty_set)
+                             if self.rda is not None else 0),
+        }
+        return stats

@@ -1,0 +1,69 @@
+"""Heap files: a record collection spread over a range of slotted pages.
+
+A thin convenience layer for the examples and workloads: it routes
+inserts to a page with room, remembers record ids, and scans.  All
+operations go through the transactional :class:`~repro.db.database.Database`
+record API, so they are logged, locked, and recoverable like any other
+access.
+"""
+
+from __future__ import annotations
+
+from .slotted_page import PageFullError, SlottedPage
+
+
+class HeapFile:
+    """Records over a fixed set of pre-formatted pages.
+
+    Args:
+        db: the database (must be in record-logging mode).
+        pages: logical page ids backing the heap; format them first with
+            :meth:`~repro.db.database.Database.format_record_pages`.
+    """
+
+    def __init__(self, db, pages) -> None:
+        self.db = db
+        self.pages = list(pages)
+        if not self.pages:
+            raise ValueError("a heap file needs at least one page")
+
+    def insert(self, txn_id: int, data: bytes) -> tuple:
+        """Insert a record; returns its record id ``(page, slot)``.
+
+        Raises:
+            PageFullError: if no page in the heap has room.
+        """
+        for page in self.pages:
+            try:
+                slot = self.db.insert_record(txn_id, page, data)
+                return (page, slot)
+            except PageFullError:
+                continue
+        raise PageFullError("heap file is full")
+
+    def read(self, txn_id: int, rid: tuple) -> bytes:
+        """Read the record with id ``rid``."""
+        page, slot = rid
+        return self.db.read_record(txn_id, page, slot)
+
+    def update(self, txn_id: int, rid: tuple, data: bytes) -> None:
+        """Overwrite the record with id ``rid``."""
+        page, slot = rid
+        self.db.update_record(txn_id, page, slot, data)
+
+    def delete(self, txn_id: int, rid: tuple) -> bytes:
+        """Delete the record with id ``rid``; returns the old bytes."""
+        page, slot = rid
+        return self.db.delete_record(txn_id, page, slot)
+
+    def scan(self, txn_id: int):
+        """Yield ``(rid, bytes)`` for every record, page by page."""
+        for page in self.pages:
+            payload = self.db.read_page(txn_id, page)
+            sp = SlottedPage.from_bytes(payload)
+            for slot in sp.slots():
+                yield (page, slot), self.db.read_record(txn_id, page, slot)
+
+    def record_count(self, txn_id: int) -> int:
+        """Number of live records in the heap."""
+        return sum(1 for _ in self.scan(txn_id))

@@ -1,0 +1,272 @@
+"""Recovery orchestration: transaction abort, crash restart, media rebuild.
+
+Implements Section 4.3 of the paper plus the classical baselines it
+compares against.  The invariant every path restores: **the database
+equals the serial effects of committed transactions only.**
+
+Undo sources, in the order they are applied:
+
+1. **Parity twins** (RDA only): each dirty group's unlogged stolen page
+   is rewound with ``D_old = P_w ⊕ P_c ⊕ D_new``.  This must run before
+   any log-based writes touch those groups, because a log restore
+   updates *both* twins and relies on the twin-XOR identity staying
+   scoped to the one unlogged page.
+2. **REDO** (¬FORCE restart only): committed transactions' after-images
+   since the last ACC checkpoint, forward in LSN order.
+3. **UNDO from the log**: losers' before-images/entries, backward in
+   global LSN order.  Record-level entries store absolute old bytes, so
+   re-applying them over an already-rewound page is idempotent.
+
+Steps 2-3 run through a page cache so each touched page is read and
+written once, then flushed via parity-tracking writes.
+"""
+
+from __future__ import annotations
+
+from ..errors import RecoveryError
+from ..txn import TxnState
+from ..wal.records import (AbortRecord, BOTRecord, CheckpointRecord,
+                           CommitRecord, PageAfterImage, PageBeforeImage,
+                           RecordAfterEntry, RecordBeforeEntry)
+from .slotted_page import SlottedPage
+
+
+def _apply_record_image(page_bytes: bytes, slot: int, image: bytes) -> bytes:
+    """Set ``slot`` of a slotted page to ``image`` (empty = delete)."""
+    sp = SlottedPage.from_bytes(page_bytes)
+    if image == b"":
+        try:
+            sp.delete(slot)
+        except KeyError:
+            pass                      # undoing an insert that never landed
+    else:
+        sp.place(slot, image)
+    return sp.to_bytes()
+
+
+class RecoveryManager:
+    """Abort / crash / media recovery over one :class:`Database`."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+
+    # ==================== transaction abort ====================
+
+    def abort(self, txn_id: int) -> None:
+        """Roll back an active transaction and release its locks."""
+        db = self.db
+        txn = db.txns.require_active(txn_id)
+        if txn.must_commit:
+            raise RecoveryError(
+                f"transaction {txn_id} lost its parity-encoded before-image "
+                "to a media failure and can no longer abort")
+        if txn.is_update_transaction:
+            db._ensure_bot(txn_id)
+            if db.config.record_logging:
+                self._abort_record_mode(txn)
+            else:
+                self._abort_page_mode(txn)
+            db.undo_log.append(AbortRecord(txn_id=txn_id))
+            db.undo_log.force()
+        db.locks.release_all(txn_id)
+        db.txns.finish(txn_id, TxnState.ABORTED)
+        db._forget(txn_id)
+        db.counters.transactions_aborted += 1
+
+    def _parity_undo_for(self, txn_id: int) -> dict:
+        """Rewind the transaction's unlogged stolen pages via the twins."""
+        db = self.db
+        if db.rda is None:
+            return {}
+        buffered = {}
+        for group in db.rda.dirty_set.groups_of(txn_id):
+            entry = db.rda.dirty_set.entry(group)
+            known = db._last_stolen.get((txn_id, entry.page_id))
+            if known is not None:
+                buffered[entry.page_id] = known
+        return db.rda.abort_txn(txn_id, buffered=buffered)
+
+    def _abort_page_mode(self, txn) -> None:
+        db = self.db
+        txn_id = txn.txn_id
+        restored = self._parity_undo_for(txn_id)
+
+        logged_pages = sorted(page for (t, page) in db._logged_stolen
+                              if t == txn_id and page not in restored)
+        if logged_pages:
+            chain = db.undo_log.records_of(txn_id)
+            db.undo_log.charge_read(chain)
+            images = {r.page_id: r.image for r in chain
+                      if isinstance(r, PageBeforeImage)}
+            for page in logged_pages:
+                if page not in images:
+                    raise RecoveryError(
+                        f"no before-image for stolen page {page} of "
+                        f"transaction {txn_id}")
+                db._write_committed(page, images[page],
+                                    old_data=db._last_stolen.get((txn_id, page)))
+
+        for page in sorted(txn.pages_written):
+            if page not in db.buffer:
+                continue
+            keep_residue = page in db._residue
+            before = db._before_images.get((txn_id, page))
+            db.buffer.invalidate(page)
+            if keep_residue and before is not None:
+                # the frame held committed-but-unflushed data under the
+                # transaction's changes; disk lacks it, so rebuild the
+                # frame from the captured pre-transaction image
+                db.buffer.put_page(page, before, None)
+                db._residue.add(page)
+
+    def _abort_record_mode(self, txn) -> None:
+        db = self.db
+        txn_id = txn.txn_id
+        restored = self._parity_undo_for(txn_id)
+        for page in restored:
+            if page in db.buffer:
+                # single-modifier invariant: only this transaction's
+                # changes were buffered for an unlogged stolen page
+                db.buffer.invalidate(page)
+
+        chain = db.undo_log.records_of(txn_id)
+        db.undo_log.charge_read(chain)
+        logged = [r for r in reversed(chain)
+                  if isinstance(r, (RecordBeforeEntry, PageBeforeImage))]
+        pending = list(db._pending_undo.get(txn_id, ()))
+        ordered = logged + pending      # forward order; pending is newest
+
+        touched = {}
+        for entry in reversed(ordered):
+            page = entry.page_id
+            if isinstance(entry, PageBeforeImage):
+                touched[page] = entry.image
+                continue
+            payload = touched.get(page)
+            if payload is None:
+                payload = db.buffer.get_page(page)
+            touched[page] = _apply_record_image(payload, entry.slot, entry.image)
+
+        # The abort record below asserts "undo is durable", so the
+        # corrected pages must reach disk now even under ¬FORCE —
+        # otherwise a crash after the abort would resurrect the aborted
+        # values (aborted transactions are excluded from restart undo).
+        for page in sorted(touched):
+            db.buffer.invalidate(page)
+            db.buffer.put_page(page, touched[page], None)
+            db.buffer.flush_page(page)
+
+    # ==================== crash recovery ====================
+
+    def crash_recover(self, fault_hook=None) -> dict:
+        """Restart after :meth:`Database.crash`.
+
+        Returns statistics: winners, losers, pages redone/undone, and
+        the page transfers the restart consumed.
+
+        ``fault_hook``, if given, is called before every recovery write
+        with a progress label; raising from it models a crash *during*
+        recovery (the tests drive this to prove restart idempotence —
+        recovery applies absolute images and re-derives its work list
+        from durable state, so being interrupted anywhere is safe).
+        """
+        db = self.db
+        fault = fault_hook if fault_hook is not None else (lambda label: None)
+        before = db.stats.snapshot()
+        db.undo_log.after_crash()
+        if db.redo_log is not db.undo_log:
+            db.redo_log.after_crash()
+
+        winners = {r.txn_id for r in db.redo_log.scan(CommitRecord)}
+        aborted = {r.txn_id for r in db.undo_log.scan(AbortRecord)}
+        bots = {r.txn_id for r in db.undo_log.scan(BOTRecord)}
+        losers = set(bots) - winners - aborted
+
+        # 1. parity undo of unlogged stolen pages (must precede log writes)
+        parity_undone = 0
+        if db.rda is not None:
+            for entry in db.rda.crash_scan(winners):
+                losers.add(entry.txn_id)
+                fault(f"parity-undo group {entry.group}")
+                db.rda.undo_group(entry.group)
+                parity_undone += 1
+
+        cache: dict = {}
+
+        def page_base(page: int) -> bytes:
+            if page not in cache:
+                cache[page] = db.array.read_page(page)
+            return cache[page]
+
+        # 2. REDO committed work since the last checkpoint (¬FORCE only)
+        redone = 0
+        if not db.config.force:
+            start = 0
+            for record in db.redo_log.scan(CheckpointRecord):
+                start = record.lsn
+            replay = [r for r in db.redo_log.records() if r.lsn > start]
+            db.redo_log.charge_read(replay)
+            for record in replay:
+                if record.txn_id not in winners:
+                    continue
+                if isinstance(record, PageAfterImage):
+                    cache[record.page_id] = record.image
+                    redone += 1
+                elif isinstance(record, RecordAfterEntry):
+                    cache[record.page_id] = _apply_record_image(
+                        page_base(record.page_id), record.slot, record.image)
+                    redone += 1
+
+        # 3. UNDO losers from the log, backward in global LSN order
+        undo_records = [
+            r for r in db.undo_log.records()
+            if r.txn_id in losers
+            and isinstance(r, (PageBeforeImage, RecordBeforeEntry))
+        ]
+        db.undo_log.charge_read(undo_records)
+        undone = 0
+        for record in sorted(undo_records, key=lambda r: r.lsn, reverse=True):
+            if isinstance(record, PageBeforeImage):
+                cache[record.page_id] = record.image
+            else:
+                cache[record.page_id] = _apply_record_image(
+                    page_base(record.page_id), record.slot, record.image)
+            undone += 1
+
+        for page in sorted(cache):
+            fault(f"restore page {page}")
+            db._write_committed(page, cache[page])
+
+        fault("abort records")
+        for txn_id in sorted(losers):
+            db.undo_log.append(AbortRecord(txn_id=txn_id))
+        db.undo_log.force()
+
+        delta = db.stats.snapshot() - before
+        return {
+            "winners": sorted(winners),
+            "losers": sorted(losers),
+            "parity_undone_pages": parity_undone,
+            "redo_applied": redone,
+            "log_undo_applied": undone,
+            "page_transfers": delta.total,
+        }
+
+    # ==================== media recovery ====================
+
+    def media_recover(self, disk_id: int, on_lost_undo: str = "raise"):
+        """Rebuild a failed disk from the surviving redundancy.
+
+        With RDA, the live Dirty_Set steers the twin rebuild; if the
+        committed twin of a dirty group was lost and ``on_lost_undo`` is
+        ``"adopt"``, the owning transactions are pinned ``must_commit``
+        (their stolen pages can no longer be rolled back).
+        """
+        db = self.db
+        if db.rda is not None:
+            report, must_commit = db.rda.rebuild_disk(disk_id,
+                                                      on_lost_undo=on_lost_undo)
+            for txn_id in must_commit:
+                db.txns.get(txn_id).must_commit = True
+            return report
+        return db.array.rebuild_disk(disk_id)

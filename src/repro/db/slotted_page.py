@@ -1,0 +1,194 @@
+"""Slotted pages: variable-length records inside a fixed-size page.
+
+The record-logging experiments (paper Section 5.3) operate on records of
+average length ``r`` packed into physical pages of length ``l_p``.  This
+module provides the classic slotted-page layout:
+
+    [record_count: u16][free_end: u16][slot directory ...]  ...free...  [record data]
+
+The slot directory grows forward from the 4-byte header, one ``(offset
+u16, length u16)`` entry per slot; record bytes grow backward from the
+end of the page.  Slot ids are stable across updates and compaction
+(deleted slots become tombstones and can be reused), which lets a record
+id ``(page, slot)`` survive for the record's lifetime — the property the
+record-level log entries rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..storage.page import PAGE_SIZE
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_TOMBSTONE_OFFSET = 0xFFFF
+
+
+class PageFullError(Exception):
+    """The page cannot fit the record even after compaction."""
+
+
+class SlottedPage:
+    """In-memory view of one slotted page.
+
+    Build with :meth:`empty` or :meth:`from_bytes`; mutate with
+    :meth:`insert` / :meth:`update` / :meth:`delete`; serialize with
+    :meth:`to_bytes` (always exactly :data:`PAGE_SIZE` bytes).
+    """
+
+    def __init__(self, slots: list) -> None:
+        # slots: list of bytes payloads, None for tombstones
+        self._slots = slots
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "SlottedPage":
+        """A fresh page with no records."""
+        return cls([])
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SlottedPage":
+        """Parse a serialized page.
+
+        A zero page (never-written disk sector) parses as an empty page.
+
+        Raises:
+            ValueError: wrong size or inconsistent directory.
+        """
+        if len(blob) != PAGE_SIZE:
+            raise ValueError(f"slotted page must be {PAGE_SIZE} bytes")
+        count, _free_end = _HEADER.unpack_from(blob, 0)
+        slots = []
+        for index in range(count):
+            offset, length = _SLOT.unpack_from(blob, _HEADER.size + index * _SLOT.size)
+            if offset == _TOMBSTONE_OFFSET:
+                slots.append(None)
+                continue
+            if offset + length > PAGE_SIZE:
+                raise ValueError(f"slot {index} points past end of page")
+            slots.append(blob[offset:offset + length])
+        return cls(slots)
+
+    # -- geometry ---------------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Directory size, including tombstones."""
+        return len(self._slots)
+
+    @property
+    def record_count(self) -> int:
+        """Live records."""
+        return sum(1 for s in self._slots if s is not None)
+
+    @property
+    def used_bytes(self) -> int:
+        """Header + directory + live record bytes."""
+        return (_HEADER.size + len(self._slots) * _SLOT.size
+                + sum(len(s) for s in self._slots if s is not None))
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for new record data (assuming a new slot)."""
+        return max(0, PAGE_SIZE - self.used_bytes - _SLOT.size)
+
+    def slots(self) -> list:
+        """Ids of live slots."""
+        return [i for i, s in enumerate(self._slots) if s is not None]
+
+    # -- record operations ----------------------------------------------------------------
+
+    def _check_record(self, record: bytes) -> None:
+        if not isinstance(record, (bytes, bytearray)):
+            raise TypeError("record must be bytes")
+        if len(record) == 0:
+            raise ValueError("record must be non-empty")
+
+    def insert(self, record: bytes) -> int:
+        """Add a record; returns its slot id (tombstones are reused).
+
+        Raises:
+            PageFullError: if the record does not fit.
+        """
+        self._check_record(record)
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                if self.used_bytes + len(record) > PAGE_SIZE:
+                    raise PageFullError("no room for record data")
+                self._slots[index] = bytes(record)
+                return index
+        if self.used_bytes + _SLOT.size + len(record) > PAGE_SIZE:
+            raise PageFullError("no room for record data and slot entry")
+        self._slots.append(bytes(record))
+        return len(self._slots) - 1
+
+    def read(self, slot: int) -> bytes:
+        """Record bytes at ``slot``.
+
+        Raises:
+            KeyError: empty or out-of-range slot.
+        """
+        if not 0 <= slot < len(self._slots) or self._slots[slot] is None:
+            raise KeyError(f"no record at slot {slot}")
+        return self._slots[slot]
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace the record at ``slot`` (any new length that fits).
+
+        Raises:
+            KeyError: empty slot.  PageFullError: would overflow.
+        """
+        self._check_record(record)
+        old = self.read(slot)
+        if self.used_bytes - len(old) + len(record) > PAGE_SIZE:
+            raise PageFullError("updated record does not fit")
+        self._slots[slot] = bytes(record)
+
+    def place(self, slot: int, record: bytes) -> None:
+        """Put a record at a *specific* slot id (recovery: undo of a
+        delete / redo of an insert must reuse the original slot).
+
+        Extends the directory with tombstones if needed; replaces any
+        record already at the slot.
+
+        Raises:
+            PageFullError: if the record (plus directory growth) doesn't fit.
+        """
+        self._check_record(record)
+        grow = max(0, slot + 1 - len(self._slots))
+        old_len = len(self._slots[slot]) if slot < len(self._slots) and \
+            self._slots[slot] is not None else 0
+        if self.used_bytes + grow * _SLOT.size - old_len + len(record) > PAGE_SIZE:
+            raise PageFullError("no room to place record at slot")
+        self._slots.extend([None] * grow)
+        self._slots[slot] = bytes(record)
+
+    def delete(self, slot: int) -> bytes:
+        """Remove the record at ``slot`` (slot id becomes a tombstone).
+
+        Returns the removed bytes.
+        """
+        record = self.read(slot)
+        self._slots[slot] = None
+        return record
+
+    # -- serialization -----------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly :data:`PAGE_SIZE` bytes (records packed
+        from the page end; tombstones keep their directory entries)."""
+        out = bytearray(PAGE_SIZE)
+        _HEADER.pack_into(out, 0, len(self._slots), PAGE_SIZE)
+        cursor = PAGE_SIZE
+        for index, slot in enumerate(self._slots):
+            entry_at = _HEADER.size + index * _SLOT.size
+            if slot is None:
+                _SLOT.pack_into(out, entry_at, _TOMBSTONE_OFFSET, 0)
+                continue
+            cursor -= len(slot)
+            out[cursor:cursor + len(slot)] = slot
+            _SLOT.pack_into(out, entry_at, cursor, len(slot))
+        _HEADER.pack_into(out, 0, len(self._slots), cursor)
+        return bytes(out)

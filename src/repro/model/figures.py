@@ -1,0 +1,154 @@
+"""Generators for the paper's evaluation figures (9-13).
+
+Each ``figureN`` function returns a :class:`FigureSeries` holding the
+swept x values and one y series per curve, exactly the data behind the
+paper's plots:
+
+* Figure 9  — page logging, FORCE/TOC, throughput vs C, ±RDA;
+* Figure 10 — page logging, ¬FORCE/ACC, throughput vs C, ±RDA;
+* Figure 11 — record logging, FORCE/TOC, throughput vs C, ±RDA;
+* Figure 12 — record logging, ¬FORCE/ACC, throughput vs C, ±RDA;
+* Figure 13 — % throughput increase from RDA vs pages accessed s
+  (record logging, ¬FORCE/ACC, high-update, C = 0.9).
+
+Figures 9-12 are produced for both environments (high-update and
+high-retrieval), as in the paper's side-by-side panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import page_logging, record_logging
+from .params import high_retrieval, high_update
+
+DEFAULT_C_SWEEP = tuple(round(0.05 * i, 2) for i in range(0, 20))
+"""C from 0.0 to 0.95 in 0.05 steps (C = 1 is a model singularity)."""
+
+DEFAULT_S_SWEEP = (5, 10, 15, 20, 25, 30, 35, 40, 45)
+"""The Figure 13 sweep of pages accessed per transaction."""
+
+_ENVIRONMENTS = {
+    "high-update": high_update,
+    "high-retrieval": high_retrieval,
+}
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data.
+
+    Attributes:
+        name: e.g. ``"figure9"``.
+        title: human-readable description.
+        x_label / x_values: the sweep.
+        curves: mapping ``label -> [y, ...]`` aligned with ``x_values``.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    x_values: tuple
+    curves: dict = field(default_factory=dict)
+
+    def rows(self):
+        """Yield table rows: ``(x, {label: y})`` — harness output."""
+        labels = list(self.curves)
+        for i, x in enumerate(self.x_values):
+            yield x, {label: self.curves[label][i] for label in labels}
+
+    def format_table(self) -> str:
+        """Plain-text table matching the paper's figure data."""
+        labels = list(self.curves)
+        header = f"{self.x_label:>8} | " + " | ".join(
+            f"{label:>24}" for label in labels)
+        lines = [self.title, header, "-" * len(header)]
+        for x, row in self.rows():
+            cells = " | ".join(f"{row[label]:24.1f}" for label in labels)
+            lines.append(f"{x:8.2f} | {cells}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header row = x label + curve labels)."""
+        labels = list(self.curves)
+        lines = [",".join([self.x_label] + labels)]
+        for x, row in self.rows():
+            lines.append(",".join([f"{x:g}"] +
+                                  [f"{row[label]:.3f}" for label in labels]))
+        return "\n".join(lines)
+
+
+def _throughput_figure(name: str, title: str, cost_fn, environments,
+                       sweep) -> FigureSeries:
+    figure = FigureSeries(name=name, title=title, x_label="C",
+                          x_values=tuple(sweep))
+    for env_name in environments:
+        env = _ENVIRONMENTS[env_name]
+        for rda in (False, True):
+            tag = "RDA" if rda else "¬RDA"
+            label = f"{env_name} {tag}"
+            figure.curves[label] = [
+                cost_fn(env(C=c), rda=rda).throughput for c in sweep]
+    return figure
+
+
+def figure9(sweep=DEFAULT_C_SWEEP, environments=("high-update",
+                                                 "high-retrieval")) -> FigureSeries:
+    """Throughput vs communality: page logging, FORCE, TOC."""
+    return _throughput_figure(
+        "figure9",
+        "Figure 9: page logging, ¬ATOMIC/STEAL/FORCE/TOC — throughput vs C",
+        page_logging.force_toc, environments, sweep)
+
+
+def figure10(sweep=DEFAULT_C_SWEEP, environments=("high-update",
+                                                  "high-retrieval")) -> FigureSeries:
+    """Throughput vs communality: page logging, ¬FORCE, ACC."""
+    return _throughput_figure(
+        "figure10",
+        "Figure 10: page logging, ¬ATOMIC/STEAL/¬FORCE/ACC — throughput vs C",
+        page_logging.noforce_acc, environments, sweep)
+
+
+def figure11(sweep=DEFAULT_C_SWEEP, environments=("high-update",
+                                                  "high-retrieval")) -> FigureSeries:
+    """Throughput vs communality: record logging, FORCE, TOC."""
+    return _throughput_figure(
+        "figure11",
+        "Figure 11: record logging, FORCE/TOC — throughput vs C",
+        record_logging.force_toc, environments, sweep)
+
+
+def figure12(sweep=DEFAULT_C_SWEEP, environments=("high-update",
+                                                  "high-retrieval")) -> FigureSeries:
+    """Throughput vs communality: record logging, ¬FORCE, ACC."""
+    return _throughput_figure(
+        "figure12",
+        "Figure 12: record logging, ¬FORCE/ACC — throughput vs C",
+        record_logging.noforce_acc, environments, sweep)
+
+
+def figure13(sweep=DEFAULT_S_SWEEP, C: float = 0.9) -> FigureSeries:
+    """RDA benefit vs transaction size (record, ¬FORCE/ACC, high-update).
+
+    The paper's final figure: percent throughput increase from adding
+    RDA recovery, as a function of the pages accessed per transaction.
+    """
+    figure = FigureSeries(
+        name="figure13",
+        title=("Figure 13: % throughput increase from RDA vs pages "
+               f"accessed s (record logging, ¬FORCE/ACC, C={C})"),
+        x_label="s", x_values=tuple(sweep))
+    benefits = []
+    for s in sweep:
+        params = high_update(C=C).with_(s=s)
+        base = record_logging.noforce_acc(params, rda=False).throughput
+        with_rda = record_logging.noforce_acc(params, rda=True).throughput
+        benefits.append(100.0 * (with_rda / base - 1.0))
+    figure.curves["% increase"] = benefits
+    return figure
+
+
+def all_figures() -> list:
+    """Figures 9-13, in order."""
+    return [figure9(), figure10(), figure11(), figure12(), figure13()]

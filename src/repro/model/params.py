@@ -1,0 +1,86 @@
+"""Model parameters (paper Section 5, constants from Reuter 1984).
+
+The paper's table of constants:
+
+* B = 300 buffer frames, S = 5000 database pages, N = 10 pages per
+  parity group, P = 6 concurrent transactions, p_b = 0.01 abort
+  probability, T = 5x10^6 page transfers per availability interval;
+* high-update environment:    s = 10, f_u = 0.8, p_u = 0.9, d = 3;
+* high-retrieval environment: s = 40, f_u = 0.1, p_u = 0.3, d = 8;
+* record logging: r = 100 bytes per long log entry, e = 10 bytes per
+  short entry, l_bc = 16 bytes per BOT/EOT record, l_h = 4 bytes per
+  log-chain header, l_p = 2020 bytes per physical log page.
+
+``a``, the page transfers per small array write, is 4 (3 when the old
+page contents are buffered); writes into a *dirty* twin-parity group
+cost 2 extra transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """All knobs of the analytical model.
+
+    Attributes mirror the paper's symbols; see the module docstring for
+    the published values.
+    """
+
+    B: int = 300          # buffer frames
+    S: int = 5000         # database pages
+    N: int = 10           # pages per parity group
+    P: int = 6            # concurrent transactions
+    s: int = 10           # pages referenced per transaction
+    f_u: float = 0.8      # fraction of update transactions
+    p_u: float = 0.9      # update probability per accessed page
+    p_b: float = 0.01     # abort probability
+    C: float = 0.5        # communality
+    T: float = 5e6        # availability interval (page transfers)
+    # record-logging constants
+    d: int = 3            # update statements per transaction parameter
+    r: int = 100          # bytes of a long log entry
+    e: int = 10           # bytes of a short log entry
+    l_bc: int = 16        # bytes of a BOT/EOT record
+    l_h: int = 4          # bytes of a log-chain header
+    l_p: int = 2020       # bytes per physical log page
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.C < 1.0:
+            raise ModelError("communality C must be in [0, 1)")
+        for name in ("f_u", "p_u", "p_b"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1]")
+        if self.N < 2 or self.S < self.N:
+            raise ModelError("need N >= 2 and S >= N")
+        if self.B <= self.C * self.s:
+            raise ModelError("buffer B must exceed C*s")
+        if self.s < 1 or self.P < 1:
+            raise ModelError("s and P must be positive")
+        if min(self.r, self.e, self.l_bc, self.l_h, self.l_p) <= 0:
+            raise ModelError("record-logging constants must be positive")
+        if self.d > self.s:
+            raise ModelError("d (long entries) cannot exceed s")
+
+    def with_(self, **changes) -> "ModelParams":
+        """Copy with fields replaced (e.g. sweeping ``C`` or ``s``)."""
+        return replace(self, **changes)
+
+
+def high_update(C: float = 0.5, **overrides) -> ModelParams:
+    """The paper's high-update-frequency environment."""
+    base = dict(s=10, f_u=0.8, p_u=0.9, d=3, C=C)
+    base.update(overrides)
+    return ModelParams(**base)
+
+
+def high_retrieval(C: float = 0.5, **overrides) -> ModelParams:
+    """The paper's high-retrieval-frequency environment."""
+    base = dict(s=40, f_u=0.1, p_u=0.3, d=8, C=C)
+    base.update(overrides)
+    return ModelParams(**base)

@@ -1,0 +1,132 @@
+"""The model's probability terms (paper Sections 5.1-5.3 and Appendix).
+
+Each function quotes the paper equation it implements; these are the
+*legible* parts of the scanned text and are implemented verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ModelError
+
+
+def logging_probability(K: float, S: int, N: int) -> float:
+    """Eq. (5): the probability that a modified page must be UNDO-logged.
+
+    ``K`` uncommitted pages are to be written back into ``S/N`` parity
+    groups; one page per group can ride the parity twins, so with
+
+        E[X] = (S/N) * (1 - (1 - N/S)^K)
+
+    groups receiving at least one page,
+
+        p_l = 1 - E[X] / K.
+
+    ``K`` may be fractional (the model plugs in expected values).
+    Returns 0 for K <= 0 (nothing pending means nothing to log) and is
+    monotonically increasing in K.
+    """
+    if S < N or N < 1:
+        raise ModelError("need S >= N >= 1")
+    if K <= 0:
+        return 0.0
+    groups = S / N
+    expected_direct = groups * (1.0 - (1.0 - N / S) ** K)
+    p = 1.0 - expected_direct / K
+    return min(1.0, max(0.0, p))
+
+
+def replaced_page_modified(f_u: float, p_u: float, C: float) -> float:
+    """Section 5.2.2: probability a replaced buffer page is modified.
+
+        p_m = 1 - (1 - f_u * p_u)^(1 / (1 - C))
+
+    A page's buffer life spans a geometric number of references with
+    mean 1/(1-C); each reference modifies it with probability f_u*p_u.
+    """
+    if not 0.0 <= C < 1.0:
+        raise ModelError("C must be in [0, 1)")
+    return 1.0 - (1.0 - f_u * p_u) ** (1.0 / (1.0 - C))
+
+
+def stolen_before_eot(B: int, C: float, s: int, P: int) -> float:
+    """Section 5.2.2: probability a modified page is stolen before EOT.
+
+        p_s = 1 - (1 - 1/(B - C*s))^((1-C) * s * (P-1))
+
+    The other P-1 transactions issue (1-C)*s*(P-1) buffer-miss
+    references while this transaction runs; each claims one of the
+    B - C*s replaceable frames.
+    """
+    if B <= C * s:
+        raise ModelError("B must exceed C*s")
+    misses = (1.0 - C) * s * (P - 1)
+    return 1.0 - (1.0 - 1.0 / (B - C * s)) ** misses
+
+
+def shared_update_pages(B: int, C: float, s: int, p_u: float, P: int,
+                        f_u: float) -> float:
+    """Appendix: s_u, buffer pages updated by the concurrent update
+    transactions under record locking.
+
+    From the recurrence S(k) - S(k-1) = s*p_u*(1 - C*S(k-1)/B):
+
+        s_u = B/C * (1 - (1 - C*s*p_u/B)^(P*f_u))
+
+    (the paper's closed form; reduces to P*f_u*s*p_u as C -> 0).
+    """
+    if B <= 0:
+        raise ModelError("B must be positive")
+    exponent = P * f_u
+    if C == 0.0:
+        return min(float(B), s * p_u * exponent)
+    value = (B / C) * (1.0 - (1.0 - C * s * p_u / B) ** exponent)
+    return min(float(B), value)
+
+
+def concurrent_modifier_fraction(B: int, C: float, s: int, p_u: float,
+                                 P: int, f_u: float) -> float:
+    """Section 5.3.2: p_i, the proportion of replaceable buffer pages
+    modified by the concurrently executing transactions,
+
+        p_i = s_u' / (B - C*s)
+
+    where s_u' is the appendix formula evaluated with P-1 transactions
+    (the pages *other* transactions share with an incoming one).
+    """
+    s_u = shared_update_pages(B, C, s, p_u, P - 1, f_u) if P > 1 else 0.0
+    return min(1.0, s_u / (B - C * s))
+
+
+def average_log_entry_length(d: int, r: int, s: int, e: int) -> float:
+    """Section 5.3: L = (d*r + (s - d)*e) / s — the average record-log
+    entry length given d long entries (r bytes) and s-d short ones."""
+    if s < d:
+        raise ModelError("s must be >= d")
+    return (d * r + (s - d) * e) / s
+
+
+def geometric_chain_term(p_l: float, exponent: float) -> float:
+    """The paper's recurring ``p_l - p_l^x`` factor: the probability the
+    log chain header must be written separately from the BOT record
+    (some but not all of the transaction's pages needed logging)."""
+    if p_l <= 0.0:
+        return 0.0
+    return max(0.0, p_l - p_l ** exponent)
+
+
+def optimal_checkpoint_interval(c_E: float, c_c: float, T: float,
+                                redo_cost_per_txn: float,
+                                f_u: float) -> float:
+    """Section 5.2.2, Eq. (1): the checkpoint interval minimizing lost
+    throughput.
+
+    With crash-recovery cost growing as (I / (2 c_E)) * f_u * redo and
+    checkpoint overhead c_c * T / I, the optimum is
+
+        I* = sqrt(2 * c_E * c_c * T / (f_u * redo_cost_per_txn)).
+    """
+    if min(c_E, c_c, T) <= 0 or f_u * redo_cost_per_txn <= 0:
+        raise ModelError("optimal interval needs positive costs")
+    return math.sqrt(2.0 * c_E * c_c * T / (f_u * redo_cost_per_txn))

@@ -1,0 +1,92 @@
+"""Queueing extension: from page transfers to utilization and latency.
+
+The paper's throughput model counts page transfers per availability
+interval and ignores device queueing.  This module closes the loop with
+a standard M/M/1 treatment: given a transaction cost ``c_E`` (page
+transfers, from any of the cost models), a disk count, and a mean
+per-transfer service time, it answers:
+
+* what device utilization a transaction rate implies,
+* the M/M/1 mean response time per transfer at that utilization,
+* the maximum sustainable transaction rate (utilization → 1), and
+* the full throughput-latency curve.
+
+Because RDA lowers ``c_E``, it raises the saturation point — the same
+win the paper reports, expressed in transactions/second instead of
+transactions per 5·10⁶ transfers.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+
+def _check(c_E: float, num_disks: int, service_ms: float) -> None:
+    if c_E <= 0:
+        raise ModelError("c_E must be positive")
+    if num_disks < 1:
+        raise ModelError("need at least one disk")
+    if service_ms <= 0:
+        raise ModelError("service time must be positive")
+
+
+def utilization(txn_rate: float, c_E: float, num_disks: int,
+                service_ms: float) -> float:
+    """Per-disk utilization at ``txn_rate`` transactions/second,
+    assuming transfers spread evenly over the disks."""
+    _check(c_E, num_disks, service_ms)
+    if txn_rate < 0:
+        raise ModelError("transaction rate must be non-negative")
+    transfers_per_second = txn_rate * c_E
+    per_disk = transfers_per_second / num_disks
+    return per_disk * (service_ms / 1000.0)
+
+
+def response_time_ms(rho: float, service_ms: float) -> float:
+    """M/M/1 mean response time per transfer at utilization ``rho``.
+
+    Raises:
+        ModelError: at or beyond saturation (rho >= 1).
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ModelError(f"utilization {rho} outside [0, 1)")
+    return service_ms / (1.0 - rho)
+
+
+def max_txn_rate(c_E: float, num_disks: int, service_ms: float) -> float:
+    """Transactions/second at which the disks saturate."""
+    _check(c_E, num_disks, service_ms)
+    transfers_per_second = num_disks * (1000.0 / service_ms)
+    return transfers_per_second / c_E
+
+
+def txn_response_ms(txn_rate: float, c_E: float, num_disks: int,
+                    service_ms: float) -> float:
+    """Mean response time of one whole transaction (its c_E transfers
+    served at the prevailing utilization)."""
+    rho = utilization(txn_rate, c_E, num_disks, service_ms)
+    return c_E * response_time_ms(rho, service_ms)
+
+
+def throughput_latency_curve(c_E: float, num_disks: int, service_ms: float,
+                             points: int = 8) -> list:
+    """``(txn_rate, txn_response_ms)`` pairs up to 95% of saturation."""
+    if points < 2:
+        raise ModelError("need at least two curve points")
+    ceiling = max_txn_rate(c_E, num_disks, service_ms) * 0.95
+    out = []
+    for index in range(points):
+        rate = ceiling * (index + 1) / points
+        out.append((rate, txn_response_ms(rate, c_E, num_disks, service_ms)))
+    return out
+
+
+def saturation_gain(c_E_baseline: float, c_E_rda: float) -> float:
+    """Relative increase in sustainable transaction rate from RDA.
+
+    Independent of disk count and service time:
+    rate_max ∝ 1 / c_E, so the gain is ``c_E_baseline / c_E_rda − 1``.
+    """
+    if min(c_E_baseline, c_E_rda) <= 0:
+        raise ModelError("costs must be positive")
+    return c_E_baseline / c_E_rda - 1.0

@@ -1,0 +1,144 @@
+"""Cost models for RECORD logging (paper Section 5.3).
+
+Record locking is used, so concurrent transactions share pages (the
+appendix's ``s_u`` counts the shared update pages) and the log carries
+record-sized entries of average length ``L = (d r + (s - d) e)/s``
+packed into physical pages of ``l_p`` bytes.
+
+These equations are the *most legible* in the scan and are implemented
+essentially as printed; reconstruction notes are inline.  The headline
+shape: the RDA benefit is much smaller than under page logging (≈ +14%
+at C = 0.9, high-update, ¬FORCE/ACC) but grows strongly with the number
+of pages a transaction updates (Figure 13).
+"""
+
+from __future__ import annotations
+
+from .params import ModelParams
+from .probabilities import (average_log_entry_length,
+                            concurrent_modifier_fraction,
+                            geometric_chain_term, logging_probability,
+                            optimal_checkpoint_interval,
+                            replaced_page_modified, shared_update_pages,
+                            stolen_before_eot)
+from .throughput import (CostBreakdown, interval_throughput,
+                         mean_transaction_cost)
+
+
+def force_toc(params: ModelParams, rda: bool) -> CostBreakdown:
+    """Record logging, FORCE + TOC (Section 5.3.1; Figure 11).
+
+    As printed:
+
+    * ``c_l  = 3 s p_u + 4 * 2 (2 l_bc + s p_u (l_bc + L)) / l_p``
+    * ``c_l' = (3 + 2 p_l) s p_u + 4 (2 l_bc + s p_u (l_bc + L)) / l_p
+      + 4 (2 l_bc + s p_u (l_bc + L) p_l + (l_bc + l_h)(p_l - p_l^{s p_u})) / l_p``
+    * ``c_b  = P f_u (l_bc + s p_u (l_bc + L)/2) / l_p + 4 (p_u s / 2) + 4``
+    * ``c_b' = P f_u (l_bc + s p_u (l_bc + L) p_l / 2 + (l_bc + l_h)
+      (p_l - p_l^{s p_u})) / l_p + (p_u s / 2)(6 p_l + 5 (1 - p_l)) + 4``
+
+    with ``K = s_u / 2`` in Eq. 5 (page locking's disjointness no longer
+    holds, so the shared-page count replaces ``P f_u s p_u``).
+    """
+    p = params
+    spu = p.s * p.p_u
+    L = average_log_entry_length(p.d, p.r, p.s, p.e)
+    c_r = p.s * (1.0 - p.C)
+    if rda:
+        s_u = shared_update_pages(p.B, p.C, p.s, p.p_u, p.P, p.f_u)
+        p_l = logging_probability(s_u / 2.0, p.S, p.N)
+        chain = geometric_chain_term(p_l, spu)
+        c_l = ((3.0 + 2.0 * p_l) * spu
+               + 4.0 * (2.0 * p.l_bc + spu * (p.l_bc + L)) / p.l_p
+               + 4.0 * (2.0 * p.l_bc + spu * (p.l_bc + L) * p_l
+                        + (p.l_bc + p.l_h) * chain) / p.l_p)
+        c_b = (p.P * p.f_u * (p.l_bc + spu * (p.l_bc + L) * p_l / 2.0
+                              + (p.l_bc + p.l_h) * chain) / p.l_p
+               + (p.p_u * p.s / 2.0) * (6.0 * p_l + 5.0 * (1.0 - p_l))
+               + 4.0)
+        c_s = (p.P * p.f_u * (2.0 * p.l_bc + spu * (p.l_bc + L) * p_l
+                              + 2.0 * (p.l_bc + p.l_h) * chain) / p.l_p
+               + (p.P * p.f_u * p.p_u * p.s / 2.0)
+               * (4.0 * p_l + 5.0 * (1.0 - p_l))
+               + p.S / p.N)
+    else:
+        p_l = 1.0
+        c_l = (3.0 * spu
+               + 4.0 * 2.0 * (2.0 * p.l_bc + spu * (p.l_bc + L)) / p.l_p)
+        c_b = (p.P * p.f_u * (p.l_bc + spu * (p.l_bc + L) / 2.0) / p.l_p
+               + 4.0 * (p.p_u * p.s / 2.0)
+               + 4.0)
+        c_s = (p.P * p.f_u * (2.0 * p.l_bc + spu * (p.l_bc + L)) / p.l_p
+               + 4.0 * p.P * p.f_u * (p.p_u * p.s / 2.0))
+    c_u = p.s * (1.0 - p.C) + c_l + p.p_b * c_b
+    c_E = mean_transaction_cost(p.f_u, c_r, c_u)
+    r_t = interval_throughput(p.T, c_E, c_s=c_s)
+    return CostBreakdown(algorithm="record FORCE/TOC", rda=rda, c_r=c_r,
+                         c_u=c_u, c_l=c_l, c_b=c_b, c_c=0.0, c_s=c_s,
+                         checkpoint_interval=None, p_l=p_l, c_E=c_E,
+                         throughput=r_t)
+
+
+def noforce_acc(params: ModelParams, rda: bool) -> CostBreakdown:
+    """Record logging, ¬FORCE + ACC (Section 5.3.2; Figure 12).
+
+    As printed:
+
+    * ``c_l  = 4 (2 l_bc + s p_u (l_bc + 2 L)) / l_p`` (combined log,
+      entries carry before+after bytes);
+    * ``c_l' = 4 (2 l_bc + s p_u (l_bc + L (2 - p_s (1 - p_l)))
+      + (l_bc + l_h)(p_l - p_l^{s p_u p_s})) / l_p`` — the before half
+      of an entry is skipped for pages stolen to a clean group;
+    * ``c_b  = P f_u (c_l / 8) + 4 p_u (s/2)(1 - C) + 4``;
+    * ``c_b' = P f_u (c_l'/8) + p_u (s/2)((4 + 2 p_l)(1 - C)(1 - p_s)
+      + 6 p_s p_l + 5 p_s (1 - p_l)) + 4``;
+    * ``c_r  = s(1 - C) + 4 s (1 - C)(p_m + 2 p_i)`` and with RDA the
+      shared-modifier surcharge scales by ``p_l``:
+      ``c_r' = s(1 - C) + 4 s (1 - C)(p_m + 2 p_i p_l)``;
+    * ``K = s_u p_s / 2`` in Eq. 5.
+    """
+    p = params
+    spu = p.s * p.p_u
+    L = average_log_entry_length(p.d, p.r, p.s, p.e)
+    p_m = replaced_page_modified(p.f_u, p.p_u, p.C)
+    p_s_steal = stolen_before_eot(p.B, p.C, p.s, p.P)
+    p_i = concurrent_modifier_fraction(p.B, p.C, p.s, p.p_u, p.P, p.f_u)
+    if rda:
+        s_u = shared_update_pages(p.B, p.C, p.s, p.p_u, p.P, p.f_u)
+        p_l = logging_probability(s_u * p_s_steal / 2.0, p.S, p.N)
+        chain = geometric_chain_term(p_l, spu * p_s_steal)
+        c_l = 4.0 * (2.0 * p.l_bc
+                     + spu * (p.l_bc + L * (2.0 - p_s_steal * (1.0 - p_l)))
+                     + (p.l_bc + p.l_h) * chain) / p.l_p
+        c_b = (p.P * p.f_u * (c_l / 8.0)
+               + p.p_u * (p.s / 2.0) * ((4.0 + 2.0 * p_l) * (1.0 - p.C)
+                                        * (1.0 - p_s_steal)
+                                        + 6.0 * p_s_steal * p_l
+                                        + 5.0 * p_s_steal * (1.0 - p_l))
+               + 4.0)
+        c_c = (4.0 + 2.0 * p_l) * p.B * p_m + 4.0
+        surcharge = p_m + 2.0 * p_i * p_l
+        extra_recovery = p.S / p.N
+    else:
+        p_l = 1.0
+        c_l = 4.0 * (2.0 * p.l_bc + spu * (p.l_bc + 2.0 * L)) / p.l_p
+        c_b = (p.P * p.f_u * (c_l / 8.0)
+               + 4.0 * p.p_u * (p.s / 2.0) * (1.0 - p.C)
+               + 4.0)
+        c_c = 4.0 * p.B * p_m + 4.0
+        surcharge = p_m + 2.0 * p_i
+        extra_recovery = 0.0
+    c_r = p.s * (1.0 - p.C) + 4.0 * p.s * (1.0 - p.C) * surcharge
+    c_u = c_r + c_l + p.p_b * c_b
+    c_E = mean_transaction_cost(p.f_u, c_r, c_u)
+    redo_per_txn = c_l / 4.0 + 4.0 * spu
+    interval = optimal_checkpoint_interval(c_E, c_c, p.T, redo_per_txn, p.f_u)
+    r_c = interval / c_E
+    c_s = ((r_c / 2.0) * p.f_u * redo_per_txn
+           + p.P * p.f_u * redo_per_txn
+           + extra_recovery)
+    r_t = interval_throughput(p.T, c_E, c_s=c_s, c_c=c_c, interval=interval)
+    return CostBreakdown(algorithm="record ¬FORCE/ACC", rda=rda, c_r=c_r,
+                         c_u=c_u, c_l=c_l, c_b=c_b, c_c=c_c, c_s=c_s,
+                         checkpoint_interval=interval, p_l=p_l, c_E=c_E,
+                         throughput=r_t)

@@ -1,0 +1,131 @@
+"""Reliability arithmetic for the paper's motivation (Section 1).
+
+The paper motivates array-based media recovery with two numbers:
+
+* a disk MTTF of **30,000 hours** (footnote 1), and
+* the observation that a large installation's time-to-media-failure is
+  then *"less than 25 days"* — with 200 independent disks,
+  30,000 h / 200 ≈ 6.25 days between disk failures somewhere.
+
+This module provides the standard closed forms so those claims — and
+the redundancy alternatives' — can be compared:
+
+* unprotected farm: MTTDL = MTTF / n;
+* mirrored pairs:   MTTDL ≈ MTTF² / (2 n_pairs · MTTR);
+* RAID-5 group:     MTTDL ≈ MTTF² / (G (G-1) · MTTR) for a G-disk group,
+  and / n_groups for a farm of groups.
+
+All times in hours.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+PAPER_DISK_MTTF_HOURS = 30_000.0
+"""The paper's assumed per-disk MTTF (footnote 1)."""
+
+
+def _check(mttf: float, count: int, mttr: float = 1.0) -> None:
+    if mttf <= 0 or mttr <= 0:
+        raise ModelError("MTTF and MTTR must be positive")
+    if count < 1:
+        raise ModelError("need at least one disk")
+
+
+def farm_mttf(disk_mttf: float, disks: int) -> float:
+    """Mean time to the first disk failure among ``disks`` drives."""
+    _check(disk_mttf, disks)
+    return disk_mttf / disks
+
+
+def unprotected_mttdl(disk_mttf: float, disks: int) -> float:
+    """Data loss on the first failure: MTTDL equals the farm MTTF."""
+    return farm_mttf(disk_mttf, disks)
+
+
+def mirrored_mttdl(disk_mttf: float, pairs: int, mttr: float) -> float:
+    """MTTDL of ``pairs`` mirrored pairs with repair time ``mttr``:
+    data dies when the mirror fails during a repair window."""
+    _check(disk_mttf, pairs, mttr)
+    per_pair = disk_mttf ** 2 / (2.0 * mttr)
+    return per_pair / pairs
+
+
+def raid5_group_mttdl(disk_mttf: float, group_disks: int,
+                      mttr: float) -> float:
+    """MTTDL of one ``group_disks``-wide parity group (N data + 1
+    parity): loss needs a second failure inside the repair window."""
+    _check(disk_mttf, group_disks, mttr)
+    if group_disks < 2:
+        raise ModelError("a parity group needs at least 2 disks")
+    return disk_mttf ** 2 / (group_disks * (group_disks - 1) * mttr)
+
+
+def raid5_farm_mttdl(disk_mttf: float, group_disks: int, groups: int,
+                     mttr: float) -> float:
+    """MTTDL of a farm of ``groups`` independent parity groups."""
+    _check(disk_mttf, groups, mttr)
+    return raid5_group_mttdl(disk_mttf, group_disks, mttr) / groups
+
+
+def raid6_group_mttdl(disk_mttf: float, group_disks: int,
+                      mttr: float) -> float:
+    """MTTDL of a double-parity (RAID-6) group: loss needs a *third*
+    failure inside two nested repair windows,
+
+        MTTDL ≈ MTTF³ / (G (G−1)(G−2) · MTTR²).
+    """
+    _check(disk_mttf, group_disks, mttr)
+    if group_disks < 3:
+        raise ModelError("a double-parity group needs at least 3 disks")
+    return disk_mttf ** 3 / (group_disks * (group_disks - 1)
+                             * (group_disks - 2) * mttr ** 2)
+
+
+def raid6_farm_mttdl(disk_mttf: float, group_disks: int, groups: int,
+                     mttr: float) -> float:
+    """MTTDL of a farm of double-parity groups."""
+    _check(disk_mttf, groups, mttr)
+    return raid6_group_mttdl(disk_mttf, group_disks, mttr) / groups
+
+
+def storage_overhead(scheme: str, group_size: int = 10) -> float:
+    """Fraction of raw capacity spent on redundancy.
+
+    ``"none"`` → 0, ``"mirroring"`` → 0.5, ``"raid5"`` → 1/(N+1),
+    ``"twin-parity"`` → 2/(N+2) (the RDA organization),
+    ``"raid6"`` → 2/(N+2) (P+Q double parity).
+    """
+    if scheme == "none":
+        return 0.0
+    if scheme == "mirroring":
+        return 0.5
+    if group_size < 2:
+        raise ModelError("group_size must be at least 2")
+    if scheme == "raid5":
+        return 1.0 / (group_size + 1)
+    if scheme in ("twin-parity", "raid6"):
+        return 2.0 / (group_size + 2)
+    raise ModelError(f"unknown scheme {scheme!r}")
+
+
+def paper_motivation_table(disks: int = 200, mttr_hours: float = 24.0,
+                           group_size: int = 10) -> list:
+    """The intro's comparison, as rows of
+    ``(scheme, mttdl_hours, overhead)`` for a ``disks``-drive farm."""
+    mttf = PAPER_DISK_MTTF_HOURS
+    raid_groups = max(1, disks // (group_size + 1))
+    twin_groups = max(1, disks // (group_size + 2))
+    return [
+        ("unprotected", unprotected_mttdl(mttf, disks),
+         storage_overhead("none")),
+        ("mirroring", mirrored_mttdl(mttf, disks // 2, mttr_hours),
+         storage_overhead("mirroring")),
+        ("raid5", raid5_farm_mttdl(mttf, group_size + 1, raid_groups,
+                                   mttr_hours),
+         storage_overhead("raid5", group_size)),
+        ("twin-parity (RDA)", raid5_farm_mttdl(mttf, group_size + 2,
+                                               twin_groups, mttr_hours),
+         storage_overhead("twin-parity", group_size)),
+    ]

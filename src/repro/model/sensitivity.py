@@ -1,0 +1,86 @@
+"""Sensitivity analysis over the model's parameters.
+
+The paper sweeps communality ``C`` (Figures 9-12) and transaction size
+``s`` (Figure 13).  This module generalizes: sweep *any*
+:class:`~repro.model.params.ModelParams` field for any of the four cost
+models and report how the RDA benefit responds.  Used by the ablation
+benchmarks and handy for what-if exploration in a REPL:
+
+    >>> from repro.model.sensitivity import rda_gain_sweep
+    >>> from repro.model.page_logging import force_toc
+    >>> sweep = rda_gain_sweep(force_toc, "P", [2, 6, 12, 24], C=0.9)
+    >>> [round(g, 3) for _, g in sweep]   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from .params import ModelParams, high_update
+
+SWEEPABLE = ("C", "s", "P", "B", "S", "N", "f_u", "p_u", "p_b", "d")
+
+
+@dataclass
+class SweepResult:
+    """One parameter sweep's outcome.
+
+    Attributes:
+        parameter: field swept.
+        values: the x axis.
+        baseline: throughput without RDA per x.
+        with_rda: throughput with RDA per x.
+    """
+
+    parameter: str
+    values: tuple
+    baseline: list = field(default_factory=list)
+    with_rda: list = field(default_factory=list)
+
+    @property
+    def gains(self) -> list:
+        """Relative RDA gain per sweep point."""
+        return [rda / base - 1.0
+                for base, rda in zip(self.baseline, self.with_rda)]
+
+    def format_table(self) -> str:
+        """Plain-text table of the sweep."""
+        lines = [f"sensitivity: RDA gain vs {self.parameter}",
+                 f"{self.parameter:>8} | {'¬RDA':>12} | {'RDA':>12} | {'gain':>7}"]
+        for value, base, rda, gain in zip(self.values, self.baseline,
+                                          self.with_rda, self.gains):
+            lines.append(f"{value:8g} | {base:12.0f} | {rda:12.0f} "
+                         f"| {gain:6.1%}")
+        return "\n".join(lines)
+
+
+def sweep(cost_fn, parameter: str, values, base_params: ModelParams | None = None,
+          **overrides) -> SweepResult:
+    """Evaluate ``cost_fn`` (a model like ``page_logging.force_toc``)
+    across ``values`` of ``parameter``, with and without RDA.
+
+    Args:
+        cost_fn: one of the four cost-model functions.
+        parameter: a :data:`SWEEPABLE` field name.
+        values: the sweep points.
+        base_params: starting parameters (default: high-update).
+        overrides: extra fixed-field overrides (e.g. ``C=0.9``).
+    """
+    if parameter not in SWEEPABLE:
+        raise ModelError(
+            f"cannot sweep {parameter!r}; choose from {SWEEPABLE}")
+    params = (base_params if base_params is not None
+              else high_update()).with_(**overrides)
+    result = SweepResult(parameter=parameter, values=tuple(values))
+    for value in values:
+        point = params.with_(**{parameter: value})
+        result.baseline.append(cost_fn(point, rda=False).throughput)
+        result.with_rda.append(cost_fn(point, rda=True).throughput)
+    return result
+
+
+def rda_gain_sweep(cost_fn, parameter: str, values, **overrides) -> list:
+    """Shorthand: ``[(value, gain), ...]`` for a sweep."""
+    result = sweep(cost_fn, parameter, values, **overrides)
+    return list(zip(result.values, result.gains))

@@ -1,0 +1,70 @@
+"""Throughput assembly (paper Section 5, Reuter's framework).
+
+Given per-transaction costs, throughput over an availability interval of
+``T`` page transfers is
+
+    r_t = (T - c_s - c_c * n_cp) / c_E,
+
+where ``c_E = (1 - f_u) c_r + f_u c_u`` is the mean transaction cost,
+``c_s`` the crash-recovery cost paid once per interval, and
+``n_cp = (T - c_s - I/2) / I`` the number of checkpoints (zero for
+FORCE/TOC, which needs none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Every intermediate of one algorithm/environment evaluation.
+
+    All costs are in page transfers; ``throughput`` is transactions per
+    availability interval.
+    """
+
+    algorithm: str
+    rda: bool
+    c_r: float            # retrieval-transaction cost
+    c_u: float            # update-transaction cost
+    c_l: float            # logging component of c_u
+    c_b: float            # transaction-backout cost (paid with p_b)
+    c_c: float            # checkpoint cost (0 under FORCE/TOC)
+    c_s: float            # crash-recovery cost per availability interval
+    checkpoint_interval: float | None   # optimal I (None under FORCE/TOC)
+    p_l: float            # logging probability (1.0 for non-RDA baselines)
+    c_E: float            # mean cost per transaction
+    throughput: float     # r_t
+
+    def describe(self) -> str:
+        """One-line digest for harness output."""
+        tag = "RDA" if self.rda else "¬RDA"
+        return (f"{self.algorithm} [{tag}]  c_E={self.c_E:8.2f}  "
+                f"p_l={self.p_l:5.3f}  r_t={self.throughput:10.0f}")
+
+
+def mean_transaction_cost(f_u: float, c_r: float, c_u: float) -> float:
+    """c_E = (1 - f_u) * c_r + f_u * c_u."""
+    return (1.0 - f_u) * c_r + f_u * c_u
+
+
+def interval_throughput(T: float, c_E: float, c_s: float = 0.0,
+                        c_c: float = 0.0,
+                        interval: float | None = None) -> float:
+    """Transactions completed in one availability interval.
+
+    With no checkpointing (``c_c == 0`` or ``interval is None``) this is
+    (T - c_s) / c_E; otherwise checkpoint overhead is subtracted, with
+    the crash assumed to land mid-interval (the paper's (T - c_s - I/2)/I
+    checkpoint count).
+    """
+    if c_E <= 0:
+        raise ModelError("mean transaction cost must be positive")
+    usable = T - c_s
+    if c_c > 0 and interval is not None and interval > 0:
+        checkpoints = max(0.0, (T - c_s - interval / 2.0) / interval)
+        usable -= c_c * checkpoints
+    return max(0.0, usable) / c_E

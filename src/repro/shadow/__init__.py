@@ -1,0 +1,14 @@
+"""Shadow paging: the ATOMIC-propagation baseline (paper Section 2).
+
+Lorie-style shadow paging is the classic alternative to logging the
+paper contrasts with: updates go to freshly allocated physical pages and
+a page table swap commits them atomically, so no UNDO/REDO log is
+needed — at the cost of a large page table and the *disk scrambling*
+problem (logically sequential pages drift apart physically, destroying
+sequential locality).  This package implements it over the same
+simulated arrays so the trade-off can be measured.
+"""
+
+from .store import ShadowPagedStore
+
+__all__ = ["ShadowPagedStore"]

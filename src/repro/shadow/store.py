@@ -1,0 +1,180 @@
+"""A shadow-paged store over a redundant disk array.
+
+Implements the ATOMIC propagation strategy of Haerder & Reuter's
+taxonomy (paper Section 2): the *current* page table maps logical pages
+to physical slots; updates write new versions into free slots and remap
+in a working copy of the table; commit atomically installs the working
+table (modeled as writing the changed table pages plus one master
+pointer); abort discards it.  A crash reverts to the last installed
+table — old versions are never overwritten in place, so no log is
+needed.
+
+The costs the paper holds against shadowing are both modeled:
+
+* **table overhead** — every commit writes the modified page-table
+  pages and the master block (:attr:`ShadowPagedStore.TABLE_ENTRIES_PER_PAGE`
+  entries per table page);
+* **disk scrambling** — remapping destroys physical sequentiality;
+  :meth:`ShadowPagedStore.scrambling` reports the mean physical gap
+  between logically consecutive pages (1.0 = perfectly sequential).
+
+Concurrency: one update batch (transaction) at a time — matching
+Lorie's original design, where the shadow mechanism protects
+checkpoints/savepoints rather than interleaved transactions.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidTransactionState, ReproError
+from ..storage.array import SingleParityArray
+from ..storage.page import PAGE_SIZE
+
+
+class ShadowSpaceExhausted(ReproError):
+    """No free physical slot is available for a shadow copy."""
+
+
+class ShadowPagedStore:
+    """Shadow paging over a :class:`SingleParityArray`.
+
+    Args:
+        array: backing array; its data pages are the physical slots.
+        logical_pages: size of the logical address space.  Must leave
+            enough physical headroom for shadow copies (at least one
+            free slot per page updated in a batch).
+    """
+
+    TABLE_ENTRIES_PER_PAGE = 128
+
+    def __init__(self, array: SingleParityArray, logical_pages: int) -> None:
+        if logical_pages < 1:
+            raise ValueError("need at least one logical page")
+        if logical_pages > array.num_data_pages:
+            raise ValueError("logical space larger than physical space")
+        self.array = array
+        self.logical_pages = logical_pages
+        # identity initial mapping; the tail is the free pool
+        self._table = list(range(logical_pages))
+        self._free = list(range(logical_pages, array.num_data_pages))
+        self._working: dict | None = None
+        self._allocated: list = []
+        self.table_writes = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- batch lifecycle ------------------------------------------------------------
+
+    @property
+    def in_batch(self) -> bool:
+        """True while an update batch is open."""
+        return self._working is not None
+
+    def begin(self) -> None:
+        """Open an update batch.
+
+        Raises:
+            InvalidTransactionState: a batch is already open.
+        """
+        if self.in_batch:
+            raise InvalidTransactionState("shadow batch already open")
+        self._working = {}
+        self._allocated = []
+
+    def _require_batch(self) -> dict:
+        if self._working is None:
+            raise InvalidTransactionState("no shadow batch open")
+        return self._working
+
+    def commit(self) -> int:
+        """Install the working table: the ATOMIC propagation step.
+
+        Writes one table page per :attr:`TABLE_ENTRIES_PER_PAGE` span of
+        remapped entries, plus the master block, and frees the
+        superseded physical slots.  Returns the page transfers charged
+        for the table installation.
+        """
+        working = self._require_batch()
+        touched_table_pages = {logical // self.TABLE_ENTRIES_PER_PAGE
+                               for logical in working}
+        for logical, physical in working.items():
+            self._free.append(self._table[logical])
+            self._table[logical] = physical
+        cost = len(touched_table_pages) + 1      # table pages + master block
+        for _ in range(cost):
+            self.array.stats.record_write(-99)   # table area device
+        self.table_writes += cost
+        self._working = None
+        self._allocated = []
+        self.commits += 1
+        return cost
+
+    def abort(self) -> None:
+        """Discard the working table; shadow versions are reclaimed."""
+        self._require_batch()
+        self._free.extend(self._allocated)
+        self._working = None
+        self._allocated = []
+        self.aborts += 1
+
+    def crash(self) -> None:
+        """Lose main memory: any open batch evaporates (its slots are
+        recovered by the free-space scan of :meth:`recover`)."""
+        if self._working is not None:
+            self._free.extend(self._allocated)
+            self._working = None
+            self._allocated = []
+
+    def recover(self) -> None:
+        """Restart: nothing to redo or undo — the installed table *is*
+        the committed state (shadow paging's selling point)."""
+        # the free list would be rebuilt by scanning the table on disk;
+        # the in-memory copy is already consistent after crash()
+
+    # -- page access ---------------------------------------------------------------------
+
+    def _physical(self, logical: int) -> int:
+        if not 0 <= logical < self.logical_pages:
+            raise ValueError(f"logical page {logical} out of range")
+        working = self._working or {}
+        return working.get(logical, self._table[logical])
+
+    def read(self, logical: int) -> bytes:
+        """Read a logical page through the current (or working) table."""
+        return self.array.read_page(self._physical(logical))
+
+    def write(self, logical: int, payload: bytes) -> None:
+        """Write a logical page: first write in a batch allocates a
+        fresh physical slot (the shadow stays untouched); later writes
+        in the same batch update that slot in place.
+
+        Raises:
+            ShadowSpaceExhausted: no free physical slot remains.
+        """
+        if len(payload) != PAGE_SIZE:
+            raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        working = self._require_batch()
+        if logical in working:
+            self.array.write_page(working[logical], payload)
+            return
+        if not self._free:
+            raise ShadowSpaceExhausted(
+                "no free slots; grow the array or shrink the batch")
+        physical = self._free.pop()
+        working[logical] = physical
+        self._allocated.append(physical)
+        self.array.write_page(physical, payload)
+
+    # -- the scrambling metric ----------------------------------------------------------------
+
+    def scrambling(self) -> float:
+        """Mean physical distance between logically consecutive pages.
+
+        1.0 means perfectly sequential (the freshly loaded state); it
+        grows as updates remap pages — the paper's "disk scrambling"
+        criticism of shadowing, quantified.
+        """
+        if self.logical_pages < 2:
+            return 0.0
+        gaps = [abs(self._table[i + 1] - self._table[i])
+                for i in range(self.logical_pages - 1)]
+        return sum(gaps) / len(gaps)

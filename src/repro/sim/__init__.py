@@ -1,0 +1,34 @@
+"""Workload generation, simulation driving, and failure campaigns."""
+
+from .crash import CampaignResult, crash_campaign, media_campaign
+from .metrics import DEFAULT_T, SimulationReport
+from .simulator import Simulator, run_workload
+from .timed import TimedObserver
+from .tpcb import TPCB, TPCBConfig
+from .trace import (ReplaySimulator, TracingSimulator, script_from_json,
+                    script_to_json)
+from .workload import (HIGH_RETRIEVAL, HIGH_UPDATE, Access, TransactionScript,
+                       WorkloadGenerator, WorkloadSpec)
+
+__all__ = [
+    "CampaignResult",
+    "crash_campaign",
+    "media_campaign",
+    "DEFAULT_T",
+    "SimulationReport",
+    "Simulator",
+    "run_workload",
+    "TimedObserver",
+    "TPCB",
+    "TPCBConfig",
+    "ReplaySimulator",
+    "TracingSimulator",
+    "script_from_json",
+    "script_to_json",
+    "HIGH_RETRIEVAL",
+    "HIGH_UPDATE",
+    "Access",
+    "TransactionScript",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

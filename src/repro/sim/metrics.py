@@ -1,0 +1,69 @@
+"""Simulation metrics.
+
+The analytical model's figure of merit is **throughput in transactions
+per availability interval of T page transfers**.  The simulator measures
+the same thing: committed transactions divided by page transfers
+consumed, scaled by T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_T = 5_000_000
+"""The paper's availability-interval length (page transfers)."""
+
+
+@dataclass
+class SimulationReport:
+    """What one simulation run produced.
+
+    Attributes:
+        committed: transactions that committed.
+        aborted: transactions rolled back (p_b draws + deadlock victims).
+        deadlocks: deadlock-victim aborts (subset of ``aborted``).
+        page_transfers: total array + log transfers consumed.
+        buffer_hit_ratio: measured communality.
+        unlogged_steal_fraction: measured ``1 - p_l`` over steals.
+        crashes: crash/recovery cycles executed.
+        recovery_transfers: transfers spent inside crash recovery.
+        checkpoints: ACC checkpoints taken.
+    """
+
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    page_transfers: int = 0
+    buffer_hit_ratio: float = 0.0
+    unlogged_steal_fraction: float = 0.0
+    crashes: int = 0
+    recovery_transfers: int = 0
+    checkpoints: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def transactions(self) -> int:
+        """All finished transactions."""
+        return self.committed + self.aborted
+
+    def throughput(self, interval: int = DEFAULT_T) -> float:
+        """Committed transactions per availability interval of
+        ``interval`` page transfers (the model's r_t)."""
+        if self.page_transfers == 0:
+            return 0.0
+        return self.committed * interval / self.page_transfers
+
+    def cost_per_transaction(self) -> float:
+        """Mean page transfers per finished transaction (the model's
+        c_E, measured)."""
+        if self.transactions == 0:
+            return 0.0
+        return self.page_transfers / self.transactions
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (f"{self.committed} committed / {self.aborted} aborted, "
+                f"{self.page_transfers} transfers "
+                f"({self.cost_per_transaction():.1f}/txn), "
+                f"hit ratio {self.buffer_hit_ratio:.2f}, "
+                f"unlogged steals {self.unlogged_steal_fraction:.2f}")

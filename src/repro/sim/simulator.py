@@ -1,0 +1,226 @@
+"""The workload driver: P-way concurrent transactions over a Database.
+
+Runs :class:`~repro.sim.workload.TransactionScript` streams with the
+round-robin interleaving a single-threaded discrete simulation allows:
+each step advances one transaction by one page access.  Lock waits
+suspend a transaction until its blocker finishes; deadlock victims are
+rolled back and counted.  The driver measures exactly what the paper's
+model predicts — page transfers per committed transaction — plus the
+empirical logging probability for cross-validation against Eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.database import Database, LockWait
+from ..errors import DeadlockError
+from .metrics import SimulationReport
+from .workload import WorkloadGenerator, WorkloadSpec
+
+
+@dataclass
+class _LiveTxn:
+    """One in-flight transaction's driver state."""
+
+    txn_id: int
+    script: object
+    position: int = 0
+    version: int = 0
+    waiting: bool = False
+
+
+class Simulator:
+    """Drives a :class:`Database` with a synthetic workload.
+
+    Args:
+        db: the database under test.
+        spec: workload knobs.
+        seed: RNG seed for the generator.
+        buffer_feedback: realize communality by sampling the *actual*
+            resident set (default).  Disable for workloads that must be
+            identical across configurations (the resident set evolves
+            slightly differently per recovery discipline, e.g. abort
+            paths re-insert pages under ¬FORCE).
+    """
+
+    def __init__(self, db: Database, spec: WorkloadSpec, seed: int = 0,
+                 buffer_feedback: bool = True, timed: bool = False) -> None:
+        self.db = db
+        self.spec = spec
+        self.generator = WorkloadGenerator(spec, db.num_data_pages, seed=seed)
+        self.report = SimulationReport()
+        self._live: list = []
+        self._started = 0
+        self.record_mode = db.config.record_logging
+        self.buffer_feedback = buffer_feedback
+        self.observer = None
+        if timed:
+            from .timed import TimedObserver
+            self.observer = TimedObserver.attach(db)
+
+    def seed_records(self) -> None:
+        """Record-mode setup: format every page and put one record in
+        slot 0 (the record the driver reads/updates)."""
+        self.db.format_record_pages(range(self.db.num_data_pages))
+        txn = self.db.begin()
+        for page in range(self.db.num_data_pages):
+            self.db.insert_record(txn, page, b"seed")
+        self.db.commit(txn)
+
+    # -- driving -------------------------------------------------------------------
+
+    def run(self, transactions: int, crash_every: int | None = None) -> SimulationReport:
+        """Run until ``transactions`` have finished.
+
+        Args:
+            transactions: number of transactions to complete.
+            crash_every: if set, crash + recover after every that many
+                completed transactions (exercises restart recovery under
+                load).
+        """
+        finished_at_last_crash = 0
+        while self.report.transactions < transactions:
+            self._fill_slots(transactions)
+            if not self._live:
+                break
+            progressed = self._step_round()
+            if not progressed:
+                self._break_stall()
+            if crash_every is not None and (
+                    self.report.transactions - finished_at_last_crash
+                    >= crash_every):
+                self.crash_and_recover()
+                finished_at_last_crash = self.report.transactions
+        self._finalize_metrics()
+        return self.report
+
+    def _fill_slots(self, budget: int) -> None:
+        capacity = self.spec.concurrency
+        while (len(self._live) < capacity
+               and self._started < budget):
+            resident = (self.db.buffer.resident_pages()
+                        if self.buffer_feedback else ())
+            script = self.generator.next_script(resident)
+            txn_id = self.db.begin()
+            self._live.append(_LiveTxn(txn_id=txn_id, script=script))
+            self._started += 1
+
+    def _step_round(self) -> bool:
+        progressed = False
+        for live in list(self._live):
+            if live.waiting and not self.db.grants_for(live.txn_id):
+                continue
+            live.waiting = False
+            progressed = self._advance(live) or progressed
+        return progressed
+
+    def _advance(self, live: _LiveTxn) -> bool:
+        """One page access (or EOT) for one transaction."""
+        script = live.script
+        if live.position >= len(script.accesses):
+            self._finish(live)
+            return True
+        access = script.accesses[live.position]
+        try:
+            if self.record_mode:
+                if access.update:
+                    live.version += 1
+                    self.db.update_record(
+                        live.txn_id, access.page, 0,
+                        f"p{access.page}v{live.version}t{live.txn_id}".encode())
+                else:
+                    self.db.read_record(live.txn_id, access.page, 0)
+            elif access.update:
+                live.version += 1
+                payload = self.generator.payload_for(access.page, live.version)
+                self.db.write_page(live.txn_id, access.page, payload)
+            else:
+                self.db.read_page(live.txn_id, access.page)
+        except LockWait:
+            live.waiting = True
+            return False
+        except DeadlockError:
+            self.db.abort(live.txn_id)
+            self._live.remove(live)
+            self.report.aborted += 1
+            self.report.deadlocks += 1
+            return True
+        live.position += 1
+        return True
+
+    def _finish(self, live: _LiveTxn) -> None:
+        wants_abort = live.script.wants_abort
+        if wants_abort and self.db.txns.get(live.txn_id).must_commit:
+            # a media failure destroyed this transaction's parity-encoded
+            # before-image; it was pinned to commit
+            wants_abort = False
+        if wants_abort:
+            self.db.abort(live.txn_id)
+            self.report.aborted += 1
+        else:
+            self.db.commit(live.txn_id)
+            self.report.committed += 1
+        self._live.remove(live)
+        if self.db.checkpointer is not None:
+            self.db.checkpointer.note_work(self.spec.pages_per_txn)
+            if self.db.checkpointer.maybe_checkpoint() is not None:
+                self.report.checkpoints += 1
+
+    def _break_stall(self) -> None:
+        """Every live transaction is waiting: abort the youngest waiter.
+
+        The eager deadlock detector prevents true cycles, but a waiter
+        can starve behind a suspended holder; rolling one back keeps the
+        round-robin moving (and counts as an abort, like a timeout-based
+        resolver would)."""
+        victim = self._live[-1]
+        self.db.abort(victim.txn_id)
+        self._live.remove(victim)
+        self.report.aborted += 1
+        self.report.deadlocks += 1
+
+    # -- failures -------------------------------------------------------------------------
+
+    def crash_and_recover(self) -> dict:
+        """Crash the database mid-load, recover, roll live state forward."""
+        self.db.crash()
+        before = self.db.stats.total
+        stats = self.db.recover()
+        self.report.crashes += 1
+        self.report.recovery_transfers += self.db.stats.total - before
+        # every in-flight transaction died with main memory
+        self.report.aborted += len(self._live)
+        self._live.clear()
+        return stats
+
+    # -- wrap-up ------------------------------------------------------------------------------
+
+    def _finalize_metrics(self) -> None:
+        for live in list(self._live):
+            if self.db.txns.get(live.txn_id).must_commit:
+                self.db.commit(live.txn_id)
+                self.report.committed += 1
+            else:
+                self.db.abort(live.txn_id)
+                self.report.aborted += 1
+        self._live.clear()
+        self.report.page_transfers = self.db.stats.total
+        self.report.buffer_hit_ratio = self.db.buffer.stats.hit_ratio
+        self.report.unlogged_steal_fraction = \
+            self.db.counters.unlogged_fraction
+        self.report.extra["steals"] = self.db.counters.steals
+        self.report.extra["before_images_logged"] = \
+            self.db.counters.before_images_logged
+        if self.observer is not None:
+            self.report.extra["busy_ms"] = round(self.observer.total_busy_ms, 1)
+            self.report.extra["busiest_arm_ms"] = round(
+                self.observer.busiest_ms, 1)
+            self.report.extra["seeks"] = self.observer.total_seeks
+
+
+def run_workload(db: Database, spec: WorkloadSpec, transactions: int,
+                 seed: int = 0, crash_every: int | None = None) -> SimulationReport:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(db, spec, seed=seed).run(transactions,
+                                              crash_every=crash_every)

@@ -1,0 +1,86 @@
+"""Service-time observation for live runs.
+
+:class:`TimedObserver` hooks every disk of a database's array and
+accumulates a :class:`~repro.storage.timing.DiskTimer` per disk while a
+workload runs, turning the transfer counts the model reasons about into
+milliseconds: total device busy time, the busiest arm (a lower bound on
+wall-clock), utilization balance, and seek counts.
+
+Usage::
+
+    observer = TimedObserver.attach(db)
+    run_workload(db, spec, 200)
+    print(observer.summary())
+    observer.detach()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.timing import DiskTimer, DiskTimingSpec
+
+
+@dataclass
+class TimedObserver:
+    """Per-disk service-time accounting attached to a live database."""
+
+    spec: DiskTimingSpec
+    timers: dict = field(default_factory=dict)
+    _attached: list = field(default_factory=list)
+
+    @classmethod
+    def attach(cls, db, spec: DiskTimingSpec | None = None) -> "TimedObserver":
+        """Hook all array disks of ``db``; returns the observer."""
+        observer = cls(spec=spec if spec is not None else DiskTimingSpec())
+        for disk in db.array.disks:
+            observer.timers[disk.disk_id] = DiskTimer(observer.spec,
+                                                      disk.capacity)
+            if disk.on_access is not None:
+                raise RuntimeError(
+                    f"disk {disk.disk_id} already has an access hook")
+            disk.on_access = observer._on_access
+            observer._attached.append(disk)
+        return observer
+
+    def detach(self) -> None:
+        """Remove the hooks."""
+        for disk in self._attached:
+            disk.on_access = None
+        self._attached.clear()
+
+    def _on_access(self, disk_id: int, slot: int, kind: str) -> None:
+        self.timers[disk_id].access(slot)
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def total_busy_ms(self) -> float:
+        """Sum of device busy time (an upper bound on wall time for a
+        fully serial schedule)."""
+        return sum(t.busy_ms for t in self.timers.values())
+
+    @property
+    def busiest_ms(self) -> float:
+        """Busy time of the hottest arm (a lower bound on wall time)."""
+        if not self.timers:
+            return 0.0
+        return max(t.busy_ms for t in self.timers.values())
+
+    @property
+    def total_seeks(self) -> int:
+        """Arm movements across all disks."""
+        return sum(t.seeks for t in self.timers.values())
+
+    def balance(self) -> float:
+        """Hottest arm / mean arm busy time (1.0 = perfectly even)."""
+        values = [t.busy_ms for t in self.timers.values()]
+        if not values or sum(values) == 0:
+            return 1.0
+        return max(values) / (sum(values) / len(values))
+
+    def summary(self) -> str:
+        """One-line digest."""
+        return (f"busy {self.total_busy_ms:.0f} ms total, "
+                f"hottest arm {self.busiest_ms:.0f} ms, "
+                f"{self.total_seeks} seeks, balance {self.balance():.2f}")

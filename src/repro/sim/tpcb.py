@@ -1,0 +1,161 @@
+"""A TPC-B / DebitCredit workload over the record API.
+
+The OLTP profile this literature was written against (Gray's
+parity-striping paper benchmarks exactly this shape): each transaction
+updates one account, its teller, its branch, and appends a history
+record.  Balances obey a conservation law — the sum of account deltas
+equals the teller and branch sums — which doubles as a whole-system
+correctness check across aborts, crashes, and media failures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..db.heap import HeapFile
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class TPCBConfig:
+    """Scaled-down TPC-B shape.
+
+    Attributes:
+        branches: number of branches.
+        tellers_per_branch / accounts_per_branch: fan-out per branch.
+        abort_probability: fraction of transactions rolled back by the
+            client after doing their updates.
+    """
+
+    branches: int = 2
+    tellers_per_branch: int = 3
+    accounts_per_branch: int = 15
+    abort_probability: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.branches, self.tellers_per_branch,
+               self.accounts_per_branch) < 1:
+            raise ModelError("TPC-B fan-outs must be positive")
+        if not 0.0 <= self.abort_probability <= 1.0:
+            raise ModelError("abort_probability must be in [0, 1]")
+
+
+def _encode(balance: int) -> bytes:
+    return b"%+013d" % balance
+
+
+def _decode(record: bytes) -> int:
+    return int(record)
+
+
+class TPCB:
+    """The workload: setup, per-transaction profile, conservation check."""
+
+    def __init__(self, db, config: TPCBConfig | None = None,
+                 seed: int = 0) -> None:
+        if not db.config.record_logging:
+            raise ModelError("TPC-B needs a record-logging configuration")
+        self.db = db
+        self.config = config if config is not None else TPCBConfig()
+        self.rng = random.Random(seed)
+        self._accounts: list = []
+        self._tellers: list = []
+        self._branches: list = []
+        self._history: HeapFile | None = None
+        self.committed = 0
+        self.aborted = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Format pages and load the branch/teller/account records."""
+        cfg = self.config
+        total_pages = self.db.num_data_pages
+        quarter = max(1, total_pages // 4)
+        account_pages = range(0, 2 * quarter)
+        teller_pages = range(2 * quarter, 3 * quarter)
+        history_pages = range(3 * quarter, total_pages)
+        self.db.format_record_pages(range(total_pages))
+        txn = self.db.begin()
+        accounts = HeapFile(self.db, account_pages)
+        tellers = HeapFile(self.db, teller_pages)
+        for branch in range(cfg.branches):
+            self._branches.append(tellers.insert(txn, _encode(0)))
+            for _ in range(cfg.tellers_per_branch):
+                self._tellers.append((branch, tellers.insert(txn, _encode(0))))
+            for _ in range(cfg.accounts_per_branch):
+                self._accounts.append(
+                    (branch, accounts.insert(txn, _encode(0))))
+        self._history = HeapFile(self.db, history_pages)
+        self.db.commit(txn)
+
+    # -- one transaction ------------------------------------------------------------
+
+    def transaction(self) -> bool:
+        """One debit/credit; returns True if it committed."""
+        if self._history is None:
+            raise ModelError("call setup() first")
+        branch, account_rid = self.rng.choice(self._accounts)
+        teller_rid = self.rng.choice(
+            [rid for b, rid in self._tellers if b == branch])
+        branch_rid = self._branches[branch]
+        delta = self.rng.randrange(-999, 1000)
+
+        txn = self.db.begin()
+        for rid in (account_rid, teller_rid, branch_rid):
+            page, slot = rid
+            balance = _decode(self.db.read_record(txn, page, slot))
+            self.db.update_record(txn, page, slot, _encode(balance + delta))
+        self._history.insert(
+            txn, b"h:%d:%+d" % (branch, delta))
+        if self.rng.random() < self.config.abort_probability:
+            self.db.abort(txn)
+            self.aborted += 1
+            return False
+        self.db.commit(txn)
+        self.committed += 1
+        return True
+
+    def run(self, transactions: int, crash_every: int | None = None) -> dict:
+        """Run ``transactions``; optionally crash+recover periodically.
+
+        Returns counters including the page transfers consumed.
+        """
+        start = self.db.stats.total
+        crashes = 0
+        for index in range(transactions):
+            self.transaction()
+            if crash_every and (index + 1) % crash_every == 0:
+                self.db.crash()
+                self.db.recover()
+                crashes += 1
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "crashes": crashes,
+            "page_transfers": self.db.stats.total - start,
+        }
+
+    # -- the conservation law ------------------------------------------------------------
+
+    def totals(self) -> dict:
+        """Sum of balances per entity class plus the history sum."""
+        txn = self.db.begin()
+        accounts = sum(_decode(self.db.read_record(txn, p, s))
+                       for _, (p, s) in self._accounts)
+        tellers = sum(_decode(self.db.read_record(txn, p, s))
+                      for _, (p, s) in self._tellers)
+        branches = sum(_decode(self.db.read_record(txn, p, s))
+                       for (p, s) in self._branches)
+        history = sum(int(record.rsplit(b":", 1)[1])
+                      for _, record in self._history.scan(txn))
+        self.db.commit(txn)
+        return {"accounts": accounts, "tellers": tellers,
+                "branches": branches, "history": history}
+
+    def conserved(self) -> bool:
+        """True when every view of the money agrees (TPC-B's invariant)."""
+        totals = self.totals()
+        return (totals["accounts"] == totals["tellers"]
+                == totals["branches"] == totals["history"])

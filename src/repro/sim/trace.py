@@ -1,0 +1,99 @@
+"""Workload traces: record a run's transaction scripts, replay them later.
+
+Seeds make a :class:`~repro.sim.simulator.Simulator` reproducible within
+one library version; a *trace* makes the workload portable across
+versions and machines — the JSON-lines file pins the exact accesses, so
+a regression can be replayed forever even if the generator's RNG
+consumption changes.
+
+Format: one JSON object per line —
+``{"accesses": [[page, update], ...], "update": bool, "abort": bool}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ModelError
+from .simulator import Simulator
+from .workload import Access, TransactionScript
+
+
+def script_to_json(script: TransactionScript) -> str:
+    """One trace line for a script."""
+    return json.dumps({
+        "accesses": [[a.page, a.update] for a in script.accesses],
+        "update": script.is_update,
+        "abort": script.wants_abort,
+    }, separators=(",", ":"))
+
+
+def script_from_json(line: str) -> TransactionScript:
+    """Parse one trace line.
+
+    Raises:
+        ModelError: malformed line.
+    """
+    try:
+        doc = json.loads(line)
+        accesses = [Access(page=int(p), update=bool(u))
+                    for p, u in doc["accesses"]]
+        return TransactionScript(accesses=accesses,
+                                 is_update=bool(doc["update"]),
+                                 wants_abort=bool(doc["abort"]))
+    except (ValueError, KeyError, TypeError) as error:
+        raise ModelError(f"malformed trace line: {error}") from None
+
+
+class TracingSimulator(Simulator):
+    """A simulator that records every script it starts."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.trace: list = []
+
+    def _fill_slots(self, budget: int) -> None:
+        before = len(self._live)
+        super()._fill_slots(budget)
+        for live in self._live[before:]:
+            self.trace.append(live.script)
+
+    def dump_trace(self, path) -> int:
+        """Write the recorded scripts as JSON lines; returns the count."""
+        with open(path, "w", encoding="ascii") as handle:
+            for script in self.trace:
+                handle.write(script_to_json(script) + "\n")
+        return len(self.trace)
+
+
+class ReplaySimulator(Simulator):
+    """A simulator that draws its scripts from a recorded trace."""
+
+    def __init__(self, db, spec, scripts) -> None:
+        super().__init__(db, spec, seed=0)
+        self._scripts = list(scripts)
+        self._cursor = 0
+
+    @classmethod
+    def from_file(cls, db, spec, path) -> "ReplaySimulator":
+        """Load a trace file recorded by :class:`TracingSimulator`."""
+        with open(path, "r", encoding="ascii") as handle:
+            scripts = [script_from_json(line)
+                       for line in handle if line.strip()]
+        return cls(db, spec, scripts)
+
+    @property
+    def remaining(self) -> int:
+        """Scripts not yet started."""
+        return len(self._scripts) - self._cursor
+
+    def _fill_slots(self, budget: int) -> None:
+        while (len(self._live) < self.spec.concurrency
+               and self._started < budget
+               and self._cursor < len(self._scripts)):
+            script = self._scripts[self._cursor]
+            self._cursor += 1
+            txn_id = self.db.begin()
+            from .simulator import _LiveTxn
+            self._live.append(_LiveTxn(txn_id=txn_id, script=script))
+            self._started += 1

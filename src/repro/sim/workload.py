@@ -1,0 +1,164 @@
+"""Synthetic workloads matching the paper's model parameters.
+
+The analytical model (Section 5) characterizes load with:
+
+* ``P``  — concurrent transactions,
+* ``s``  — pages referenced per transaction,
+* ``f_u`` — fraction of update transactions,
+* ``p_u`` — probability an accessed page is modified (update txns),
+* ``p_b`` — probability a transaction aborts,
+* ``C``  — *communality*: the probability a referenced page is already
+  in the database buffer.
+
+:class:`WorkloadGenerator` draws transaction scripts from those knobs.
+Communality is induced directly: with probability ``C`` the next
+reference is drawn from the currently-buffered pages, otherwise
+uniformly from the whole database (which can still hit the buffer, so
+the measured hit ratio comes out slightly above ``C`` — the same
+direction Reuter's model rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The paper's workload knobs (defaults = high-update environment).
+
+    The two environments evaluated in Figures 9-12:
+
+    * high update:    ``s=10, f_u=0.8, p_u=0.9``
+    * high retrieval: ``s=40, f_u=0.1, p_u=0.3``
+
+    with ``P=6`` and ``p_b=0.01`` in both.
+    """
+
+    concurrency: int = 6          # P
+    pages_per_txn: int = 10       # s
+    update_txn_fraction: float = 0.8   # f_u
+    update_probability: float = 0.9    # p_u
+    abort_probability: float = 0.01    # p_b
+    communality: float = 0.5           # C
+    skew: float = 0.0             # Zipf exponent for page popularity
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ModelError("concurrency (P) must be >= 1")
+        if self.pages_per_txn < 1:
+            raise ModelError("pages_per_txn (s) must be >= 1")
+        if self.skew < 0.0:
+            raise ModelError("skew must be non-negative")
+        for name in ("update_txn_fraction", "update_probability",
+                     "abort_probability", "communality"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must be in [0, 1], got {value}")
+
+
+HIGH_UPDATE = WorkloadSpec(pages_per_txn=10, update_txn_fraction=0.8,
+                           update_probability=0.9)
+"""The paper's high-update-frequency environment."""
+
+HIGH_RETRIEVAL = WorkloadSpec(pages_per_txn=40, update_txn_fraction=0.1,
+                              update_probability=0.3)
+"""The paper's high-retrieval-frequency environment."""
+
+
+@dataclass(frozen=True)
+class Access:
+    """One page reference in a transaction script."""
+
+    page: int
+    update: bool
+
+
+@dataclass
+class TransactionScript:
+    """A planned transaction: its accesses and its fate.
+
+    Attributes:
+        accesses: page references in order.
+        is_update: whether this is an update transaction (f_u draw).
+        wants_abort: the p_b draw — the driver aborts it at the end.
+    """
+
+    accesses: list = field(default_factory=list)
+    is_update: bool = False
+    wants_abort: bool = False
+
+    @property
+    def update_pages(self) -> set:
+        """Distinct pages this script modifies."""
+        return {a.page for a in self.accesses if a.update}
+
+
+class WorkloadGenerator:
+    """Draws :class:`TransactionScript` objects for a database.
+
+    Args:
+        spec: the workload knobs.
+        num_pages: S, the database size in pages.
+        seed: RNG seed (scripts are deterministic given the seed and the
+            sequence of ``buffered_pages`` snapshots passed in).
+    """
+
+    def __init__(self, spec: WorkloadSpec, num_pages: int,
+                 seed: int = 0) -> None:
+        if num_pages < 1:
+            raise ModelError("num_pages must be >= 1")
+        self.spec = spec
+        self.num_pages = num_pages
+        self.rng = random.Random(seed)
+        self._zipf_cdf = None
+        if spec.skew > 0.0:
+            weights = [1.0 / (rank + 1) ** spec.skew
+                       for rank in range(num_pages)]
+            total = sum(weights)
+            cumulative, running = [], 0.0
+            for weight in weights:
+                running += weight / total
+                cumulative.append(running)
+            self._zipf_cdf = cumulative
+
+    def _zipf_page(self) -> int:
+        """Draw from the Zipf popularity distribution (page id = rank)."""
+        from bisect import bisect_left
+        return min(self.num_pages - 1,
+                   bisect_left(self._zipf_cdf, self.rng.random()))
+
+    def _draw_page(self, buffered) -> int:
+        if buffered and self.rng.random() < self.spec.communality:
+            return self.rng.choice(buffered)
+        if self._zipf_cdf is not None:
+            return self._zipf_page()
+        return self.rng.randrange(self.num_pages)
+
+    def next_script(self, buffered_pages=()) -> TransactionScript:
+        """Draw one transaction script.
+
+        Args:
+            buffered_pages: snapshot of currently-buffered page ids, used
+                to realize the communality ``C``.
+        """
+        spec = self.spec
+        buffered = list(buffered_pages)
+        is_update = self.rng.random() < spec.update_txn_fraction
+        accesses = []
+        for _ in range(spec.pages_per_txn):
+            page = self._draw_page(buffered)
+            update = is_update and self.rng.random() < spec.update_probability
+            accesses.append(Access(page=page, update=update))
+        wants_abort = is_update and self.rng.random() < spec.abort_probability
+        return TransactionScript(accesses=accesses, is_update=is_update,
+                                 wants_abort=wants_abort)
+
+    def payload_for(self, page: int, version: int) -> bytes:
+        """Page payload for an update: a pure function of (page,
+        version), so a recorded trace replays to identical bytes."""
+        from ..storage.page import make_page
+        return make_page(f"p{page}v{version}.".encode("ascii"))

@@ -1,0 +1,292 @@
+"""Disk arrays: redundancy mechanics over a set of simulated disks.
+
+:class:`DiskArray` owns the disks, the geometry, and the shared I/O
+counters, and implements everything both parity organizations share:
+degraded reads, scrubbing, disk failure and rebuild.
+
+:class:`SingleParityArray` adds the classical RAID small-write protocol
+(read old data, read old parity, XOR, write data, write parity — four
+page transfers, three when the old data is already in the caller's
+buffer), which is the ``a ∈ {3, 4}`` constant of the paper's cost model,
+plus full-stripe writes for bulk loading.
+
+The twin-parity variant used by RDA recovery lives in
+:mod:`repro.storage.twin_array`.
+"""
+
+from __future__ import annotations
+
+from ..errors import (AddressError, ArrayDegradedError, LatentSectorError,
+                      UnrecoverableDataError)
+from .disk import SimulatedDisk
+from .geometry import Geometry, PhysAddr
+from .iostats import IOStats
+from .page import PAGE_SIZE, ParityHeader, xor_pages
+
+
+class DiskArray:
+    """Base array: disks + geometry + shared accounting.
+
+    Args:
+        geometry: the :class:`~repro.storage.geometry.Geometry` to realize.
+        stats: shared :class:`IOStats`; a fresh one is created if omitted.
+    """
+
+    def __init__(self, geometry: Geometry, stats: IOStats | None = None) -> None:
+        self.geometry = geometry
+        self.stats = stats if stats is not None else IOStats()
+        self.disks = [
+            SimulatedDisk(d, geometry.capacity_per_disk, self.stats)
+            for d in range(geometry.num_disks)
+        ]
+
+    # -- basic addressing ------------------------------------------------------
+
+    @property
+    def num_data_pages(self) -> int:
+        """Number of logical data pages (S)."""
+        return self.geometry.num_data_pages
+
+    def failed_disks(self) -> list:
+        """Ids of disks currently failed."""
+        return [d.disk_id for d in self.disks if d.failed]
+
+    def _read_at(self, addr: PhysAddr) -> bytes:
+        return self.disks[addr.disk].read(addr.slot)
+
+    def _write_at(self, addr: PhysAddr, payload: bytes) -> None:
+        self.disks[addr.disk].write(addr.slot, payload)
+
+    # -- reads (including degraded mode) ----------------------------------------
+
+    def read_page(self, page: int) -> bytes:
+        """Read logical data page ``page``.
+
+        If its disk has failed, the contents are reconstructed from the
+        surviving group members and the group's parity (a *degraded
+        read*, costing N page transfers instead of 1).
+        """
+        addr = self.geometry.data_address(page)
+        if not self.disks[addr.disk].failed:
+            return self._read_at(addr)
+        return self._reconstruct_data_page(page)
+
+    def _reconstruct_data_page(self, page: int) -> bytes:
+        group = self.geometry.group_of(page)
+        pieces = []
+        for mate in self.geometry.group_pages(group):
+            if mate == page:
+                continue
+            mate_addr = self.geometry.data_address(mate)
+            if self.disks[mate_addr.disk].failed:
+                raise UnrecoverableDataError(
+                    f"two failed data disks in group {group}; page {page} lost"
+                )
+            pieces.append(self._read_at(mate_addr))
+        pieces.append(self._group_parity_for_reconstruction(group))
+        return xor_pages(*pieces)
+
+    def _group_parity_for_reconstruction(self, group: int) -> bytes:
+        """Parity payload to use when reconstructing a lost data page.
+
+        Single-parity arrays read their one parity page; the twin array
+        overrides this to pick the twin that reflects the current on-disk
+        data.
+        """
+        (addr,) = self.geometry.parity_addresses(group)
+        if self.disks[addr.disk].failed:
+            raise UnrecoverableDataError(
+                f"group {group}: both a data disk and the parity disk are failed"
+            )
+        return self._read_at(addr)
+
+    # -- failure handling --------------------------------------------------------
+
+    def fail_disk(self, disk_id: int) -> None:
+        """Inject a fail-stop failure on ``disk_id``."""
+        self._check_disk(disk_id)
+        self.disks[disk_id].fail()
+
+    def rebuild_disk(self, disk_id: int) -> int:
+        """Replace ``disk_id`` with a blank disk and rebuild its contents.
+
+        Data slots are reconstructed from group mates + parity; parity
+        slots are recomputed from the group's data.  Returns the number
+        of slots rebuilt.  Raises
+        :class:`~repro.errors.UnrecoverableDataError` if a second failure
+        makes some slot unrecoverable.
+        """
+        self._check_disk(disk_id)
+        disk = self.disks[disk_id]
+        disk.replace()
+        rebuilt = 0
+        for slot, page in self.geometry.pages_on_disk(disk_id):
+            payload = self._reconstruct_data_page(page)
+            disk.write(slot, payload)
+            rebuilt += 1
+        for group in self.geometry.groups_with_parity_on(disk_id):
+            rebuilt += self._rebuild_parity_slot(disk_id, group)
+        return rebuilt
+
+    def _rebuild_parity_slot(self, disk_id: int, group: int) -> int:
+        """Recompute the parity slot(s) of ``group`` living on ``disk_id``."""
+        data = [self.read_page(p) for p in self.geometry.group_pages(group)]
+        parity = xor_pages(*data)
+        written = 0
+        for addr in self.geometry.parity_addresses(group):
+            if addr.disk == disk_id:
+                self.disks[disk_id].write_with_header(addr.slot, parity, ParityHeader())
+                written += 1
+        return written
+
+    def _check_disk(self, disk_id: int) -> None:
+        if not 0 <= disk_id < len(self.disks):
+            raise AddressError(f"disk {disk_id} out of range")
+
+    def scrub_repair(self) -> list:
+        """Background scrub: read every data page (CRC-checked) and
+        repair any latent sector errors from parity.  Returns the pages
+        repaired.  Run it periodically, like a real array's patrol read
+        — latent errors found *before* a disk failure are repairable;
+        found during a rebuild they would be data loss."""
+        repaired = []
+        for page in range(self.num_data_pages):
+            try:
+                self.read_page(page)
+            except LatentSectorError:
+                self.repair_page(page)
+                repaired.append(page)
+        return repaired
+
+    def provision_spares(self, count: int) -> None:
+        """Stock ``count`` hot-spare drives."""
+        if count < 0:
+            raise ValueError("spare count must be non-negative")
+        self._spares = getattr(self, "_spares", 0) + count
+
+    @property
+    def spare_count(self) -> int:
+        """Hot spares remaining."""
+        return getattr(self, "_spares", 0)
+
+    def rebuild_with_spare(self, disk_id: int, **kwargs):
+        """Rebuild a failed disk onto a hot spare (consumes one).
+
+        Raises:
+            ArrayDegradedError: no spare in stock — the array stays
+                degraded until one is provisioned.
+        """
+        if self.spare_count < 1:
+            raise ArrayDegradedError(
+                f"disk {disk_id} failed and no hot spare is available")
+        self._spares -= 1
+        return self.rebuild_disk(disk_id, **kwargs)
+
+    def repair_page(self, page: int) -> bytes:
+        """Repair a latent sector error on one data page.
+
+        Reconstructs the page from its group mates + parity and rewrites
+        it in place (checksummed again).  Returns the repaired payload.
+        Works while the sector is corrupt but the disk is otherwise
+        healthy — the RAID answer to checksum-mismatch reads.
+        """
+        payload = self._reconstruct_data_page(page)
+        addr = self.geometry.data_address(page)
+        self.disks[addr.disk].write(addr.slot, payload)
+        return payload
+
+    def read_page_healing(self, page: int) -> bytes:
+        """Read a page, transparently repairing a latent sector error."""
+        try:
+            return self.read_page(page)
+        except LatentSectorError:
+            return self.repair_page(page)
+
+    # -- verification (uncounted; used by tests and the scrubber) ----------------
+
+    def peek_page(self, page: int) -> bytes:
+        """Read a data page without accounting or failure checks (tests)."""
+        addr = self.geometry.data_address(page)
+        return self.disks[addr.disk].peek(addr.slot)
+
+    def group_data_payloads(self, group: int) -> list:
+        """Uncounted payloads of all data pages of ``group`` (tests)."""
+        return [self.peek_page(p) for p in self.geometry.group_pages(group)]
+
+    def scrub(self) -> list:
+        """Return the list of groups whose parity does not match the data.
+
+        Uses uncounted peeks: scrubbing is a verification aid, not part
+        of the modeled workload.
+        """
+        bad = []
+        for group in range(self.geometry.num_groups):
+            if not self._group_consistent(group):
+                bad.append(group)
+        return bad
+
+    def _group_consistent(self, group: int) -> bool:
+        expected = xor_pages(*self.group_data_payloads(group))
+        (addr,) = self.geometry.parity_addresses(group)
+        return self.disks[addr.disk].peek(addr.slot) == expected
+
+
+class SingleParityArray(DiskArray):
+    """Classical RAID array: one parity page per group, updated in place."""
+
+    def write_page(self, page: int, new_data: bytes,
+                   old_data: bytes | None = None) -> None:
+        """Small write: update ``page`` and its group parity.
+
+        Costs 4 page transfers, or 3 when ``old_data`` (the page's
+        current on-disk contents) is supplied by the caller's buffer —
+        exactly the model's ``a`` constant.
+
+        Degraded cases: if the parity disk is failed the data is written
+        without a parity update; if the data disk is failed the write is
+        absorbed into parity alone (the page stays reconstructable).
+        """
+        if len(new_data) != PAGE_SIZE:
+            raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        addr = self.geometry.data_address(page)
+        group = self.geometry.group_of(page)
+        (parity_addr,) = self.geometry.parity_addresses(group)
+        data_disk = self.disks[addr.disk]
+        parity_disk = self.disks[parity_addr.disk]
+
+        if data_disk.failed:
+            if parity_disk.failed:
+                raise UnrecoverableDataError(
+                    f"group {group}: data and parity disks both failed"
+                )
+            old = self._reconstruct_data_page(page) if old_data is None else old_data
+            old_parity = self._read_at(parity_addr)
+            new_parity = xor_pages(old_parity, old, new_data)
+            self._write_at(parity_addr, new_parity)
+            return
+
+        old = self._read_at(addr) if old_data is None else old_data
+        if parity_disk.failed:
+            self._write_at(addr, new_data)
+            return
+        old_parity = self._read_at(parity_addr)
+        new_parity = xor_pages(old_parity, old, new_data)
+        self._write_at(addr, new_data)
+        self._write_at(parity_addr, new_parity)
+
+    def full_stripe_write(self, group: int, payloads: list) -> None:
+        """Write every data page of ``group`` plus fresh parity.
+
+        Costs N+1 page transfers (no reads) — the large-access case the
+        paper mentions but does not model; used for bulk loading.
+        """
+        pages = self.geometry.group_pages(group)
+        if len(payloads) != len(pages):
+            raise ValueError(
+                f"group {group} has {len(pages)} data pages, got {len(payloads)} payloads"
+            )
+        for page, payload in zip(pages, payloads):
+            self._write_at(self.geometry.data_address(page), payload)
+        parity = xor_pages(*payloads)
+        (parity_addr,) = self.geometry.parity_addresses(group)
+        self._write_at(parity_addr, parity)

@@ -1,0 +1,104 @@
+"""GF(2^8) arithmetic for Reed-Solomon-style double parity (RAID-6).
+
+The field is GF(256) with the usual AES/RAID polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D) and generator 2.  Log/antilog
+tables make multiplication a lookup; page-wide helpers operate on whole
+page payloads at once.
+
+Only what RAID-6 needs is implemented: add (XOR), multiply, divide,
+power-of-generator weighting, and the 2×2 solve used to recover two
+lost data pages.
+"""
+
+from __future__ import annotations
+
+_POLY = 0x11D
+
+EXP = [0] * 512
+LOG = [0] * 256
+_value = 1
+for _i in range(255):
+    EXP[_i] = _value
+    LOG[_value] = _i
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _POLY
+for _i in range(255, 512):
+    EXP[_i] = EXP[_i - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return EXP[LOG[a] + LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``.
+
+    Raises:
+        ZeroDivisionError: division by the zero element.
+    """
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return EXP[(LOG[a] - LOG[b]) % 255]
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """``base ** exponent`` in the field."""
+    if base == 0:
+        return 0 if exponent else 1
+    return EXP[(LOG[base] * exponent) % 255]
+
+
+def page_mul(coefficient: int, page: bytes) -> bytes:
+    """Multiply every byte of ``page`` by ``coefficient``."""
+    if coefficient == 0:
+        return bytes(len(page))
+    if coefficient == 1:
+        return bytes(page)
+    shift = LOG[coefficient]
+    return bytes(EXP[shift + LOG[b]] if b else 0 for b in page)
+
+
+def page_xor(a: bytes, b: bytes) -> bytes:
+    """Add two pages (XOR)."""
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def q_parity(pages: list) -> bytes:
+    """The Q syndrome: ``Σ g^i · D_i`` with g = 2 and i the member index."""
+    if not pages:
+        raise ValueError("q_parity needs at least one page")
+    out = bytes(len(pages[0]))
+    for index, page in enumerate(pages):
+        out = page_xor(out, page_mul(gf_pow(2, index), page))
+    return out
+
+
+def solve_two_erasures(index_a: int, index_b: int, p_syndrome: bytes,
+                       q_syndrome: bytes) -> tuple:
+    """Recover two lost data pages from the P and Q syndromes.
+
+    ``p_syndrome`` is the XOR of the surviving data pages with P
+    (= D_a ⊕ D_b), ``q_syndrome`` the same for Q
+    (= g^a·D_a ⊕ g^b·D_b).  Solving the 2×2 system byte-wise:
+
+        D_a = (g^b · P* ⊕ Q*) / (g^a ⊕ g^b)
+        D_b = P* ⊕ D_a
+
+    Returns ``(D_a, D_b)``.
+    """
+    if index_a == index_b:
+        raise ValueError("erasure indices must differ")
+    g_a = gf_pow(2, index_a)
+    g_b = gf_pow(2, index_b)
+    denominator = g_a ^ g_b          # field addition = XOR
+    numerator = page_xor(page_mul(g_b, p_syndrome), q_syndrome)
+    inv = gf_div(1, denominator)
+    d_a = page_mul(inv, numerator)
+    d_b = page_xor(p_syndrome, d_a)
+    return d_a, d_b

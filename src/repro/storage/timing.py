@@ -1,0 +1,215 @@
+"""Disk service-time model: seeks, rotation, transfer, queueing.
+
+The paper's model counts *page transfers*; this optional layer prices
+each transfer in milliseconds so the organizations can also be compared
+on response time — the axis on which Gray et al. argue for parity
+striping (sequential runs stay on one arm) against RAID-5 data striping.
+
+The model is the classic three-term service time:
+
+    service = seek(distance) + rotational_latency + transfer_time
+
+with ``seek(d) = 0`` for ``d = 0`` (the arm is already there) and
+``min_seek + (max_seek - min_seek) * sqrt(d / cylinders)`` otherwise —
+the usual square-root seek curve.  Each disk remembers its arm position
+(we map slot number to cylinder) and accumulates busy time; an
+:class:`ArrayTimer` turns per-disk busy times into operation latencies
+by phase (reads of a small write proceed in parallel, then the writes).
+
+Defaults approximate a late-1980s 5.25" drive (the paper's era): 30 ms
+max seek, 16.7 ms full rotation (3600 rpm), 1 MB/s transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DiskTimingSpec:
+    """Drive timing parameters (milliseconds).
+
+    Attributes:
+        min_seek_ms: single-cylinder seek.
+        max_seek_ms: full-stroke seek.
+        rotation_ms: one full revolution (mean latency is half).
+        transfer_ms_per_page: time to transfer one page.
+        pages_per_cylinder: slots sharing a cylinder — consecutive slots
+            usually need no seek, which is what makes sequential runs
+            cheap on one arm.
+    """
+
+    min_seek_ms: float = 5.0
+    max_seek_ms: float = 30.0
+    rotation_ms: float = 16.7
+    transfer_ms_per_page: float = 0.5
+    pages_per_cylinder: int = 8
+
+    def cylinders_for(self, capacity: int) -> int:
+        """Cylinder count of a disk with ``capacity`` page slots."""
+        return max(1, -(-capacity // self.pages_per_cylinder))
+
+    def seek_time(self, distance: int, cylinders: int) -> float:
+        """Seek time for a ``distance``-cylinder move on a disk with
+        ``cylinders`` cylinders total."""
+        if distance <= 0:
+            return 0.0
+        span = max(1, cylinders - 1)
+        fraction = min(1.0, distance / span)
+        return (self.min_seek_ms
+                + (self.max_seek_ms - self.min_seek_ms) * math.sqrt(fraction))
+
+    def service_time(self, distance: int, cylinders: int) -> float:
+        """Full service time for one page access after a ``distance``
+        cylinder move (mean rotational latency)."""
+        return (self.seek_time(distance, cylinders) + self.rotation_ms / 2.0
+                + self.transfer_ms_per_page)
+
+
+@dataclass
+class DiskTimer:
+    """Arm state and accumulated busy time of one disk."""
+
+    spec: DiskTimingSpec
+    capacity: int
+    arm_cylinder: int = 0
+    busy_ms: float = 0.0
+    operations: int = 0
+    seeks: int = 0
+
+    def _cylinder_of(self, slot: int) -> int:
+        return slot // self.spec.pages_per_cylinder
+
+    def access(self, slot: int) -> float:
+        """Account one page access at ``slot``; returns its service time."""
+        cylinder = self._cylinder_of(slot)
+        distance = abs(cylinder - self.arm_cylinder)
+        if distance:
+            self.seeks += 1
+        cost = self.spec.service_time(distance,
+                                      self.spec.cylinders_for(self.capacity))
+        self.arm_cylinder = cylinder
+        self.busy_ms += cost
+        self.operations += 1
+        return cost
+
+    @property
+    def mean_service_ms(self) -> float:
+        """Average service time per access so far."""
+        if self.operations == 0:
+            return 0.0
+        return self.busy_ms / self.operations
+
+
+@dataclass
+class ArrayTimer:
+    """Times whole-array operations over per-disk :class:`DiskTimer` s.
+
+    A *phase* is a set of ``(disk, slot)`` accesses that proceed in
+    parallel (e.g. the two reads of a small write); the phase latency is
+    the slowest member.  An operation is a sequence of phases; its
+    latency is their sum.  Total elapsed time for a serial stream of
+    operations is accumulated in :attr:`elapsed_ms`.
+    """
+
+    spec: DiskTimingSpec
+    capacity_per_disk: int
+    num_disks: int
+    timers: list = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    operations: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.timers:
+            self.timers = [DiskTimer(self.spec, self.capacity_per_disk)
+                           for _ in range(self.num_disks)]
+
+    def operation(self, *phases) -> float:
+        """Time one operation.
+
+        Each phase is an iterable of ``(disk, slot)`` pairs accessed in
+        parallel.  Returns the operation latency and adds it to
+        :attr:`elapsed_ms`.
+        """
+        total = 0.0
+        for phase in phases:
+            slowest = 0.0
+            for disk, slot in phase:
+                cost = self.timers[disk].access(slot)
+                slowest = max(slowest, cost)
+            total += slowest
+        self.elapsed_ms += total
+        self.operations += 1
+        return total
+
+    def mean_latency_ms(self) -> float:
+        """Average operation latency so far."""
+        if self.operations == 0:
+            return 0.0
+        return self.elapsed_ms / self.operations
+
+    def utilizations(self) -> list:
+        """Per-disk busy time as a fraction of elapsed time."""
+        if self.elapsed_ms == 0:
+            return [0.0] * len(self.timers)
+        return [t.busy_ms / self.elapsed_ms for t in self.timers]
+
+    def total_seeks(self) -> int:
+        """Arm movements across all disks."""
+        return sum(t.seeks for t in self.timers)
+
+
+def time_read(timer: ArrayTimer, geometry, page: int) -> float:
+    """Latency of a plain page read."""
+    addr = geometry.data_address(page)
+    return timer.operation([(addr.disk, addr.slot)])
+
+
+def time_small_write(timer: ArrayTimer, geometry, page: int,
+                     twins: int = 0, old_in_buffer: bool = False) -> float:
+    """Latency of the small-write protocol on ``page``.
+
+    Phase 1 reads the old data (unless buffered) and the parity page(s)
+    in parallel; phase 2 writes the new data and parity in parallel.
+    ``twins`` = 0 prices a single-parity array (1 parity page), 1 or 2
+    price a twin array updating that many twins.
+    """
+    addr = geometry.data_address(page)
+    group = geometry.group_of(page)
+    parity_addrs = geometry.parity_addresses(group)
+    involved = list(parity_addrs[:twins] if twins else parity_addrs[:1])
+    read_phase = [] if old_in_buffer else [(addr.disk, addr.slot)]
+    read_phase += [(a.disk, a.slot) for a in involved]
+    write_phase = [(addr.disk, addr.slot)] + [(a.disk, a.slot)
+                                              for a in involved]
+    return timer.operation(read_phase, write_phase)
+
+
+def time_sequential_scan(timer: ArrayTimer, geometry, start: int,
+                         length: int) -> float:
+    """Latency of reading ``length`` consecutive logical pages."""
+    total = 0.0
+    for page in range(start, start + length):
+        total += time_read(timer, geometry, page)
+    return total
+
+
+def time_mixed_workload(timer: ArrayTimer, geometry, scan_pages,
+                        random_pages) -> float:
+    """Gray's scenario: a sequential scan interleaved with random
+    requests.
+
+    Under **parity striping** the scan occupies a single arm, so random
+    traffic rarely displaces it and the scan pages pay almost no seeks.
+    Under **data striping** the scan touches every arm; random requests
+    constantly pull arms away, so most scan pages pay a seek.  The two
+    streams alternate page-for-page; returns total elapsed time.
+    """
+    total = 0.0
+    randoms = list(random_pages)
+    for index, page in enumerate(scan_pages):
+        total += time_read(timer, geometry, page)
+        if index < len(randoms):
+            total += time_read(timer, geometry, randoms[index])
+    return total

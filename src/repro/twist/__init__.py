@@ -1,0 +1,16 @@
+"""TWIST: twin-page storage for rapid transaction undo (Wu & Fuchs).
+
+The paper's reference [12] and the design RDA recovery is benchmarked
+against conceptually: keep **two copies of every data page**, alternate
+writes between them, and let timestamps plus the commit log decide which
+twin is valid.  Undo is free (the old twin *is* the before-image) — but
+the storage overhead is 100%, versus RDA's ≈ (100/N)%.
+
+Implemented here as a standalone storage manager so the three schemes —
+WAL, TWIST, RDA — can be compared on write cost, undo cost, and storage
+price over the same simulated disks.
+"""
+
+from .store import TwistStore
+
+__all__ = ["TwistStore"]

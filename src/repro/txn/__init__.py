@@ -1,0 +1,14 @@
+"""Transactions and locking."""
+
+from .locks import Grant, LockManager, LockMode
+from .manager import TransactionManager
+from .transaction import Transaction, TxnState
+
+__all__ = [
+    "Grant",
+    "LockManager",
+    "LockMode",
+    "TransactionManager",
+    "Transaction",
+    "TxnState",
+]

@@ -1,0 +1,204 @@
+"""Lock manager: shared/exclusive locks at page or record granularity.
+
+The paper evaluates both **page locking** (Section 5.2, where concurrent
+transactions' page sets are disjoint) and **record locking** (Section
+5.3, where they are not).  Resources are arbitrary hashable keys — the
+database layer uses ``("page", p)`` and ``("rec", p, slot)``.
+
+The manager supports a queued-waiting discipline so a discrete-event
+simulator can model blocking: :meth:`LockManager.acquire` either grants
+immediately or enqueues the request and reports ``False``; releases hand
+the lock to compatible waiters in FIFO order.  Deadlocks are detected
+eagerly on enqueue by a wait-for-graph cycle search and raise
+:class:`~repro.errors.DeadlockError` naming the requester as victim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import DeadlockError, LockError
+
+
+class LockMode(Enum):
+    """Lock modes: shared (read) and exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, wanted: LockMode) -> bool:
+    return held is LockMode.SHARED and wanted is LockMode.SHARED
+
+
+@dataclass
+class _Entry:
+    """State of one lockable resource."""
+
+    holders: dict = field(default_factory=dict)   # txn_id -> LockMode
+    waiters: deque = field(default_factory=deque)  # (txn_id, LockMode)
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A lock handed to a waiter after a release."""
+
+    txn_id: int
+    resource: object
+    mode: LockMode
+
+
+class LockManager:
+    """Strict two-phase locking with FIFO waiting and deadlock detection."""
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self._held_by_txn: dict = {}
+
+    # -- queries ------------------------------------------------------------------
+
+    def holds(self, txn_id: int, resource, mode: LockMode | None = None) -> bool:
+        """True if the transaction holds a lock on ``resource``;
+        with ``mode``, a lock at least that strong."""
+        entry = self._entries.get(resource)
+        if entry is None or txn_id not in entry.holders:
+            return False
+        if mode is None:
+            return True
+        held = entry.holders[txn_id]
+        return held is LockMode.EXCLUSIVE or held is mode
+
+    def waiting(self, txn_id: int) -> bool:
+        """True if the transaction is queued on some resource."""
+        return any(txn_id == waiter for entry in self._entries.values()
+                   for waiter, _ in entry.waiters)
+
+    def locks_of(self, txn_id: int) -> list:
+        """Resources currently locked by the transaction."""
+        return sorted(self._held_by_txn.get(txn_id, ()), key=repr)
+
+    # -- acquire / release ----------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource, mode: LockMode) -> bool:
+        """Request a lock.
+
+        Returns True if granted immediately (including already-held and
+        legal upgrades), False if the request was enqueued.
+
+        Raises:
+            DeadlockError: if enqueueing would close a wait-for cycle.
+        """
+        entry = self._entries.setdefault(resource, _Entry())
+        held = entry.holders.get(txn_id)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or held is mode:
+                return True
+            # S -> X upgrade: immediate if sole holder and nobody queued
+            if len(entry.holders) == 1 and not entry.waiters:
+                entry.holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+            self._enqueue(txn_id, resource, mode, entry)
+            return False
+        if not entry.waiters and all(
+                _compatible(h, mode) for h in entry.holders.values()):
+            entry.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            return True
+        self._enqueue(txn_id, resource, mode, entry)
+        return False
+
+    def _enqueue(self, txn_id: int, resource, mode: LockMode, entry: _Entry) -> None:
+        entry.waiters.append((txn_id, mode))
+        cycle = self._find_cycle(txn_id)
+        if cycle:
+            entry.waiters.pop()
+            raise DeadlockError(txn_id, tuple(cycle))
+
+    def release_all(self, txn_id: int) -> list:
+        """Release every lock and queued request of a transaction (EOT).
+
+        Returns the :class:`Grant` list of waiters promoted as a result.
+        """
+        grants = []
+        for resource in list(self._held_by_txn.get(txn_id, ())):
+            entry = self._entries[resource]
+            del entry.holders[txn_id]
+            grants.extend(self._promote(resource, entry))
+        self._held_by_txn.pop(txn_id, None)
+        for resource, entry in list(self._entries.items()):
+            entry.waiters = deque(
+                (t, m) for t, m in entry.waiters if t != txn_id)
+            grants.extend(self._promote(resource, entry))
+            if not entry.holders and not entry.waiters:
+                del self._entries[resource]
+        return grants
+
+    def release(self, txn_id: int, resource) -> list:
+        """Release a single lock (non-strict use; tests and internals)."""
+        entry = self._entries.get(resource)
+        if entry is None or txn_id not in entry.holders:
+            raise LockError(f"txn {txn_id} does not hold {resource!r}")
+        del entry.holders[txn_id]
+        self._held_by_txn[txn_id].discard(resource)
+        grants = self._promote(resource, entry)
+        if not entry.holders and not entry.waiters:
+            del self._entries[resource]
+        return grants
+
+    def _promote(self, resource, entry: _Entry) -> list:
+        grants = []
+        while entry.waiters:
+            txn_id, mode = entry.waiters[0]
+            held = entry.holders.get(txn_id)
+            if held is not None:
+                # queued upgrade: needs sole holdership
+                if len(entry.holders) == 1:
+                    entry.holders[txn_id] = LockMode.EXCLUSIVE
+                    entry.waiters.popleft()
+                    grants.append(Grant(txn_id, resource, LockMode.EXCLUSIVE))
+                    continue
+                break
+            if all(_compatible(h, mode) for h in entry.holders.values()):
+                entry.holders[txn_id] = mode
+                self._held_by_txn.setdefault(txn_id, set()).add(resource)
+                entry.waiters.popleft()
+                grants.append(Grant(txn_id, resource, mode))
+                continue
+            break
+        return grants
+
+    # -- deadlock detection ------------------------------------------------------------
+
+    def wait_for_graph(self) -> dict:
+        """``waiter -> {holders blocking it}`` over all resources."""
+        graph: dict = {}
+        for entry in self._entries.values():
+            blockers = set(entry.holders)
+            for txn_id, _mode in entry.waiters:
+                edges = graph.setdefault(txn_id, set())
+                edges.update(b for b in blockers if b != txn_id)
+                blockers.add(txn_id)  # FIFO: later waiters wait on earlier
+        return graph
+
+    def _find_cycle(self, start: int):
+        graph = self.wait_for_graph()
+        path, on_path = [], set()
+
+        def visit(node):
+            if node in on_path:
+                return path[path.index(node):]
+            if node not in graph:
+                return None
+            path.append(node)
+            on_path.add(node)
+            for succ in graph[node]:
+                found = visit(succ)
+                if found:
+                    return found
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        return visit(start)

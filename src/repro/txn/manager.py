@@ -1,0 +1,73 @@
+"""Transaction manager: id allocation, lifecycle, and the active set.
+
+The manager owns transaction objects and their state transitions; the
+*work* of commit and abort (forcing pages, writing EOT records, undo)
+is orchestrated by the recovery layer, which calls back into
+:meth:`TransactionManager.finish`.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidTransactionState
+from .transaction import Transaction, TxnState
+
+
+class TransactionManager:
+    """Registry and lifecycle authority for transactions."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._transactions: dict = {}
+
+    def begin(self) -> Transaction:
+        """Start a new transaction (the BOT event)."""
+        txn = Transaction(txn_id=self._next_id)
+        self._next_id += 1
+        self._transactions[txn.txn_id] = txn
+        return txn
+
+    def get(self, txn_id: int) -> Transaction:
+        """Look up a transaction by id."""
+        try:
+            return self._transactions[txn_id]
+        except KeyError:
+            raise InvalidTransactionState(f"unknown transaction {txn_id}") from None
+
+    def require_active(self, txn_id: int) -> Transaction:
+        """Look up a transaction and insist it is still running."""
+        txn = self.get(txn_id)
+        if not txn.is_active:
+            raise InvalidTransactionState(
+                f"transaction {txn_id} is {txn.state.value}, not active")
+        return txn
+
+    def finish(self, txn_id: int, outcome: TxnState) -> Transaction:
+        """Transition an active transaction to COMMITTED or ABORTED."""
+        if outcome not in (TxnState.COMMITTED, TxnState.ABORTED):
+            raise ValueError("outcome must be COMMITTED or ABORTED")
+        txn = self.require_active(txn_id)
+        txn.state = outcome
+        return txn
+
+    def active_transactions(self) -> list:
+        """Active transactions, in begin order."""
+        return [t for t in self._transactions.values() if t.is_active]
+
+    def committed_ids(self) -> set:
+        """Ids of committed transactions (used by twin selection during
+        recovery)."""
+        return {t.txn_id for t in self._transactions.values()
+                if t.state is TxnState.COMMITTED}
+
+    def lose_memory(self) -> None:
+        """Crash simulation: the in-memory registry vanishes.
+
+        Ids keep increasing across the crash so stamps stay unique.
+        """
+        self._transactions.clear()
+
+    def adopt(self, txn: Transaction) -> None:
+        """Re-register a transaction reconstructed from the log."""
+        self._transactions[txn.txn_id] = txn
+        if txn.txn_id >= self._next_id:
+            self._next_id = txn.txn_id + 1

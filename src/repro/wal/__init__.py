@@ -1,0 +1,25 @@
+"""Write-ahead logging: typed records and the duplexed log manager."""
+
+from .log import DEFAULT_LOG_PAGE_SIZE, LogDevice, LogManager
+from .records import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
+                      LogRecord, NULL_LSN, PageAfterImage, PageBeforeImage,
+                      RecordAfterEntry, RecordBeforeEntry, RecordType,
+                      deserialize)
+
+__all__ = [
+    "DEFAULT_LOG_PAGE_SIZE",
+    "LogDevice",
+    "LogManager",
+    "AbortRecord",
+    "BOTRecord",
+    "CheckpointRecord",
+    "CommitRecord",
+    "LogRecord",
+    "NULL_LSN",
+    "PageAfterImage",
+    "PageBeforeImage",
+    "RecordAfterEntry",
+    "RecordBeforeEntry",
+    "RecordType",
+    "deserialize",
+]

@@ -1,0 +1,238 @@
+"""Log record types.
+
+The paper's recovery algorithms (Section 4.3, 5) use:
+
+* **BOT** — written when a transaction first writes back a modified page
+  (or at its first update), *before* any of its pages reach disk, so
+  crash recovery knows which transactions may have touched the database;
+* **COMMIT / ABORT** — the EOT records;
+* **page before-images** (UNDO) and **after-images** (REDO) under page
+  logging;
+* **record before/after entries** under record logging (Section 5.3),
+  where only the modified bytes of a record are logged;
+* **checkpoint** records for the ACC discipline (active transactions and
+  the dirty-page list at the action-consistent point).
+
+Each record serializes to bytes with a fixed header so the duplexed log
+can be byte-compared, sized, and re-parsed after a crash.  Records carry
+``prev_lsn``, the backward per-transaction chain the paper inherits from
+TWIST: rollback follows the chain instead of scanning the whole log.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import LogCorruptionError, TornRecordError
+
+NULL_LSN = 0
+"""LSN meaning "no record" (chains terminate here)."""
+
+# type, lsn, txn_id, prev_lsn, payload_len, crc32(payload)
+_HEADER = struct.Struct("<IqqqII")
+
+
+class RecordType(Enum):
+    """Discriminator for serialized log records."""
+
+    BOT = 1
+    COMMIT = 2
+    ABORT = 3
+    PAGE_BEFORE = 4
+    PAGE_AFTER = 5
+    RECORD_BEFORE = 6
+    RECORD_AFTER = 7
+    CHECKPOINT = 8
+
+
+@dataclass
+class LogRecord:
+    """Base log record.
+
+    Attributes:
+        txn_id: owning transaction (0 for checkpoint records).
+        lsn: log sequence number, assigned by the log manager on append.
+        prev_lsn: previous record of the same transaction (the log chain).
+    """
+
+    txn_id: int
+    lsn: int = NULL_LSN
+    prev_lsn: int = NULL_LSN
+
+    record_type = None  # set by subclasses
+
+    def payload_bytes(self) -> bytes:
+        """Type-specific payload; overridden by subclasses."""
+        return b""
+
+    def serialize(self) -> bytes:
+        """Full wire form: header (with payload CRC32) + payload."""
+        payload = self.payload_bytes()
+        return _HEADER.pack(self.record_type.value, self.lsn, self.txn_id,
+                            self.prev_lsn, len(payload),
+                            zlib.crc32(payload)) + payload
+
+    @property
+    def serialized_size(self) -> int:
+        """Bytes this record occupies in the log."""
+        return _HEADER.size + len(self.payload_bytes())
+
+
+@dataclass
+class BOTRecord(LogRecord):
+    """Begin-of-transaction marker (paper Section 4.3)."""
+
+    record_type = RecordType.BOT
+
+
+@dataclass
+class CommitRecord(LogRecord):
+    """EOT: the transaction committed."""
+
+    record_type = RecordType.COMMIT
+
+
+@dataclass
+class AbortRecord(LogRecord):
+    """EOT: the transaction rolled back (undo already applied)."""
+
+    record_type = RecordType.ABORT
+
+
+def _pack_page(page_id: int, payload: bytes) -> bytes:
+    return struct.pack("<q", page_id) + payload
+
+
+def _unpack_page(blob: bytes) -> tuple:
+    (page_id,) = struct.unpack_from("<q", blob)
+    return page_id, blob[8:]
+
+
+@dataclass
+class PageBeforeImage(LogRecord):
+    """UNDO information: the page's contents before the update."""
+
+    record_type = RecordType.PAGE_BEFORE
+    page_id: int = 0
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return _pack_page(self.page_id, self.image)
+
+
+@dataclass
+class PageAfterImage(LogRecord):
+    """REDO information: the page's contents after the update."""
+
+    record_type = RecordType.PAGE_AFTER
+    page_id: int = 0
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return _pack_page(self.page_id, self.image)
+
+
+def _pack_record(page_id: int, slot: int, payload: bytes) -> bytes:
+    return struct.pack("<qi", page_id, slot) + payload
+
+
+def _unpack_record(blob: bytes) -> tuple:
+    page_id, slot = struct.unpack_from("<qi", blob)
+    return page_id, slot, blob[12:]
+
+
+@dataclass
+class RecordBeforeEntry(LogRecord):
+    """UNDO at record granularity: old bytes of one record."""
+
+    record_type = RecordType.RECORD_BEFORE
+    page_id: int = 0
+    slot: int = 0
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return _pack_record(self.page_id, self.slot, self.image)
+
+
+@dataclass
+class RecordAfterEntry(LogRecord):
+    """REDO at record granularity: new bytes of one record."""
+
+    record_type = RecordType.RECORD_AFTER
+    page_id: int = 0
+    slot: int = 0
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return _pack_record(self.page_id, self.slot, self.image)
+
+
+@dataclass
+class CheckpointRecord(LogRecord):
+    """ACC checkpoint: the action-consistent snapshot marker.
+
+    Attributes:
+        active_txns: ids of transactions active at the checkpoint.
+        flushed_pages: dirty pages written out by the checkpoint.
+    """
+
+    record_type = RecordType.CHECKPOINT
+    active_txns: tuple = field(default_factory=tuple)
+    flushed_pages: tuple = field(default_factory=tuple)
+
+    def payload_bytes(self) -> bytes:
+        doc = {"active": list(self.active_txns),
+               "flushed": list(self.flushed_pages)}
+        return json.dumps(doc, separators=(",", ":")).encode("ascii")
+
+
+def deserialize(blob: bytes, offset: int = 0) -> tuple:
+    """Parse one record at ``offset``; returns ``(record, next_offset)``.
+
+    Raises:
+        LogCorruptionError: on a truncated or malformed record.
+    """
+    if offset + _HEADER.size > len(blob):
+        raise TornRecordError("truncated log record header")
+    type_value, lsn, txn_id, prev_lsn, payload_len, crc = _HEADER.unpack_from(
+        blob, offset)
+    start = offset + _HEADER.size
+    end = start + payload_len
+    if end > len(blob):
+        raise TornRecordError("truncated log record payload")
+    payload = blob[start:end]
+    if zlib.crc32(payload) != crc:
+        raise LogCorruptionError("log record payload CRC mismatch")
+    try:
+        rtype = RecordType(type_value)
+    except ValueError:
+        raise LogCorruptionError(f"unknown record type {type_value}") from None
+
+    common = dict(txn_id=txn_id, lsn=lsn, prev_lsn=prev_lsn)
+    if rtype is RecordType.BOT:
+        record = BOTRecord(**common)
+    elif rtype is RecordType.COMMIT:
+        record = CommitRecord(**common)
+    elif rtype is RecordType.ABORT:
+        record = AbortRecord(**common)
+    elif rtype is RecordType.PAGE_BEFORE:
+        page_id, image = _unpack_page(payload)
+        record = PageBeforeImage(page_id=page_id, image=image, **common)
+    elif rtype is RecordType.PAGE_AFTER:
+        page_id, image = _unpack_page(payload)
+        record = PageAfterImage(page_id=page_id, image=image, **common)
+    elif rtype is RecordType.RECORD_BEFORE:
+        page_id, slot, image = _unpack_record(payload)
+        record = RecordBeforeEntry(page_id=page_id, slot=slot, image=image, **common)
+    elif rtype is RecordType.RECORD_AFTER:
+        page_id, slot, image = _unpack_record(payload)
+        record = RecordAfterEntry(page_id=page_id, slot=slot, image=image, **common)
+    else:
+        doc = json.loads(payload.decode("ascii"))
+        record = CheckpointRecord(active_txns=tuple(doc["active"]),
+                                  flushed_pages=tuple(doc["flushed"]), **common)
+    return record, end

@@ -1,0 +1,78 @@
+"""Tests for replacement policies in isolation."""
+
+import pytest
+
+from repro.buffer.replacement import ClockPolicy, LRUPolicy, make_policy
+from repro.errors import BufferFullError
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        for frame in (0, 1, 2):
+            policy.touch(frame)
+        policy.touch(0)
+        assert policy.choose_victim([0, 1, 2]) == 1
+
+    def test_restricted_candidates(self):
+        policy = LRUPolicy()
+        for frame in (0, 1, 2):
+            policy.touch(frame)
+        assert policy.choose_victim([2]) == 2
+
+    def test_untouched_frame_ranks_oldest(self):
+        policy = LRUPolicy()
+        policy.touch(0)
+        assert policy.choose_victim([0, 5]) == 5
+
+    def test_forget(self):
+        policy = LRUPolicy()
+        policy.touch(0)
+        policy.touch(1)
+        policy.forget(0)
+        assert policy.choose_victim([0, 1]) in (0, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferFullError):
+            LRUPolicy().choose_victim([])
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        for frame in (0, 1, 2):
+            policy.touch(frame)
+        # first sweep clears 0's bit then 1's... eventually a victim emerges
+        victim = policy.choose_victim([0, 1, 2])
+        assert victim in (0, 1, 2)
+
+    def test_unreferenced_evicted_first(self):
+        policy = ClockPolicy()
+        policy.touch(1)
+        assert policy.choose_victim([0, 1]) == 0
+
+    def test_hand_advances(self):
+        policy = ClockPolicy()
+        first = policy.choose_victim([0, 1, 2])
+        second = policy.choose_victim([0, 1, 2])
+        assert first != second
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferFullError):
+            ClockPolicy().choose_victim([])
+
+    def test_forget_clears_bit(self):
+        policy = ClockPolicy()
+        policy.touch(0)
+        policy.forget(0)
+        assert policy.choose_victim([0]) == 0
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("clock"), ClockPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("2q")

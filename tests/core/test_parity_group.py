@@ -1,0 +1,108 @@
+"""Tests for the Dirty_Set table (paper Figure 3 state machine)."""
+
+import pytest
+
+from repro.core.parity_group import DirtyEntry, DirtySet
+from repro.errors import ParityGroupError
+
+
+def entry(group=1, txn=10, page=5, index=0, twin=1, ts=100):
+    return DirtyEntry(group=group, txn_id=txn, page_id=page, page_index=index,
+                      working_twin=twin, working_timestamp=ts)
+
+
+@pytest.fixture
+def ds():
+    return DirtySet()
+
+
+class TestTransitions:
+    def test_initially_clean(self, ds):
+        assert not ds.is_dirty(1)
+        assert 1 not in ds
+        assert len(ds) == 0
+
+    def test_mark_dirty(self, ds):
+        ds.mark_dirty(entry())
+        assert ds.is_dirty(1)
+        assert ds.entry(1).page_id == 5
+        assert len(ds) == 1
+
+    def test_resteal_refreshes(self, ds):
+        ds.mark_dirty(entry(ts=100))
+        ds.mark_dirty(entry(ts=200))
+        assert ds.entry(1).working_timestamp == 200
+        assert len(ds) == 1
+
+    def test_second_unlogged_page_rejected(self, ds):
+        ds.mark_dirty(entry(page=5))
+        with pytest.raises(ParityGroupError):
+            ds.mark_dirty(entry(page=6))
+
+    def test_other_txn_same_page_rejected(self, ds):
+        ds.mark_dirty(entry(txn=10))
+        with pytest.raises(ParityGroupError):
+            ds.mark_dirty(entry(txn=11))
+
+    def test_clean_returns_entry(self, ds):
+        ds.mark_dirty(entry())
+        removed = ds.clean(1)
+        assert removed.page_id == 5
+        assert not ds.is_dirty(1)
+
+    def test_clean_unknown_group_raises(self, ds):
+        with pytest.raises(ParityGroupError):
+            ds.clean(1)
+
+    def test_entry_of_clean_group_raises(self, ds):
+        with pytest.raises(ParityGroupError):
+            ds.entry(3)
+
+    def test_get_returns_none_for_clean(self, ds):
+        assert ds.get(3) is None
+
+
+class TestWriteRule:
+    """The paper's rule: write-back without UNDO logging iff the group is
+    clean or dirty for the same page by the same transaction."""
+
+    def test_clean_group_allows(self, ds):
+        assert ds.can_write_without_undo(1, 5, 10)
+
+    def test_same_page_same_txn_allows(self, ds):
+        ds.mark_dirty(entry(page=5, txn=10))
+        assert ds.can_write_without_undo(1, 5, 10)
+
+    def test_other_page_denied(self, ds):
+        ds.mark_dirty(entry(page=5, txn=10))
+        assert not ds.can_write_without_undo(1, 6, 10)
+
+    def test_other_txn_denied(self, ds):
+        ds.mark_dirty(entry(page=5, txn=10))
+        assert not ds.can_write_without_undo(1, 5, 11)
+
+
+class TestPerTransactionIndex:
+    def test_groups_of(self, ds):
+        ds.mark_dirty(entry(group=1, txn=10, page=5))
+        ds.mark_dirty(entry(group=3, txn=10, page=15))
+        ds.mark_dirty(entry(group=2, txn=11, page=9))
+        assert ds.groups_of(10) == [1, 3]
+        assert ds.groups_of(11) == [2]
+        assert ds.groups_of(99) == []
+
+    def test_clean_updates_index(self, ds):
+        ds.mark_dirty(entry(group=1, txn=10))
+        ds.clean(1)
+        assert ds.groups_of(10) == []
+
+    def test_entries_sorted(self, ds):
+        ds.mark_dirty(entry(group=3, txn=10, page=15))
+        ds.mark_dirty(entry(group=1, txn=11, page=5))
+        assert [e.group for e in ds.entries()] == [1, 3]
+
+    def test_lose_memory(self, ds):
+        ds.mark_dirty(entry())
+        ds.lose_memory()
+        assert len(ds) == 0
+        assert ds.groups_of(10) == []

@@ -1,0 +1,217 @@
+"""Tests for the crash-recoverable B-tree index."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, preset
+from repro.db.btree import BTree, BTreeError
+
+
+def make_tree(name="record-force-rda", pool=24, **kw):
+    defaults = dict(group_size=4, num_groups=12, buffer_capacity=20)
+    defaults.update(kw)
+    db = Database(preset(name, **defaults))
+    db.format_record_pages(range(db.num_data_pages))
+    txn = db.begin()
+    tree = BTree(db, list(range(pool)), txn_id=txn, create=True)
+    db.commit(txn)
+    return db, tree
+
+
+def key(i):
+    return f"k{i:05d}".encode()
+
+
+@pytest.fixture
+def setup():
+    return make_tree()
+
+
+class TestBasics:
+    def test_empty_tree(self, setup):
+        db, tree = setup
+        t = db.begin()
+        assert tree.get(t, b"missing") is None
+        assert list(tree.range(t)) == []
+        assert tree.check_invariants(t) == 0
+        db.commit(t)
+
+    def test_put_get(self, setup):
+        db, tree = setup
+        t = db.begin()
+        tree.put(t, b"alpha", b"1")
+        tree.put(t, b"beta", b"2")
+        assert tree.get(t, b"alpha") == b"1"
+        assert tree.get(t, b"beta") == b"2"
+        db.commit(t)
+
+    def test_overwrite(self, setup):
+        db, tree = setup
+        t = db.begin()
+        tree.put(t, b"k", b"old")
+        tree.put(t, b"k", b"new")
+        assert tree.get(t, b"k") == b"new"
+        db.commit(t)
+
+    def test_delete(self, setup):
+        db, tree = setup
+        t = db.begin()
+        tree.put(t, b"k", b"v")
+        assert tree.delete(t, b"k")
+        assert tree.get(t, b"k") is None
+        assert not tree.delete(t, b"k")
+        db.commit(t)
+
+    def test_range_scan_ordered(self, setup):
+        db, tree = setup
+        t = db.begin()
+        for i in (5, 1, 9, 3, 7):
+            tree.put(t, key(i), str(i).encode())
+        keys = [k for k, _ in tree.range(t)]
+        assert keys == [key(i) for i in (1, 3, 5, 7, 9)]
+        db.commit(t)
+
+    def test_range_bounds(self, setup):
+        db, tree = setup
+        t = db.begin()
+        for i in range(10):
+            tree.put(t, key(i), b"v")
+        keys = [k for k, _ in tree.range(t, low=key(3), high=key(7))]
+        assert keys == [key(i) for i in (3, 4, 5, 6)]
+        db.commit(t)
+
+    def test_key_validation(self, setup):
+        db, tree = setup
+        t = db.begin()
+        with pytest.raises(BTreeError):
+            tree.put(t, b"", b"v")
+        with pytest.raises(BTreeError):
+            tree.put(t, b"x" * 100, b"v")
+        with pytest.raises(BTreeError):
+            tree.put(t, b"k", b"v" * 100)
+        db.abort(t)
+
+    def test_needs_pages(self, setup):
+        db, _ = setup
+        with pytest.raises(BTreeError):
+            BTree(db, [])
+
+
+class TestSplits:
+    def test_many_inserts_split_and_stay_ordered(self, setup):
+        db, tree = setup
+        t = db.begin()
+        for i in range(60):
+            tree.put(t, key(i * 7 % 60), str(i).encode())
+        assert tree.check_invariants(t) == 60
+        db.commit(t)
+        t2 = db.begin()
+        for i in range(60):
+            assert tree.get(t2, key(i)) is not None
+        db.commit(t2)
+
+    def test_root_page_stable_across_splits(self, setup):
+        db, tree = setup
+        t = db.begin()
+        for i in range(60):
+            tree.put(t, key(i), b"v")
+        db.commit(t)
+        assert tree.root_page == tree.pages[0]
+        t2 = db.begin()
+        node = tree._read_node(t2, tree.root_page)
+        assert not node["leaf"]             # the root grew
+        db.commit(t2)
+
+    def test_pool_exhaustion(self):
+        db, tree = make_tree(pool=3)
+        t = db.begin()
+        with pytest.raises(BTreeError):
+            for i in range(500):
+                tree.put(t, key(i), b"v")
+        db.abort(t)
+
+
+class TestTransactionality:
+    def test_abort_rolls_back_split(self, setup):
+        """The hard case: an abort mid-way through structural change."""
+        db, tree = setup
+        t = db.begin()
+        for i in range(20):
+            tree.put(t, key(i), b"keep")
+        db.commit(t)
+        t2 = db.begin()
+        for i in range(20, 60):
+            tree.put(t2, key(i), b"discard")      # forces splits
+        db.abort(t2)
+        t3 = db.begin()
+        assert tree.check_invariants(t3) == 20
+        for i in range(20):
+            assert tree.get(t3, key(i)) == b"keep"
+        for i in range(20, 60):
+            assert tree.get(t3, key(i)) is None
+        db.commit(t3)
+
+    @pytest.mark.parametrize("name", ["record-force-rda", "record-force-log",
+                                      "record-noforce-rda",
+                                      "record-noforce-log"])
+    def test_crash_mid_bulk_insert(self, name):
+        db, tree = make_tree(name, checkpoint_interval=None)
+        t = db.begin()
+        for i in range(15):
+            tree.put(t, key(i), b"committed")
+        db.commit(t)
+        loser = db.begin()
+        for i in range(15, 50):
+            tree.put(loser, key(i), b"doomed")    # splits galore
+        db.crash()
+        db.recover()
+        t2 = db.begin()
+        assert tree.check_invariants(t2) == 15
+        for i in range(15):
+            assert tree.get(t2, key(i)) == b"committed"
+        db.commit(t2)
+        assert db.verify_parity() == []
+
+    def test_work_resumes_after_crash(self, setup):
+        db, tree = setup
+        t = db.begin()
+        for i in range(30):
+            tree.put(t, key(i), b"v1")
+        db.commit(t)
+        db.crash()
+        db.recover()
+        t2 = db.begin()
+        for i in range(30, 45):
+            tree.put(t2, key(i), b"v2")
+        db.commit(t2)
+        t3 = db.begin()
+        assert tree.check_invariants(t3) == 45
+        db.commit(t3)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.data_too_large])
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["put", "delete"]),
+              st.integers(0, 40),
+              st.binary(min_size=1, max_size=8)),
+    min_size=1, max_size=60))
+def test_btree_matches_dict_model(ops):
+    """Property: the tree behaves like a dict, and invariants hold."""
+    db, tree = make_tree()
+    t = db.begin()
+    shadow = {}
+    for op, i, value in ops:
+        if op == "put":
+            tree.put(t, key(i), value)
+            shadow[key(i)] = value
+        else:
+            existed = tree.delete(t, key(i))
+            assert existed == (key(i) in shadow)
+            shadow.pop(key(i), None)
+    assert tree.check_invariants(t) == len(shadow)
+    for k, v in shadow.items():
+        assert tree.get(t, k) == v
+    assert [k for k, _ in tree.range(t)] == sorted(shadow)
+    db.commit(t)

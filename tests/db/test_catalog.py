@@ -1,0 +1,142 @@
+"""Tests for the persistent catalog."""
+
+import pytest
+
+from repro.db import Database, preset
+from repro.db.catalog import Catalog, CatalogError
+
+
+def fresh():
+    db = Database(preset("record-noforce-rda", group_size=5, num_groups=16,
+                         buffer_capacity=20, checkpoint_interval=None))
+    txn = db.begin()
+    catalog = Catalog.create(db, txn)
+    db.commit(txn)
+    return db, catalog
+
+
+class TestLifecycle:
+    def test_create_and_open_heap(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        heap = catalog.create_heap(txn, "orders", pages=4)
+        rid = heap.insert(txn, b"order-1")
+        db.commit(txn)
+        txn = db.begin()
+        again = catalog.open(txn, "orders")
+        assert again.read(txn, rid) == b"order-1"
+        db.commit(txn)
+
+    def test_create_and_open_btree(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        tree = catalog.create_btree(txn, "idx", pages=8)
+        tree.put(txn, b"k", b"v")
+        db.commit(txn)
+        txn = db.begin()
+        assert catalog.open(txn, "idx").get(txn, b"k") == b"v"
+        db.commit(txn)
+
+    def test_list_objects(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        catalog.create_heap(txn, "h", pages=2)
+        catalog.create_btree(txn, "t", pages=4)
+        assert catalog.list_objects(txn) == {"h": "heap", "t": "btree"}
+        db.commit(txn)
+
+    def test_duplicate_name_rejected(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        catalog.create_heap(txn, "x", pages=2)
+        with pytest.raises(CatalogError):
+            catalog.create_heap(txn, "x", pages=2)
+        db.abort(txn)
+
+    def test_open_unknown(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        with pytest.raises(CatalogError):
+            catalog.open(txn, "ghost")
+        db.commit(txn)
+
+    def test_page_mode_rejected(self):
+        db = Database(preset("page-force-rda"))
+        with pytest.raises(CatalogError):
+            Catalog(db)
+
+    def test_out_of_pages(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        with pytest.raises(CatalogError):
+            catalog.create_heap(txn, "big", pages=10_000)
+        db.abort(txn)
+
+    def test_allocations_do_not_overlap(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        a = catalog.create_heap(txn, "a", pages=3)
+        b = catalog.create_heap(txn, "b", pages=3)
+        assert set(a.pages).isdisjoint(b.pages)
+        assert catalog.catalog_page not in a.pages + b.pages
+        db.commit(txn)
+
+
+class TestDropAndReuse:
+    def test_drop_frees_pages_for_reuse(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        heap = catalog.create_heap(txn, "tmp", pages=3)
+        heap.insert(txn, b"junk")
+        old_pages = list(heap.pages)
+        catalog.drop(txn, "tmp")
+        tree = catalog.create_btree(txn, "idx", pages=3)
+        assert set(tree.pages) == set(old_pages)    # reused
+        tree.put(txn, b"k", b"v")
+        assert tree.get(txn, b"k") == b"v"
+        db.commit(txn)
+
+    def test_drop_unknown(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        with pytest.raises(CatalogError):
+            catalog.drop(txn, "nope")
+        db.abort(txn)
+
+
+class TestRecovery:
+    def test_aborted_create_leaves_no_object(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        catalog.create_heap(txn, "ghost", pages=2)
+        db.abort(txn)
+        txn = db.begin()
+        assert catalog.list_objects(txn) == {}
+        db.commit(txn)
+
+    def test_crash_mid_create_rolls_back(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        tree = catalog.create_btree(txn, "doomed", pages=6)
+        tree.put(txn, b"k", b"v")
+        db.crash()
+        db.recover()
+        txn = db.begin()
+        assert catalog.list_objects(txn) == {}
+        # and the pages are reusable afterwards
+        heap = catalog.create_heap(txn, "fresh", pages=6)
+        heap.insert(txn, b"fine")
+        db.commit(txn)
+
+    def test_committed_objects_survive_crash(self):
+        db, catalog = fresh()
+        txn = db.begin()
+        heap = catalog.create_heap(txn, "keep", pages=3)
+        rid = heap.insert(txn, b"payload")
+        db.commit(txn)
+        db.crash()
+        db.recover()
+        txn = db.begin()
+        assert catalog.list_objects(txn) == {"keep": "heap"}
+        assert catalog.open(txn, "keep").read(txn, rid) == b"payload"
+        db.commit(txn)

@@ -1,0 +1,92 @@
+"""Property test: the catalog against a shadow directory.
+
+Random create/drop/insert/crash sequences; after every crash the
+catalog must list exactly the committed objects, their pages must never
+overlap, and committed record contents must survive.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, preset
+from repro.db.catalog import Catalog, CatalogError
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.data())
+def test_catalog_matches_shadow(data):
+    db = Database(preset("record-noforce-rda", group_size=5, num_groups=16,
+                         buffer_capacity=20, checkpoint_interval=None))
+    setup = db.begin()
+    catalog = Catalog.create(db, setup)
+    db.commit(setup)
+
+    committed = {}          # name -> {"kind", "record": (rid, bytes)|None}
+    names = [f"obj{i}" for i in range(6)]
+
+    for _ in range(data.draw(st.integers(1, 12), label="steps")):
+        action = data.draw(st.sampled_from(
+            ["create", "drop", "crash"]), label="action")
+        if action == "crash":
+            db.crash()
+            db.recover()
+            txn = db.begin()
+            assert set(catalog.list_objects(txn)) == set(committed)
+            for name, meta in committed.items():
+                obj = catalog.open(txn, name)
+                if meta["kind"] == "heap" and meta["record"]:
+                    rid, payload = meta["record"]
+                    assert obj.read(txn, rid) == payload
+            db.commit(txn)
+            continue
+        txn = db.begin()
+        outcome = data.draw(st.sampled_from(["commit", "abort"]),
+                            label="outcome")
+        try:
+            if action == "create":
+                name = data.draw(st.sampled_from(names), label="name")
+                kind = data.draw(st.sampled_from(["heap", "btree"]),
+                                 label="kind")
+                if name in committed:
+                    db.abort(txn)
+                    continue
+                record = None
+                if kind == "heap":
+                    heap = catalog.create_heap(txn, name, pages=2)
+                    payload = data.draw(st.binary(min_size=1, max_size=16),
+                                        label="payload")
+                    record = (heap.insert(txn, payload), payload)
+                else:
+                    tree = catalog.create_btree(txn, name, pages=4)
+                    tree.put(txn, b"k", b"v")
+                if outcome == "commit":
+                    db.commit(txn)
+                    committed[name] = {"kind": kind, "record": record}
+                else:
+                    db.abort(txn)
+            else:  # drop
+                if not committed:
+                    db.abort(txn)
+                    continue
+                name = data.draw(st.sampled_from(sorted(committed)),
+                                 label="dropname")
+                catalog.drop(txn, name)
+                if outcome == "commit":
+                    db.commit(txn)
+                    del committed[name]
+                else:
+                    db.abort(txn)
+        except CatalogError:
+            db.abort(txn)
+
+    # final: no page overlaps among live objects
+    txn = db.begin()
+    doc = catalog._load(txn)
+    seen = set()
+    for meta in doc["objects"].values():
+        pages = set(meta["pages"])
+        assert pages.isdisjoint(seen)
+        seen |= pages
+    assert set(catalog.list_objects(txn)) == set(committed)
+    db.commit(txn)

@@ -1,0 +1,43 @@
+"""Tests for configuration presets."""
+
+import pytest
+
+from repro.db import DBConfig, all_preset_names, preset
+from repro.errors import ModelError
+
+
+class TestPresets:
+    def test_eight_presets(self):
+        assert len(all_preset_names()) == 8
+
+    def test_preset_fields(self):
+        cfg = preset("page-force-rda")
+        assert not cfg.record_logging and cfg.force and cfg.rda
+        cfg = preset("record-noforce-log")
+        assert cfg.record_logging and not cfg.force and not cfg.rda
+
+    def test_overrides(self):
+        cfg = preset("page-force-rda", group_size=8, num_groups=10)
+        assert cfg.num_data_pages == 80
+
+    def test_unknown_preset(self):
+        with pytest.raises(ModelError):
+            preset("page-sometimes-rda")
+
+    def test_algorithm_names_unique(self):
+        names = {preset(n).algorithm_name for n in all_preset_names()}
+        assert len(names) == 8
+
+
+class TestValidation:
+    def test_group_size(self):
+        with pytest.raises(ModelError):
+            DBConfig(group_size=1)
+
+    def test_num_groups(self):
+        with pytest.raises(ModelError):
+            DBConfig(num_groups=0)
+
+    def test_buffer(self):
+        with pytest.raises(ModelError):
+            DBConfig(buffer_capacity=1)

@@ -1,0 +1,175 @@
+"""End-to-end property tests: the ACID invariants under random workloads.
+
+A shadow model tracks what the committed state *should* be; hypothesis
+drives random interleavings of writes, commits, aborts, checkpoints and
+crashes across all eight configurations, and we assert the database
+agrees with the shadow afterwards — plus parity consistency.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, all_preset_names, preset
+from repro.db.database import LockWait
+from repro.errors import DeadlockError
+from repro.storage import make_page
+from repro.storage.page import PAGE_SIZE
+
+SMALL = dict(group_size=3, num_groups=4, buffer_capacity=5)
+
+
+def fresh_db(name):
+    db = Database(preset(name, **SMALL))
+    if db.config.record_logging:
+        db.format_record_pages(range(db.num_data_pages))
+    return db
+
+
+page_payloads = st.binary(min_size=PAGE_SIZE, max_size=PAGE_SIZE)
+
+
+@pytest.mark.parametrize("name", [n for n in all_preset_names()
+                                  if n.startswith("page")])
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_page_mode_acid_with_crashes(name, data):
+    db = fresh_db(name)
+    committed = {p: bytes(PAGE_SIZE) for p in range(db.num_data_pages)}
+    live = {}          # txn -> {page: payload}
+
+    def finish_all_and_check():
+        for txn in sorted(live):
+            db.commit(txn)
+            committed.update(live[txn])
+        live.clear()
+        db.buffer.flush_all_dirty()
+        assert db.verify_parity() == []
+        for page, expected in committed.items():
+            assert db.disk_page(page) == expected
+
+    steps = data.draw(st.integers(5, 30), label="steps")
+    for _ in range(steps):
+        action = data.draw(st.sampled_from(
+            ["begin", "write", "commit", "abort", "checkpoint", "crash"]),
+            label="action")
+        if action == "begin" and len(live) < 3:
+            live[db.begin()] = {}
+        elif action == "write" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="txn")
+            page = data.draw(st.integers(0, db.num_data_pages - 1),
+                             label="page")
+            payload = data.draw(page_payloads, label="payload")
+            try:
+                db.write_page(txn, page, payload)
+            except (LockWait, DeadlockError):
+                continue
+            live[txn][page] = payload
+        elif action == "commit" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="ctxn")
+            db.commit(txn)
+            committed.update(live.pop(txn))
+        elif action == "abort" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="atxn")
+            db.abort(txn)
+            live.pop(txn)
+        elif action == "checkpoint" and db.checkpointer is not None:
+            db.checkpoint()
+        elif action == "crash":
+            db.crash()
+            db.recover()
+            live.clear()       # every active transaction died
+            # durability: committed state visible right now
+            t = db.begin()
+            for page, expected in committed.items():
+                assert db.read_page(t, page) == expected
+            db.commit(t)
+    finish_all_and_check()
+
+
+@pytest.mark.parametrize("name", [n for n in all_preset_names()
+                                  if n.startswith("record")])
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_record_mode_acid_with_crashes(name, data):
+    db = fresh_db(name)
+    # seed some committed records
+    committed = {}
+    seeder = db.begin()
+    for page in range(db.num_data_pages):
+        for i in range(2):
+            slot = db.insert_record(seeder, page, b"seed%d" % i)
+            committed[(page, slot)] = b"seed%d" % i
+    db.commit(seeder)
+    live = {}          # txn -> {(page, slot): value-or-None}
+
+    steps = data.draw(st.integers(5, 25), label="steps")
+    for _ in range(steps):
+        action = data.draw(st.sampled_from(
+            ["begin", "update", "insert", "delete", "commit", "abort",
+             "checkpoint", "crash"]), label="action")
+        if action == "begin" and len(live) < 3:
+            live[db.begin()] = {}
+        elif action in ("update", "delete") and live and committed:
+            txn = data.draw(st.sampled_from(sorted(live)), label="txn")
+            # only touch records no other live txn holds (avoid waits)
+            eligible = [rid for rid in sorted(committed)
+                        if not any(rid in ch and t != txn
+                                   for t, ch in live.items())
+                        and committed[rid] is not None]
+            if not eligible:
+                continue
+            rid = data.draw(st.sampled_from(eligible), label="rid")
+            try:
+                if action == "update":
+                    value = data.draw(st.binary(min_size=1, max_size=20),
+                                      label="value")
+                    db.update_record(txn, rid[0], rid[1], value)
+                    live[txn][rid] = value
+                else:
+                    db.delete_record(txn, rid[0], rid[1])
+                    live[txn][rid] = None
+            except (LockWait, DeadlockError, KeyError):
+                continue
+        elif action == "insert" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="itxn")
+            page = data.draw(st.integers(0, db.num_data_pages - 1),
+                             label="ipage")
+            value = data.draw(st.binary(min_size=1, max_size=20),
+                              label="ivalue")
+            try:
+                slot = db.insert_record(txn, page, value)
+            except (LockWait, DeadlockError, Exception):
+                continue
+            live[txn][(page, slot)] = value
+        elif action == "commit" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="ctxn")
+            db.commit(txn)
+            for rid, value in live.pop(txn).items():
+                committed[rid] = value
+        elif action == "abort" and live:
+            txn = data.draw(st.sampled_from(sorted(live)), label="atxn")
+            db.abort(txn)
+            live.pop(txn)
+        elif action == "checkpoint" and db.checkpointer is not None:
+            db.checkpoint()
+        elif action == "crash":
+            db.crash()
+            db.recover()
+            live.clear()
+
+    for txn in sorted(live):
+        db.abort(txn)
+    live.clear()
+    reader = db.begin()
+    for (page, slot), value in committed.items():
+        if value is None:
+            with pytest.raises(KeyError):
+                db.read_record(reader, page, slot)
+        else:
+            assert db.read_record(reader, page, slot) == value
+    db.commit(reader)
+    db.buffer.flush_all_dirty()
+    assert db.verify_parity() == []

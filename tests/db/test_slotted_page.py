@@ -1,0 +1,172 @@
+"""Tests for the slotted-page record layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.slotted_page import PageFullError, SlottedPage
+from repro.storage.page import PAGE_SIZE
+
+
+class TestBasics:
+    def test_empty_page(self):
+        sp = SlottedPage.empty()
+        assert sp.slot_count == 0
+        assert sp.record_count == 0
+        assert sp.slots() == []
+
+    def test_insert_read(self):
+        sp = SlottedPage.empty()
+        slot = sp.insert(b"hello")
+        assert sp.read(slot) == b"hello"
+        assert sp.record_count == 1
+
+    def test_insert_assigns_increasing_slots(self):
+        sp = SlottedPage.empty()
+        assert [sp.insert(b"a"), sp.insert(b"b"), sp.insert(b"c")] == [0, 1, 2]
+
+    def test_update_same_slot(self):
+        sp = SlottedPage.empty()
+        slot = sp.insert(b"old")
+        sp.update(slot, b"new and longer")
+        assert sp.read(slot) == b"new and longer"
+
+    def test_delete_leaves_tombstone(self):
+        sp = SlottedPage.empty()
+        a = sp.insert(b"a")
+        b = sp.insert(b"b")
+        assert sp.delete(a) == b"a"
+        assert sp.slots() == [b]
+        assert sp.slot_count == 2       # tombstone remains
+
+    def test_tombstone_reused(self):
+        sp = SlottedPage.empty()
+        a = sp.insert(b"a")
+        sp.insert(b"b")
+        sp.delete(a)
+        assert sp.insert(b"c") == a
+
+    def test_read_bad_slot(self):
+        sp = SlottedPage.empty()
+        with pytest.raises(KeyError):
+            sp.read(0)
+        slot = sp.insert(b"x")
+        sp.delete(slot)
+        with pytest.raises(KeyError):
+            sp.read(slot)
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage.empty().insert(b"")
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            SlottedPage.empty().insert("text")
+
+
+class TestPlace:
+    def test_place_at_future_slot(self):
+        sp = SlottedPage.empty()
+        sp.place(3, b"x")
+        assert sp.read(3) == b"x"
+        assert sp.slot_count == 4
+        assert sp.slots() == [3]
+
+    def test_place_overwrites(self):
+        sp = SlottedPage.empty()
+        slot = sp.insert(b"a")
+        sp.place(slot, b"bb")
+        assert sp.read(slot) == b"bb"
+
+    def test_place_respects_capacity(self):
+        sp = SlottedPage.empty()
+        with pytest.raises(PageFullError):
+            sp.place(0, b"z" * PAGE_SIZE)
+
+
+class TestCapacity:
+    def test_page_full_on_insert(self):
+        sp = SlottedPage.empty()
+        big = b"x" * 200
+        inserted = 0
+        with pytest.raises(PageFullError):
+            for _ in range(100):
+                sp.insert(big)
+                inserted += 1
+        assert 1 <= inserted < 100
+        assert sp.used_bytes <= PAGE_SIZE
+
+    def test_update_growth_bounded(self):
+        sp = SlottedPage.empty()
+        slot = sp.insert(b"a")
+        with pytest.raises(PageFullError):
+            sp.update(slot, b"z" * PAGE_SIZE)
+        assert sp.read(slot) == b"a"    # unchanged on failure
+
+    def test_free_space_decreases(self):
+        sp = SlottedPage.empty()
+        before = sp.free_space
+        sp.insert(b"12345678")
+        assert sp.free_space < before
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        sp = SlottedPage.empty()
+        a = sp.insert(b"alpha")
+        sp.insert(b"beta")
+        sp.delete(a)
+        blob = sp.to_bytes()
+        assert len(blob) == PAGE_SIZE
+        again = SlottedPage.from_bytes(blob)
+        assert again.slots() == sp.slots()
+        assert again.read(1) == b"beta"
+
+    def test_zero_page_parses_empty(self):
+        sp = SlottedPage.from_bytes(bytes(PAGE_SIZE))
+        assert sp.record_count == 0
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage.from_bytes(b"xx")
+
+    def test_corrupt_directory_rejected(self):
+        blob = bytearray(SlottedPage.empty().to_bytes())
+        blob[0:2] = (5).to_bytes(2, "little")     # claims 5 slots
+        blob[4:8] = (60000).to_bytes(2, "little") + (9000).to_bytes(2, "little")
+        with pytest.raises(ValueError):
+            SlottedPage.from_bytes(bytes(blob))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "update", "delete"]),
+                              st.binary(min_size=1, max_size=40),
+                              st.integers(0, 30)),
+                    max_size=40))
+    def test_random_ops_roundtrip(self, ops):
+        """Property: a shadow dict and the page agree after any op
+        sequence, across serialization."""
+        sp = SlottedPage.empty()
+        shadow = {}
+        for op, data, pick in ops:
+            if op == "insert":
+                try:
+                    slot = sp.insert(data)
+                except PageFullError:
+                    continue
+                shadow[slot] = data
+            elif shadow:
+                slots = sorted(shadow)
+                slot = slots[pick % len(slots)]
+                if op == "update":
+                    try:
+                        sp.update(slot, data)
+                    except PageFullError:
+                        continue
+                    shadow[slot] = data
+                else:
+                    sp.delete(slot)
+                    del shadow[slot]
+        again = SlottedPage.from_bytes(sp.to_bytes())
+        assert set(again.slots()) == set(shadow)
+        for slot, data in shadow.items():
+            assert again.read(slot) == data

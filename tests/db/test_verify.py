@@ -1,0 +1,114 @@
+"""Tests for the whole-database consistency verifier."""
+
+import pytest
+
+from repro.db import Database, preset
+from repro.db.verify import verify_database
+from repro.storage import make_page
+from repro.storage.page import ParityHeader, TwinState
+from repro.wal.records import BOTRecord
+
+
+def make_db(name="page-force-rda", **kw):
+    defaults = dict(group_size=4, num_groups=8, buffer_capacity=6)
+    defaults.update(kw)
+    db = Database(preset(name, **defaults))
+    if db.config.record_logging:
+        db.format_record_pages(range(db.num_data_pages))
+    return db
+
+
+class TestCleanStates:
+    @pytest.mark.parametrize("name", ["page-force-rda", "page-force-log",
+                                      "page-noforce-rda", "record-force-rda",
+                                      "record-noforce-log"])
+    def test_fresh_database_clean(self, name):
+        assert verify_database(make_db(name)) == []
+
+    def test_clean_after_work(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.commit(t)
+        loser = db.begin()
+        db.write_page(loser, 1, make_page(b"y"))
+        db.abort(loser)
+        assert verify_database(db) == []
+
+    def test_clean_with_active_dirty_group(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.buffer.flush_pages_of(t)      # unlogged steal: group dirty
+        assert verify_database(db) == []
+        db.commit(t)
+        assert verify_database(db) == []
+
+    def test_clean_after_crash_recovery(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.buffer.flush_pages_of(t)
+        db.crash()
+        db.recover()
+        assert verify_database(db) == []
+
+
+class TestDetections:
+    def test_detects_parity_damage(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.commit(t)
+        db.buffer.flush_all_dirty()
+        addr = db.array.geometry.data_address(0)
+        db.array.disks[addr.disk]._pages[addr.slot] = make_page(b"tampered")
+        problems = verify_database(db)
+        assert any("parity" in p for p in problems)
+
+    def test_detects_orphan_working_twin(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.buffer.flush_pages_of(t)
+        group = db.array.geometry.group_of(0)
+        # simulate a lost Dirty_Set entry
+        db.rda.dirty_set.clean(group)
+        problems = verify_database(db)
+        assert any("missing from the Dirty_Set" in p for p in problems)
+
+    def test_detects_duplex_divergence(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.commit(t)
+        db.undo_log.damage_copy(0, 0)
+        problems = verify_database(db)
+        assert any("duplex" in p for p in problems)
+
+    def test_detects_duplicate_bot(self):
+        db = make_db()
+        db.undo_log.append(BOTRecord(txn_id=77))
+        db.undo_log.append(BOTRecord(txn_id=77))
+        problems = verify_database(db)
+        assert any("duplicate BOT" in p for p in problems)
+
+    def test_detects_stale_modifier(self):
+        db = make_db()
+        t = db.begin()
+        db.write_page(t, 0, make_page(b"x"))
+        db.txns.finish(t, __import__("repro.txn", fromlist=["TxnState"]).TxnState.COMMITTED)
+        problems = verify_database(db)
+        assert any("finished txn" in p for p in problems)
+
+    def test_detects_garbage_record_page(self):
+        db = make_db("record-force-rda")
+        addr = db.array.geometry.data_address(0)
+        blob = bytearray(512)
+        blob[0:2] = (4).to_bytes(2, "little")     # 4 slots, bogus dir
+        blob[4:8] = (60000).to_bytes(2, "little") + (500).to_bytes(2, "little")
+        db.array.disks[addr.disk]._pages[addr.slot] = bytes(blob)
+        import zlib
+        db.array.disks[addr.disk]._checksums[addr.slot] = zlib.crc32(bytes(blob))
+        problems = verify_database(db)
+        assert any("unparseable" in p for p in problems)

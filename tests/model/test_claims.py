@@ -1,0 +1,34 @@
+"""Tests for the machine-checkable claims registry."""
+
+from repro.model.claims import Claim, check_all_claims, format_scorecard
+
+
+class TestRegistry:
+    def test_every_claim_holds(self):
+        failures = [c for c in check_all_claims() if not c.holds]
+        assert failures == [], [
+            f"{c.claim_id}: measured {c.measured} vs {c.target}"
+            for c in failures]
+
+    def test_claim_count_and_ids_unique(self):
+        claims = check_all_claims()
+        assert len(claims) >= 12
+        ids = [c.claim_id for c in claims]
+        assert len(set(ids)) == len(ids)
+
+    def test_each_claim_cites_a_source(self):
+        for claim in check_all_claims():
+            assert claim.source
+            assert claim.statement
+
+    def test_scorecard_format(self):
+        text = format_scorecard()
+        assert "PASS" in text
+        assert "claims reproduced" in text
+        assert "FAIL" not in text
+
+    def test_scorecard_accepts_prebuilt_claims(self):
+        fake = [Claim("x", "s", "st", 1.0, 1.0, False)]
+        text = format_scorecard(fake)
+        assert "FAIL" in text
+        assert "0/1 claims reproduced" in text

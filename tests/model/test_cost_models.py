@@ -1,0 +1,183 @@
+"""Tests for the four cost models: internal consistency + paper shapes.
+
+The shape assertions encode the paper's textual claims (the quantities a
+reproduction must get right even where the scanned figures are
+ambiguous) — see DESIGN.md §4 "Shape targets".
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import page_logging, record_logging
+from repro.model.params import ModelParams, high_retrieval, high_update
+
+ALL_MODELS = [page_logging.force_toc, page_logging.noforce_acc,
+              record_logging.force_toc, record_logging.noforce_acc]
+
+
+class TestParams:
+    def test_paper_constants(self):
+        p = high_update()
+        assert (p.B, p.S, p.N, p.P) == (300, 5000, 10, 6)
+        assert (p.s, p.f_u, p.p_u, p.d) == (10, 0.8, 0.9, 3)
+        p = high_retrieval()
+        assert (p.s, p.f_u, p.p_u, p.d) == (40, 0.1, 0.3, 8)
+        assert p.T == 5e6
+
+    def test_with_override(self):
+        assert high_update().with_(s=20).s == 20
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ModelParams(C=1.0)
+        with pytest.raises(ModelError):
+            ModelParams(B=4, C=0.9, s=10)
+        with pytest.raises(ModelError):
+            ModelParams(d=11, s=10)
+
+
+class TestInternalConsistency:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    @pytest.mark.parametrize("rda", [False, True])
+    @pytest.mark.parametrize("env", [high_update, high_retrieval])
+    def test_costs_positive_and_finite(self, model, rda, env):
+        for C in (0.0, 0.3, 0.6, 0.9):
+            result = model(env(C=C), rda=rda)
+            assert result.c_E > 0
+            assert result.c_u >= result.c_l
+            assert result.throughput > 0
+            assert result.c_b >= 0 and result.c_s >= 0
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_update_txns_cost_more_than_retrievals(self, model):
+        result = model(high_update(C=0.5), rda=True)
+        assert result.c_u > result.c_r
+
+    @pytest.mark.parametrize("model", [page_logging.noforce_acc,
+                                       record_logging.noforce_acc])
+    def test_acc_has_checkpoints(self, model):
+        result = model(high_update(C=0.5), rda=False)
+        assert result.c_c > 0
+        assert result.checkpoint_interval is not None
+        assert 0 < result.checkpoint_interval < high_update().T
+
+    @pytest.mark.parametrize("model", [page_logging.force_toc,
+                                       record_logging.force_toc])
+    def test_toc_has_no_checkpoints(self, model):
+        result = model(high_update(C=0.5), rda=False)
+        assert result.c_c == 0.0
+        assert result.checkpoint_interval is None
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_rda_reports_small_logging_probability(self, model):
+        result = model(high_update(C=0.5), rda=True)
+        assert 0.0 <= result.p_l < 0.5
+        baseline = model(high_update(C=0.5), rda=False)
+        assert baseline.p_l == 1.0
+
+    def test_describe_mentions_rda(self):
+        result = page_logging.force_toc(high_update(C=0.5), rda=True)
+        assert "RDA" in result.describe()
+
+
+class TestPaperShapes:
+    """The claims the paper states in prose (DESIGN.md shape targets)."""
+
+    def test_fig9_rda_benefit_42_percent_high_update(self):
+        p = high_update(C=0.9)
+        base = page_logging.force_toc(p, rda=False).throughput
+        rda = page_logging.force_toc(p, rda=True).throughput
+        assert rda / base - 1.0 == pytest.approx(0.42, abs=0.05)
+
+    def test_fig9_throughput_magnitudes(self):
+        """Figure 9 high-update axis runs ≈ 48 800 .. 77 300."""
+        lo = page_logging.force_toc(high_update(C=0.0), rda=False).throughput
+        hi = page_logging.force_toc(high_update(C=0.9), rda=True).throughput
+        assert lo == pytest.approx(48800, rel=0.10)
+        assert hi == pytest.approx(77300, rel=0.10)
+
+    def test_fig9_benefit_grows_with_communality(self):
+        gains = []
+        for C in (0.1, 0.5, 0.9):
+            p = high_update(C=C)
+            base = page_logging.force_toc(p, rda=False).throughput
+            rda = page_logging.force_toc(p, rda=True).throughput
+            gains.append(rda / base)
+        assert gains == sorted(gains)
+
+    def test_fig9_high_retrieval_benefit_smaller(self):
+        upd = high_update(C=0.9)
+        ret = high_retrieval(C=0.9)
+        gain_upd = (page_logging.force_toc(upd, True).throughput
+                    / page_logging.force_toc(upd, False).throughput)
+        gain_ret = (page_logging.force_toc(ret, True).throughput
+                    / page_logging.force_toc(ret, False).throughput)
+        assert gain_ret < gain_upd
+
+    def test_fig10_noforce_beats_force_without_rda(self):
+        p = high_update(C=0.9)
+        force = page_logging.force_toc(p, rda=False).throughput
+        noforce = page_logging.noforce_acc(p, rda=False).throughput
+        assert noforce > force
+
+    def test_fig10_crossover_force_rda_beats_noforce(self):
+        """The paper's page-logging headline: FORCE/TOC *with* RDA
+        outperforms ¬FORCE/ACC (with or without RDA)."""
+        p = high_update(C=0.9)
+        force_rda = page_logging.force_toc(p, rda=True).throughput
+        assert force_rda > page_logging.noforce_acc(p, rda=False).throughput
+        assert force_rda > page_logging.noforce_acc(p, rda=True).throughput
+
+    def test_fig11_record_force_benefit_small(self):
+        p = high_update(C=0.9)
+        base = record_logging.force_toc(p, rda=False).throughput
+        rda = record_logging.force_toc(p, rda=True).throughput
+        assert 0.0 < rda / base - 1.0 < 0.10
+
+    def test_fig11_throughput_magnitudes(self):
+        """Figure 11 high-update axis runs ≈ 150 600 .. 215 900."""
+        lo = record_logging.force_toc(high_update(C=0.0), rda=False).throughput
+        hi = record_logging.force_toc(high_update(C=0.9), rda=True).throughput
+        assert lo == pytest.approx(150600, rel=0.10)
+        assert hi == pytest.approx(215900, rel=0.10)
+
+    def test_fig12_record_noforce_benefit_14_percent(self):
+        p = high_update(C=0.9)
+        base = record_logging.noforce_acc(p, rda=False).throughput
+        rda = record_logging.noforce_acc(p, rda=True).throughput
+        assert rda / base - 1.0 == pytest.approx(0.14, abs=0.04)
+
+    def test_fig12_noforce_beats_force_with_record_logging(self):
+        """With record logging the paper's page-logging crossover does
+        NOT happen: ¬FORCE/ACC stays ahead even against FORCE+RDA."""
+        p = high_update(C=0.9)
+        assert record_logging.noforce_acc(p, rda=False).throughput > \
+            record_logging.force_toc(p, rda=True).throughput
+
+    def test_fig13_benefit_range_6_to_70_percent(self):
+        def gain(s):
+            p = high_update(C=0.9).with_(s=s)
+            return 100.0 * (
+                record_logging.noforce_acc(p, True).throughput
+                / record_logging.noforce_acc(p, False).throughput - 1.0)
+
+        assert gain(5) == pytest.approx(6.0, abs=2.0)
+        assert gain(45) == pytest.approx(70.0, abs=6.0)
+
+    def test_fig13_benefit_monotone_in_s(self):
+        gains = []
+        for s in (5, 15, 25, 35, 45):
+            p = high_update(C=0.9).with_(s=s)
+            gains.append(record_logging.noforce_acc(p, True).throughput
+                         / record_logging.noforce_acc(p, False).throughput)
+        assert gains == sorted(gains)
+
+    def test_rda_never_hurts_significantly(self):
+        """RDA may cost a little (extra twin writes) but must never lose
+        more than a couple of percent anywhere in the sweep."""
+        for env in (high_update, high_retrieval):
+            for C in (0.0, 0.3, 0.6, 0.9):
+                for model in ALL_MODELS:
+                    base = model(env(C=C), rda=False).throughput
+                    rda = model(env(C=C), rda=True).throughput
+                    assert rda > base * 0.97

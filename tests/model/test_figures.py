@@ -1,0 +1,62 @@
+"""Tests for the figure generators."""
+
+import pytest
+
+from repro.model import (DEFAULT_C_SWEEP, DEFAULT_S_SWEEP, all_figures,
+                         figure9, figure10, figure11, figure12, figure13)
+
+
+class TestFigureStructure:
+    @pytest.mark.parametrize("figure_fn", [figure9, figure10, figure11,
+                                           figure12])
+    def test_throughput_figures_have_four_curves(self, figure_fn):
+        figure = figure_fn()
+        assert len(figure.curves) == 4          # 2 environments x ±RDA
+        for series in figure.curves.values():
+            assert len(series) == len(figure.x_values)
+            assert all(y > 0 for y in series)
+
+    def test_default_sweep_covers_unit_interval(self):
+        assert DEFAULT_C_SWEEP[0] == 0.0
+        assert DEFAULT_C_SWEEP[-1] == 0.95
+
+    def test_figure13_single_curve(self):
+        figure = figure13()
+        assert list(figure.curves) == ["% increase"]
+        assert figure.x_values == DEFAULT_S_SWEEP
+
+    def test_custom_sweep(self):
+        figure = figure9(sweep=(0.1, 0.5), environments=("high-update",))
+        assert figure.x_values == (0.1, 0.5)
+        assert len(figure.curves) == 2
+
+    def test_all_figures_ordered(self):
+        names = [f.name for f in all_figures()]
+        assert names == ["figure9", "figure10", "figure11", "figure12",
+                         "figure13"]
+
+
+class TestFigureContent:
+    def test_rda_curve_dominates_in_figure9(self):
+        figure = figure9(environments=("high-update",))
+        base = figure.curves["high-update ¬RDA"]
+        rda = figure.curves["high-update RDA"]
+        assert all(r > b for r, b in zip(rda, base))
+
+    def test_rows_align(self):
+        figure = figure13(sweep=(5, 45))
+        rows = list(figure.rows())
+        assert rows[0][0] == 5
+        assert rows[1][0] == 45
+        assert rows[1][1]["% increase"] > rows[0][1]["% increase"]
+
+    def test_format_table_is_printable(self):
+        table = figure13(sweep=(5, 25, 45)).format_table()
+        assert "Figure 13" in table
+        assert table.count("\n") >= 5
+
+    def test_throughput_monotone_in_communality_high_retrieval(self):
+        """More buffer hits -> fewer transfers -> more throughput."""
+        figure = figure9(environments=("high-retrieval",))
+        series = figure.curves["high-retrieval ¬RDA"]
+        assert series == sorted(series)

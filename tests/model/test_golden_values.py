@@ -1,0 +1,51 @@
+"""Golden-value regression pins for the analytical model.
+
+The shape tests assert the paper's claims; these pin the *implemented*
+model's exact outputs (loose tolerance) so accidental equation edits
+show up even when the shapes still hold.  If a deliberate model change
+moves these, update them alongside the DESIGN/EXPERIMENTS notes.
+"""
+
+import pytest
+
+from repro.model import page_logging, record_logging
+from repro.model.params import high_retrieval, high_update
+
+GOLDEN = [
+    # (model, env, C, rda, expected throughput)
+    (page_logging.force_toc, high_update, 0.0, False, 48851),
+    (page_logging.force_toc, high_update, 0.9, False, 53561),
+    (page_logging.force_toc, high_update, 0.9, True, 76445),
+    (page_logging.force_toc, high_retrieval, 0.9, False, 265510),
+    (page_logging.force_toc, high_retrieval, 0.9, True, 355724),
+    (page_logging.noforce_acc, high_update, 0.0, False, 47858),
+    (page_logging.noforce_acc, high_update, 0.9, False, 70806),
+    (page_logging.noforce_acc, high_update, 0.9, True, 71301),
+    (record_logging.force_toc, high_update, 0.0, False, 149727),
+    (record_logging.force_toc, high_update, 0.9, True, 208630),
+    (record_logging.noforce_acc, high_update, 0.9, False, 651924),
+    (record_logging.noforce_acc, high_update, 0.9, True, 747139),
+    (record_logging.noforce_acc, high_retrieval, 0.9, True, 591338),
+]
+
+
+@pytest.mark.parametrize("model,env,C,rda,expected", GOLDEN)
+def test_golden_throughput(model, env, C, rda, expected):
+    result = model(env(C=C), rda=rda)
+    assert result.throughput == pytest.approx(expected, rel=0.01)
+
+
+def test_golden_p_l_values():
+    from repro.model import logging_probability
+    assert logging_probability(21.6, 5000, 10) == pytest.approx(0.0203,
+                                                                abs=0.001)
+    assert logging_probability(3.6, 5000, 10) == pytest.approx(0.0026,
+                                                               abs=0.001)
+
+
+def test_golden_figure13_curve():
+    from repro.model import figure13
+    series = figure13(sweep=(5, 25, 45)).curves["% increase"]
+    assert series[0] == pytest.approx(6.5, abs=0.5)
+    assert series[1] == pytest.approx(38.9, abs=1.5)
+    assert series[2] == pytest.approx(70.0, abs=2.0)

@@ -1,0 +1,53 @@
+"""Tests for the Monte Carlo reliability validator."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.montecarlo import simulate_mttdl
+from repro.model.reliability import raid5_group_mttdl, raid6_group_mttdl
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(ModelError):
+            simulate_mttdl(30_000, 11, 24, samples=0)
+        with pytest.raises(ModelError):
+            simulate_mttdl(30_000, 11, 24, tolerated=0)
+        with pytest.raises(ModelError):
+            simulate_mttdl(30_000, 2, 24, tolerated=2)
+        with pytest.raises(ModelError):
+            simulate_mttdl(-1, 11, 24)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_mttdl(30_000, 11, 24, samples=20, seed=5)
+        b = simulate_mttdl(30_000, 11, 24, samples=20, seed=5)
+        assert a == b
+
+
+class TestAgreementWithClosedForms:
+    def test_single_parity_matches_formula(self):
+        """Simulation within ~25% of MTTF²/(G(G-1)MTTR) at these scales."""
+        analytic = raid5_group_mttdl(10_000, 6, 100)
+        simulated = simulate_mttdl(10_000, 6, 100, tolerated=1,
+                                   samples=400, seed=1)
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_double_parity_far_above_single(self):
+        single = simulate_mttdl(5_000, 6, 200, tolerated=1, samples=150,
+                                seed=2)
+        double = simulate_mttdl(5_000, 6, 200, tolerated=2, samples=150,
+                                seed=2)
+        assert double > 3 * single
+
+    def test_double_parity_order_of_magnitude(self):
+        """Loose agreement with MTTF³/(G(G-1)(G-2)MTTR²) — these tails
+        are heavy, so only the order of magnitude is asserted."""
+        analytic = raid6_group_mttdl(3_000, 5, 300)
+        simulated = simulate_mttdl(3_000, 5, 300, tolerated=2,
+                                   samples=200, seed=3)
+        assert analytic / 4 < simulated < analytic * 4
+
+    def test_shorter_repairs_help(self):
+        slow = simulate_mttdl(10_000, 6, 500, samples=200, seed=4)
+        fast = simulate_mttdl(10_000, 6, 50, samples=200, seed=4)
+        assert fast > slow

@@ -1,0 +1,170 @@
+"""Tests for the model's probability terms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.probabilities import (average_log_entry_length,
+                                       concurrent_modifier_fraction,
+                                       geometric_chain_term,
+                                       logging_probability,
+                                       optimal_checkpoint_interval,
+                                       replaced_page_modified,
+                                       shared_update_pages,
+                                       stolen_before_eot)
+
+
+class TestLoggingProbability:
+    """Eq. 5: p_l = 1 - (S/(N K))(1 - (1 - N/S)^K)."""
+
+    def test_zero_pending_pages(self):
+        assert logging_probability(0, 5000, 10) == 0.0
+
+    def test_single_page_never_logs(self):
+        assert logging_probability(1, 5000, 10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_paper_operating_point(self):
+        """High-update FORCE: K = P f_u s p_u / 2 = 21.6 -> p_l ≈ 0.02."""
+        p_l = logging_probability(21.6, 5000, 10)
+        assert 0.015 < p_l < 0.03
+
+    def test_all_pages_in_one_group(self):
+        """K pages into a single group: only one escapes logging, so
+        p_l = 1 - 1/K."""
+        assert logging_probability(10, 10, 10) == pytest.approx(0.9)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ModelError):
+            logging_probability(5, 5, 10)
+
+    @given(st.floats(0.1, 500), st.floats(0.1, 500))
+    def test_monotone_in_k(self, k1, k2):
+        lo, hi = sorted((k1, k2))
+        assert logging_probability(lo, 5000, 10) <= \
+            logging_probability(hi, 5000, 10) + 1e-12
+
+    @given(st.floats(0.01, 1000))
+    def test_bounded(self, k):
+        assert 0.0 <= logging_probability(k, 5000, 10) <= 1.0
+
+    def test_more_groups_less_logging(self):
+        crowded = logging_probability(50, 1000, 10)
+        roomy = logging_probability(50, 10000, 10)
+        assert roomy < crowded
+
+
+class TestReplacedPageModified:
+    def test_zero_updates(self):
+        assert replaced_page_modified(0.0, 0.9, 0.5) == 0.0
+
+    def test_increases_with_communality(self):
+        low = replaced_page_modified(0.8, 0.9, 0.1)
+        high = replaced_page_modified(0.8, 0.9, 0.9)
+        assert high > low
+
+    def test_c_validation(self):
+        with pytest.raises(ModelError):
+            replaced_page_modified(0.5, 0.5, 1.0)
+
+    @given(st.floats(0, 1), st.floats(0, 1), st.floats(0, 0.99))
+    def test_bounded(self, f_u, p_u, C):
+        assert 0.0 <= replaced_page_modified(f_u, p_u, C) <= 1.0
+
+
+class TestStolenBeforeEOT:
+    def test_single_transaction_never_stolen(self):
+        assert stolen_before_eot(300, 0.5, 10, 1) == 0.0
+
+    def test_decreases_with_communality(self):
+        assert stolen_before_eot(300, 0.9, 10, 6) < \
+            stolen_before_eot(300, 0.1, 10, 6)
+
+    def test_buffer_pressure_increases_steals(self):
+        assert stolen_before_eot(50, 0.5, 10, 6) > \
+            stolen_before_eot(300, 0.5, 10, 6)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            stolen_before_eot(5, 0.9, 10, 6)
+
+    @given(st.integers(50, 500), st.floats(0, 0.9), st.integers(1, 40),
+           st.integers(1, 10))
+    def test_bounded(self, B, C, s, P):
+        if B > C * s:
+            assert 0.0 <= stolen_before_eot(B, C, s, P) <= 1.0
+
+
+class TestSharedUpdatePages:
+    def test_no_sharing_at_zero_communality(self):
+        value = shared_update_pages(300, 0.0, 10, 0.9, 6, 0.8)
+        assert value == pytest.approx(6 * 0.8 * 10 * 0.9)
+
+    def test_sharing_reduces_distinct_pages(self):
+        no_share = shared_update_pages(300, 0.0, 10, 0.9, 6, 0.8)
+        shared = shared_update_pages(300, 0.7, 10, 0.9, 6, 0.8)
+        assert shared < no_share
+
+    def test_bounded_by_buffer(self):
+        assert shared_update_pages(50, 0.9, 40, 1.0, 10, 1.0) <= 50
+
+    def test_appendix_recurrence(self):
+        """The closed form must satisfy the paper's recurrence
+        S(k) - S(k-1) = s p_u (1 - C S(k-1)/B)."""
+        B, C, s, p_u = 300, 0.6, 10, 0.9
+        for k in range(1, 6):
+            prev = shared_update_pages(B, C, s, p_u, k - 1, 1.0)
+            this = shared_update_pages(B, C, s, p_u, k, 1.0)
+            assert this - prev == pytest.approx(s * p_u * (1 - C * prev / B))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            shared_update_pages(0, 0.5, 10, 0.9, 6, 0.8)
+
+
+class TestSmallHelpers:
+    def test_log_entry_length_paper_values(self):
+        """High-update: d=3, r=100, s=10, e=10 -> L = 37."""
+        assert average_log_entry_length(3, 100, 10, 10) == pytest.approx(37.0)
+
+    def test_log_entry_length_validation(self):
+        with pytest.raises(ModelError):
+            average_log_entry_length(10, 100, 5, 10)
+
+    def test_chain_term_zero_extremes(self):
+        assert geometric_chain_term(0.0, 9) == 0.0
+        assert geometric_chain_term(1.0, 9) == 0.0
+
+    def test_chain_term_interior_positive(self):
+        assert geometric_chain_term(0.5, 9) > 0.0
+
+    def test_concurrent_modifier_fraction_bounds(self):
+        value = concurrent_modifier_fraction(300, 0.5, 10, 0.9, 6, 0.8)
+        assert 0.0 <= value <= 1.0
+
+    def test_single_txn_has_no_concurrent_modifiers(self):
+        assert concurrent_modifier_fraction(300, 0.5, 10, 0.9, 1, 0.8) == 0.0
+
+
+class TestOptimalInterval:
+    def test_first_order_condition(self):
+        """I* balances checkpoint overhead against redo growth."""
+        c_E, c_c, T, redo, f_u = 80.0, 500.0, 5e6, 60.0, 0.8
+        I = optimal_checkpoint_interval(c_E, c_c, T, redo, f_u)
+
+        def loss(i):
+            return (i / (2 * c_E)) * f_u * redo + c_c * T / i
+
+        assert loss(I) < loss(I * 0.9)
+        assert loss(I) < loss(I * 1.1)
+
+    def test_cheaper_checkpoints_mean_shorter_interval(self):
+        expensive = optimal_checkpoint_interval(80, 1000, 5e6, 60, 0.8)
+        cheap = optimal_checkpoint_interval(80, 10, 5e6, 60, 0.8)
+        assert cheap < expensive
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            optimal_checkpoint_interval(80, 0, 5e6, 60, 0.8)

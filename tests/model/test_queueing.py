@@ -1,0 +1,83 @@
+"""Tests for the queueing extension."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.page_logging import force_toc
+from repro.model.params import high_update
+from repro.model.queueing import (max_txn_rate, response_time_ms,
+                                  saturation_gain, throughput_latency_curve,
+                                  txn_response_ms, utilization)
+
+
+class TestPrimitives:
+    def test_utilization_linear_in_rate(self):
+        low = utilization(10, c_E=50, num_disks=10, service_ms=20)
+        high = utilization(20, c_E=50, num_disks=10, service_ms=20)
+        assert high == pytest.approx(2 * low)
+
+    def test_utilization_example(self):
+        # 10 txn/s * 50 transfers = 500/s over 10 disks = 50/s/disk;
+        # at 20 ms each that is exactly utilization 1.0
+        assert utilization(10, 50, 10, 20) == pytest.approx(1.0)
+
+    def test_response_grows_toward_saturation(self):
+        assert response_time_ms(0.0, 20) == 20
+        assert response_time_ms(0.5, 20) == 40
+        assert response_time_ms(0.9, 20) == pytest.approx(200)
+
+    def test_response_rejects_saturation(self):
+        with pytest.raises(ModelError):
+            response_time_ms(1.0, 20)
+
+    def test_max_rate_consistent_with_utilization(self):
+        rate = max_txn_rate(c_E=50, num_disks=10, service_ms=20)
+        assert utilization(rate, 50, 10, 20) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            utilization(-1, 50, 10, 20)
+        with pytest.raises(ModelError):
+            max_txn_rate(0, 10, 20)
+        with pytest.raises(ModelError):
+            throughput_latency_curve(50, 10, 20, points=1)
+
+
+class TestCurves:
+    def test_curve_monotone(self):
+        curve = throughput_latency_curve(c_E=60, num_disks=10, service_ms=15)
+        rates = [r for r, _ in curve]
+        latencies = [l for _, l in curve]
+        assert rates == sorted(rates)
+        assert latencies == sorted(latencies)
+
+    def test_txn_response_scales_with_cost(self):
+        cheap = txn_response_ms(5, c_E=40, num_disks=10, service_ms=15)
+        pricey = txn_response_ms(5, c_E=80, num_disks=10, service_ms=15)
+        assert pricey > 2 * cheap      # more transfers AND higher rho
+
+
+class TestRDAConnection:
+    def test_saturation_gain_matches_throughput_gain(self):
+        """rate_max ∝ 1/c_E, so the queueing gain tracks the paper's
+        throughput gain (up to the small crash-recovery term c_s the
+        interval model also subtracts)."""
+        params = high_update(C=0.9)
+        base = force_toc(params, rda=False)
+        rda = force_toc(params, rda=True)
+        gain = saturation_gain(base.c_E, rda.c_E)
+        assert gain == pytest.approx(
+            rda.throughput / base.throughput - 1.0, rel=0.02)
+        assert gain == pytest.approx(0.43, abs=0.02)
+
+    def test_rda_latency_lower_at_same_rate(self):
+        params = high_update(C=0.9)
+        base = force_toc(params, rda=False).c_E
+        rda = force_toc(params, rda=True).c_E
+        rate = max_txn_rate(base, 11, 18) * 0.8
+        assert txn_response_ms(rate, rda, 11, 18) < \
+            txn_response_ms(rate, base, 11, 18)
+
+    def test_saturation_gain_validation(self):
+        with pytest.raises(ModelError):
+            saturation_gain(0, 10)

@@ -1,0 +1,104 @@
+"""Tests for the reliability arithmetic behind the paper's motivation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.reliability import (PAPER_DISK_MTTF_HOURS, farm_mttf,
+                                     mirrored_mttdl, paper_motivation_table,
+                                     raid5_farm_mttdl, raid5_group_mttdl,
+                                     raid6_farm_mttdl, raid6_group_mttdl,
+                                     storage_overhead, unprotected_mttdl)
+
+
+class TestPaperNumbers:
+    def test_footnote_mttf(self):
+        assert PAPER_DISK_MTTF_HOURS == 30_000
+
+    def test_intro_claim_under_25_days(self):
+        """200 disks at 30,000 h MTTF → media failure in < 25 days."""
+        hours = farm_mttf(PAPER_DISK_MTTF_HOURS, 200)
+        assert hours / 24 < 25
+        assert hours / 24 == pytest.approx(6.25)
+
+    def test_redundancy_lifts_mttdl_by_orders_of_magnitude(self):
+        base = unprotected_mttdl(PAPER_DISK_MTTF_HOURS, 200)
+        raid = raid5_farm_mttdl(PAPER_DISK_MTTF_HOURS, 11, 18, mttr=24)
+        assert raid > 100 * base
+
+
+class TestFormulas:
+    def test_farm_scales_inversely(self):
+        assert farm_mttf(30_000, 10) == 3_000
+        assert farm_mttf(30_000, 100) == 300
+
+    def test_mirroring(self):
+        single_pair = mirrored_mttdl(30_000, 1, mttr=24)
+        assert single_pair == pytest.approx(30_000 ** 2 / 48)
+        assert mirrored_mttdl(30_000, 10, 24) == pytest.approx(single_pair / 10)
+
+    def test_raid5_group(self):
+        value = raid5_group_mttdl(30_000, 11, 24)
+        assert value == pytest.approx(30_000 ** 2 / (11 * 10 * 24))
+
+    def test_shorter_repair_window_helps(self):
+        slow = raid5_group_mttdl(30_000, 11, mttr=72)
+        fast = raid5_group_mttdl(30_000, 11, mttr=8)
+        assert fast > slow
+
+    def test_raid6_formula(self):
+        value = raid6_group_mttdl(30_000, 10, 24)
+        assert value == pytest.approx(30_000 ** 3 / (10 * 9 * 8 * 24 ** 2))
+
+    def test_raid6_dwarfs_raid5(self):
+        raid5 = raid5_farm_mttdl(30_000, 11, 18, 24)
+        raid6 = raid6_farm_mttdl(30_000, 12, 18, 24)
+        assert raid6 > 100 * raid5
+
+    def test_raid6_same_overhead_as_twin_parity(self):
+        assert storage_overhead("raid6", 10) == \
+            storage_overhead("twin-parity", 10)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            farm_mttf(-1, 10)
+        with pytest.raises(ModelError):
+            raid5_group_mttdl(30_000, 1, 24)
+        with pytest.raises(ModelError):
+            mirrored_mttdl(30_000, 0, 24)
+        with pytest.raises(ModelError):
+            raid6_group_mttdl(30_000, 2, 24)
+
+
+class TestOverheads:
+    def test_values(self):
+        assert storage_overhead("none") == 0.0
+        assert storage_overhead("mirroring") == 0.5
+        assert storage_overhead("raid5", 10) == pytest.approx(1 / 11)
+        assert storage_overhead("twin-parity", 10) == pytest.approx(2 / 12)
+
+    def test_twin_parity_far_cheaper_than_mirroring(self):
+        """The paper's storage claim: ~(100/N)% extra vs 100%."""
+        assert storage_overhead("twin-parity", 10) < \
+            storage_overhead("mirroring") / 2
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ModelError):
+            storage_overhead("raid7")
+
+
+class TestMotivationTable:
+    def test_four_rows_ordered(self):
+        table = paper_motivation_table()
+        assert [row[0] for row in table] == [
+            "unprotected", "mirroring", "raid5", "twin-parity (RDA)"]
+
+    def test_every_redundant_scheme_beats_unprotected(self):
+        table = paper_motivation_table()
+        base = table[0][1]
+        for _, mttdl, _ in table[1:]:
+            assert mttdl > base
+
+    def test_twin_parity_overhead_near_raid5(self):
+        table = {row[0]: row for row in paper_motivation_table()}
+        assert table["twin-parity (RDA)"][2] < 0.2
+        assert table["mirroring"][2] == 0.5

@@ -1,0 +1,77 @@
+"""Tests for the sensitivity-sweep helper."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.page_logging import force_toc, noforce_acc
+from repro.model.record_logging import noforce_acc as record_noforce
+from repro.model.sensitivity import SweepResult, rda_gain_sweep, sweep
+
+
+class TestSweepMechanics:
+    def test_basic_sweep_shape(self):
+        result = sweep(force_toc, "C", (0.1, 0.5, 0.9))
+        assert result.values == (0.1, 0.5, 0.9)
+        assert len(result.baseline) == 3
+        assert len(result.with_rda) == 3
+        assert len(result.gains) == 3
+
+    def test_overrides_apply(self):
+        narrow = sweep(force_toc, "P", (2, 6), C=0.9)
+        assert all(g > 0 for g in narrow.gains)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ModelError):
+            sweep(force_toc, "T", (1, 2))
+
+    def test_gain_shorthand(self):
+        pairs = rda_gain_sweep(force_toc, "C", (0.1, 0.9))
+        assert [v for v, _ in pairs] == [0.1, 0.9]
+
+    def test_format_table(self):
+        table = sweep(force_toc, "C", (0.1, 0.9)).format_table()
+        assert "RDA gain vs C" in table
+        assert table.count("\n") >= 3
+
+
+class TestSensitivityShapes:
+    """Directional claims implied by the model's structure."""
+
+    def test_gain_rises_with_concurrency(self):
+        """More concurrent update transactions -> more pending pages K
+        -> higher p_l -> the benefit shrinks; but the baseline's
+        backout/log pressure grows faster: net gain still positive."""
+        gains = dict(rda_gain_sweep(force_toc, "P", (2, 6, 24), C=0.9))
+        assert all(g > 0 for g in gains.values())
+
+    def test_gain_rises_with_update_probability(self):
+        gains = [g for _, g in rda_gain_sweep(force_toc, "p_u",
+                                              (0.1, 0.5, 0.9), C=0.9)]
+        assert gains == sorted(gains)
+
+    def test_gain_falls_with_group_size(self):
+        """Figure 13's dual: larger N packs K into fewer groups."""
+        gains = [g for _, g in rda_gain_sweep(force_toc, "N",
+                                              (2, 10, 50), C=0.9)]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_bigger_database_helps(self):
+        gains = [g for _, g in rda_gain_sweep(force_toc, "S",
+                                              (500, 5000, 50000), C=0.9)]
+        assert gains == sorted(gains)
+
+    def test_abort_probability_dilutes_rda_gain(self):
+        """RDA's win is on the forward path (no durable before-images);
+        its parity rewind costs about as much per abort as a log
+        restore, so a higher abort rate mildly dilutes the gain without
+        ever erasing it."""
+        gains = [g for _, g in rda_gain_sweep(record_noforce, "p_b",
+                                              (0.0, 0.05, 0.2), C=0.9)]
+        assert gains == sorted(gains, reverse=True)
+        assert all(g > 0 for g in gains)
+
+    def test_buffer_size_affects_steal_probability(self):
+        """A tighter buffer steals more pages, raising what ¬FORCE RDA
+        can save."""
+        result = sweep(noforce_acc, "B", (60, 300), C=0.5)
+        assert result.gains[0] > result.gains[1]

@@ -1,0 +1,196 @@
+"""Tests for the shadow-paging baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTransactionState
+from repro.shadow import ShadowPagedStore
+from repro.shadow.store import ShadowSpaceExhausted
+from repro.storage import make_page, make_raid5
+from repro.storage.page import PAGE_SIZE
+
+
+def make_store(logical=16, physical_groups=10, group_size=4):
+    array = make_raid5(group_size, physical_groups)
+    return ShadowPagedStore(array, logical_pages=logical)
+
+
+@pytest.fixture
+def store():
+    return make_store()
+
+
+class TestBatches:
+    def test_initial_reads_zero(self, store):
+        assert store.read(0) == bytes(PAGE_SIZE)
+
+    def test_write_visible_inside_batch(self, store):
+        store.begin()
+        store.write(0, make_page(b"new"))
+        assert store.read(0) == make_page(b"new")
+
+    def test_commit_installs(self, store):
+        store.begin()
+        store.write(0, make_page(b"v1"))
+        store.commit()
+        assert store.read(0) == make_page(b"v1")
+
+    def test_abort_reverts(self, store):
+        store.begin()
+        store.write(0, make_page(b"v1"))
+        store.commit()
+        store.begin()
+        store.write(0, make_page(b"v2"))
+        store.abort()
+        assert store.read(0) == make_page(b"v1")
+
+    def test_shadow_version_untouched_on_disk(self, store):
+        """The defining property: the committed physical slot is never
+        overwritten during the batch."""
+        store.begin()
+        store.write(0, make_page(b"v1"))
+        store.commit()
+        old_physical = store._table[0]
+        store.begin()
+        store.write(0, make_page(b"v2"))
+        assert store.array.peek_page(old_physical) == make_page(b"v1")
+        store.commit()
+
+    def test_second_write_same_batch_updates_in_place(self, store):
+        store.begin()
+        store.write(0, make_page(b"a"))
+        allocated = list(store._allocated)
+        store.write(0, make_page(b"b"))
+        assert store._allocated == allocated     # no second slot
+        assert store.read(0) == make_page(b"b")
+
+    def test_nested_begin_rejected(self, store):
+        store.begin()
+        with pytest.raises(InvalidTransactionState):
+            store.begin()
+
+    def test_ops_need_batch(self, store):
+        with pytest.raises(InvalidTransactionState):
+            store.write(0, make_page(b"x"))
+        with pytest.raises(InvalidTransactionState):
+            store.commit()
+        with pytest.raises(InvalidTransactionState):
+            store.abort()
+
+    def test_out_of_range_logical(self, store):
+        with pytest.raises(ValueError):
+            store.read(99)
+
+    def test_wrong_payload_size(self, store):
+        store.begin()
+        with pytest.raises(ValueError):
+            store.write(0, b"tiny")
+
+    def test_space_exhaustion(self):
+        store = make_store(logical=16, physical_groups=4)   # no headroom
+        store.begin()
+        with pytest.raises(ShadowSpaceExhausted):
+            store.write(0, make_page(b"x"))
+
+    def test_slots_recycled_across_batches(self, store):
+        for round_ in range(20):       # more rounds than free slots
+            store.begin()
+            store.write(round_ % 4, make_page(round_ % 251))
+            store.commit()
+        assert store.commits == 20
+
+
+class TestCrash:
+    def test_crash_without_batch_is_noop(self, store):
+        store.begin()
+        store.write(0, make_page(b"v1"))
+        store.commit()
+        store.crash()
+        store.recover()
+        assert store.read(0) == make_page(b"v1")
+
+    def test_crash_mid_batch_reverts(self, store):
+        store.begin()
+        store.write(0, make_page(b"v1"))
+        store.commit()
+        store.begin()
+        store.write(0, make_page(b"doomed"))
+        store.crash()
+        store.recover()
+        assert store.read(0) == make_page(b"v1")
+        assert not store.in_batch
+
+    def test_atomic_across_many_pages(self, store):
+        store.begin()
+        for logical in range(8):
+            store.write(logical, make_page(bytes([logical + 1])))
+        store.crash()
+        store.recover()
+        for logical in range(8):
+            assert store.read(logical) == bytes(PAGE_SIZE)
+
+
+class TestCosts:
+    def test_commit_charges_table_pages(self, store):
+        store.begin()
+        store.write(0, make_page(b"x"))
+        cost = store.commit()
+        assert cost == 2        # one table page + master block
+        assert store.table_writes == 2
+
+    def test_wide_batch_touches_more_table_pages(self):
+        store = make_store(logical=300, physical_groups=100)
+        store.begin()
+        store.write(0, make_page(b"a"))
+        store.write(200, make_page(b"b"))     # different table page
+        assert store.commit() == 3
+
+
+class TestScrambling:
+    def test_fresh_store_sequential(self, store):
+        assert store.scrambling() == 1.0
+
+    def test_updates_scramble(self, store):
+        import random
+        rng = random.Random(7)
+        for _ in range(30):
+            store.begin()
+            store.write(rng.randrange(store.logical_pages),
+                        make_page(rng.randrange(256)))
+            store.commit()
+        assert store.scrambling() > 1.5
+
+    def test_single_page_store(self):
+        store = make_store(logical=1)
+        assert store.scrambling() == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_shadow_atomicity_property(data):
+    """Property: after any mix of committed/aborted/crashed batches, the
+    store equals the serial application of committed batches only."""
+    store = make_store(logical=6, physical_groups=20)
+    expected = {p: bytes(PAGE_SIZE) for p in range(6)}
+    for _ in range(data.draw(st.integers(1, 12), label="batches")):
+        store.begin()
+        writes = {}
+        for _ in range(data.draw(st.integers(1, 3), label="writes")):
+            page = data.draw(st.integers(0, 5), label="page")
+            payload = data.draw(st.binary(min_size=PAGE_SIZE,
+                                          max_size=PAGE_SIZE), label="bytes")
+            store.write(page, payload)
+            writes[page] = payload
+        fate = data.draw(st.sampled_from(["commit", "abort", "crash"]),
+                         label="fate")
+        if fate == "commit":
+            store.commit()
+            expected.update(writes)
+        elif fate == "abort":
+            store.abort()
+        else:
+            store.crash()
+            store.recover()
+    for page, payload in expected.items():
+        assert store.read(page) == payload

@@ -1,0 +1,37 @@
+"""Tests for simulation metrics."""
+
+from repro.sim import DEFAULT_T, SimulationReport
+
+
+class TestReport:
+    def test_transactions_total(self):
+        report = SimulationReport(committed=7, aborted=3)
+        assert report.transactions == 10
+
+    def test_throughput_uses_default_interval(self):
+        report = SimulationReport(committed=10, page_transfers=1_000_000)
+        assert report.throughput() == 10 * DEFAULT_T / 1_000_000
+
+    def test_throughput_zero_transfers(self):
+        assert SimulationReport(committed=5).throughput() == 0.0
+
+    def test_cost_per_transaction(self):
+        report = SimulationReport(committed=4, aborted=1, page_transfers=50)
+        assert report.cost_per_transaction() == 10.0
+
+    def test_cost_with_no_transactions(self):
+        assert SimulationReport().cost_per_transaction() == 0.0
+
+    def test_summary_readable(self):
+        report = SimulationReport(committed=4, aborted=1, page_transfers=50,
+                                  buffer_hit_ratio=0.75,
+                                  unlogged_steal_fraction=0.9)
+        text = report.summary()
+        assert "4 committed" in text
+        assert "0.75" in text
+        assert "0.90" in text
+
+    def test_extra_dict_available(self):
+        report = SimulationReport()
+        report.extra["anything"] = 1
+        assert report.extra == {"anything": 1}

@@ -1,0 +1,80 @@
+"""Tests for live service-time observation."""
+
+import pytest
+
+from repro.db import Database, preset
+from repro.sim import Simulator, TimedObserver, WorkloadSpec
+
+
+def make_db(name="page-force-rda"):
+    return Database(preset(name, group_size=5, num_groups=12,
+                           buffer_capacity=16))
+
+
+SPEC = WorkloadSpec(concurrency=3, pages_per_txn=5, communality=0.5)
+
+
+class TestAttachment:
+    def test_attach_and_observe(self):
+        db = make_db()
+        observer = TimedObserver.attach(db)
+        Simulator(db, SPEC, seed=1).run(20)
+        assert observer.total_busy_ms > 0
+        assert observer.busiest_ms <= observer.total_busy_ms
+        assert observer.total_seeks > 0
+        observer.detach()
+
+    def test_detach_stops_accounting(self):
+        db = make_db()
+        observer = TimedObserver.attach(db)
+        observer.detach()
+        Simulator(db, SPEC, seed=1).run(10)
+        assert observer.total_busy_ms == 0
+
+    def test_double_attach_rejected(self):
+        db = make_db()
+        TimedObserver.attach(db)
+        with pytest.raises(RuntimeError):
+            TimedObserver.attach(db)
+
+    def test_summary_is_readable(self):
+        db = make_db()
+        observer = TimedObserver.attach(db)
+        Simulator(db, SPEC, seed=1).run(10)
+        text = observer.summary()
+        assert "busy" in text and "seeks" in text
+
+    def test_balance_bounds(self):
+        db = make_db()
+        observer = TimedObserver.attach(db)
+        Simulator(db, SPEC, seed=1).run(20)
+        assert observer.balance() >= 1.0
+
+
+class TestBuiltinTiming:
+    def test_timed_simulator_reports_busy_time(self):
+        db = make_db()
+        sim = Simulator(db, SPEC, seed=9, timed=True)
+        report = sim.run(15)
+        assert report.extra["busy_ms"] > 0
+        assert report.extra["busiest_arm_ms"] <= report.extra["busy_ms"]
+        assert report.extra["seeks"] > 0
+
+    def test_untimed_simulator_has_no_timing_keys(self):
+        report = Simulator(make_db(), SPEC, seed=9).run(10)
+        assert "busy_ms" not in report.extra
+
+
+class TestComparative:
+    def test_busy_time_grows_with_work(self):
+        """Device time tracks the transfer counts the model reasons
+        about (only array devices are observed; the log devices are
+        separate, as the paper assumes)."""
+        results = []
+        for transactions in (15, 45):
+            db = make_db()
+            observer = TimedObserver.attach(db)
+            Simulator(db, SPEC, seed=3).run(transactions)
+            results.append(observer.total_busy_ms)
+            observer.detach()
+        assert results[1] > results[0] * 1.5

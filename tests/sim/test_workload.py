@@ -1,0 +1,120 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sim import (HIGH_RETRIEVAL, HIGH_UPDATE, WorkloadGenerator,
+                       WorkloadSpec)
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.concurrency == 6
+
+    def test_paper_environments(self):
+        assert HIGH_UPDATE.pages_per_txn == 10
+        assert HIGH_UPDATE.update_txn_fraction == 0.8
+        assert HIGH_UPDATE.update_probability == 0.9
+        assert HIGH_RETRIEVAL.pages_per_txn == 40
+        assert HIGH_RETRIEVAL.update_txn_fraction == 0.1
+        assert HIGH_RETRIEVAL.update_probability == 0.3
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(concurrency=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(update_probability=1.5)
+
+    def test_bad_pages(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(pages_per_txn=0)
+
+
+class TestGenerator:
+    def test_script_shape(self):
+        gen = WorkloadGenerator(WorkloadSpec(pages_per_txn=7), num_pages=50,
+                                seed=1)
+        script = gen.next_script()
+        assert len(script.accesses) == 7
+        assert all(0 <= a.page < 50 for a in script.accesses)
+
+    def test_deterministic_given_seed(self):
+        a = WorkloadGenerator(WorkloadSpec(), 100, seed=42).next_script([1, 2])
+        b = WorkloadGenerator(WorkloadSpec(), 100, seed=42).next_script([1, 2])
+        assert a.accesses == b.accesses
+        assert a.is_update == b.is_update
+
+    def test_update_fraction_respected(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(update_txn_fraction=0.0), 100, seed=1)
+        assert not any(gen.next_script().is_update for _ in range(50))
+        gen = WorkloadGenerator(
+            WorkloadSpec(update_txn_fraction=1.0, update_probability=1.0),
+            100, seed=1)
+        script = gen.next_script()
+        assert script.is_update
+        assert all(a.update for a in script.accesses)
+
+    def test_read_only_txn_never_aborts_by_draw(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(update_txn_fraction=0.0, abort_probability=1.0),
+            100, seed=1)
+        assert not gen.next_script().wants_abort
+
+    def test_communality_draws_from_buffered(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(communality=1.0, pages_per_txn=20), 1000, seed=9)
+        script = gen.next_script(buffered_pages=[5, 6])
+        assert {a.page for a in script.accesses} <= {5, 6}
+
+    def test_zero_communality_ignores_buffer(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(communality=0.0, pages_per_txn=200), 1000, seed=9)
+        script = gen.next_script(buffered_pages=[5])
+        pages = {a.page for a in script.accesses}
+        assert len(pages) > 50     # spread over the whole database
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ModelError):
+            WorkloadGenerator(WorkloadSpec(), 0)
+
+    def test_zipf_skew_concentrates_accesses(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(skew=1.2, pages_per_txn=50, communality=0.0),
+            1000, seed=4)
+        pages = [a.page for _ in range(20) for a in gen.next_script().accesses]
+        hot = sum(1 for p in pages if p < 100)    # top 10% of ranks
+        assert hot > len(pages) * 0.5
+
+    def test_zero_skew_is_uniform(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(skew=0.0, pages_per_txn=50, communality=0.0),
+            1000, seed=4)
+        pages = [a.page for _ in range(20) for a in gen.next_script().accesses]
+        hot = sum(1 for p in pages if p < 100)
+        assert hot < len(pages) * 0.25
+
+    def test_negative_skew_rejected(self):
+        import pytest as _pytest
+        with _pytest.raises(ModelError):
+            WorkloadSpec(skew=-0.5)
+
+    def test_skewed_simulation_runs(self):
+        from repro.db import Database, preset
+        from repro.sim import run_workload
+        db = Database(preset("page-force-rda", group_size=5, num_groups=12,
+                             buffer_capacity=16))
+        report = run_workload(db, WorkloadSpec(skew=1.0, concurrency=3,
+                                               pages_per_txn=4), 30, seed=6)
+        assert report.committed > 0
+        assert db.verify_parity() == []
+
+    def test_update_pages_property(self):
+        gen = WorkloadGenerator(
+            WorkloadSpec(update_txn_fraction=1.0, update_probability=1.0,
+                         pages_per_txn=5), 100, seed=3)
+        script = gen.next_script()
+        assert script.update_pages == {a.page for a in script.accesses}

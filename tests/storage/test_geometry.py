@@ -1,0 +1,156 @@
+"""Unit and property tests for array geometries (paper Figures 1, 2, 4, 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.storage.geometry import (Geometry, Placement,
+                                    parity_striping_geometry, raid5_geometry)
+
+geometries = st.builds(
+    Geometry,
+    group_size=st.integers(2, 8),
+    num_groups=st.integers(1, 20),
+    twin=st.booleans(),
+    placement=st.sampled_from(list(Placement)),
+)
+
+
+class TestConstruction:
+    def test_disk_counts(self):
+        assert raid5_geometry(4, 10).num_disks == 5
+        assert raid5_geometry(4, 10, twin=True).num_disks == 6
+        assert parity_striping_geometry(4, 10).num_disks == 5
+
+    def test_data_page_count(self):
+        geo = raid5_geometry(4, 10)
+        assert geo.num_data_pages == 40
+
+    def test_rejects_tiny_group(self):
+        with pytest.raises(ValueError):
+            Geometry(1, 10)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            Geometry(4, 0)
+
+    def test_out_of_range_queries(self):
+        geo = raid5_geometry(4, 4)
+        with pytest.raises(AddressError):
+            geo.data_address(16)
+        with pytest.raises(AddressError):
+            geo.group_pages(4)
+
+
+class TestRotation:
+    def test_raid5_parity_rotates(self):
+        geo = raid5_geometry(4, 10)
+        disks = [geo.parity_addresses(g)[0].disk for g in range(5)]
+        assert disks == [0, 1, 2, 3, 4]
+
+    def test_twin_parity_on_adjacent_disks(self):
+        geo = raid5_geometry(4, 12, twin=True)
+        for g in range(12):
+            a, b = geo.parity_addresses(g)
+            assert a.disk != b.disk
+            assert b.disk == (a.disk + 1) % geo.num_disks
+
+    def test_parity_and_data_disks_disjoint(self):
+        geo = raid5_geometry(4, 12, twin=True)
+        for g in range(12):
+            parity_disks = {a.disk for a in geo.parity_addresses(g)}
+            assert parity_disks.isdisjoint(set(geo.data_disks(g)))
+
+
+class TestPlacementDisciplines:
+    def test_striped_consecutive_pages_share_group(self):
+        geo = raid5_geometry(4, 10)
+        assert [geo.group_of(p) for p in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_striped_consecutive_pages_on_distinct_disks(self):
+        geo = raid5_geometry(4, 10)
+        disks = [geo.data_address(p).disk for p in range(4)]
+        assert len(set(disks)) == 4
+
+    def test_sequential_run_stays_on_one_disk(self):
+        """Parity striping's defining property (Gray et al.)."""
+        geo = parity_striping_geometry(4, 10)
+        runs_per_disk = {}
+        for p in range(geo.num_data_pages):
+            runs_per_disk.setdefault(geo.data_address(p).disk, []).append(p)
+        for pages in runs_per_disk.values():
+            assert pages == list(range(pages[0], pages[0] + len(pages)))
+
+    def test_sequential_spreads_over_all_disks(self):
+        geo = parity_striping_geometry(4, 10)
+        disks = {geo.data_address(p).disk for p in range(geo.num_data_pages)}
+        assert disks == set(range(geo.num_disks))
+
+
+class TestMappingInvariants:
+    @given(geometries)
+    def test_addresses_are_bijective(self, geo):
+        seen = set()
+        for p in range(geo.num_data_pages):
+            addr = geo.data_address(p)
+            key = (addr.disk, addr.slot)
+            assert key not in seen
+            seen.add(key)
+            assert geo.page_at(addr) == p
+
+    @given(geometries)
+    def test_groups_partition_pages(self, geo):
+        all_pages = []
+        for g in range(geo.num_groups):
+            members = geo.group_pages(g)
+            assert len(members) == geo.group_size
+            for p in members:
+                assert geo.group_of(p) == g
+            all_pages.extend(members)
+        assert sorted(all_pages) == list(range(geo.num_data_pages))
+
+    @given(geometries)
+    def test_group_members_on_distinct_data_disks(self, geo):
+        for g in range(geo.num_groups):
+            disks = [geo.data_address(p).disk for p in geo.group_pages(g)]
+            assert len(set(disks)) == geo.group_size
+            parity_disks = {a.disk for a in geo.parity_addresses(g)}
+            assert parity_disks.isdisjoint(set(disks))
+
+    @given(geometries)
+    def test_index_in_group_consistent(self, geo):
+        for g in range(geo.num_groups):
+            for j, p in enumerate(geo.group_pages(g)):
+                assert geo.index_in_group(p) == j
+
+    @given(geometries)
+    def test_pages_on_disk_covers_everything(self, geo):
+        total = 0
+        for d in range(geo.num_disks):
+            for slot, page in geo.pages_on_disk(d):
+                assert geo.data_address(page) == type(geo.data_address(page))(d, slot)
+                total += 1
+        assert total == geo.num_data_pages
+
+    @given(geometries)
+    def test_parity_slot_count_on_disks(self, geo):
+        per_disk = [len(geo.groups_with_parity_on(d)) for d in range(geo.num_disks)]
+        expected_total = geo.num_groups * (2 if geo.twin else 1)
+        assert sum(per_disk) == expected_total
+        # rotation keeps the spread within one of perfectly even
+        assert max(per_disk) - min(per_disk) <= (2 if geo.twin else 1)
+
+
+class TestStorageOverhead:
+    def test_single_parity(self):
+        geo = raid5_geometry(10, 50)
+        assert geo.storage_overhead() == pytest.approx(1 / 11)
+
+    def test_twin_parity_matches_paper_claim(self):
+        """Paper: RDA's extra storage is about (100/N)% of the database —
+        one extra parity page per N data pages."""
+        geo = raid5_geometry(10, 50, twin=True)
+        assert geo.storage_overhead() == pytest.approx(2 / 12)
+        extra_vs_single = (2 - 1) * geo.num_groups / geo.num_data_pages
+        assert extra_vs_single == pytest.approx(1 / 10)

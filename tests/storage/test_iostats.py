@@ -1,0 +1,77 @@
+"""Unit tests for page-transfer accounting."""
+
+from repro.storage.iostats import IOStats, TransferCounts
+
+
+class TestCounters:
+    def test_empty(self):
+        stats = IOStats()
+        assert stats.total == 0
+        assert stats.busiest_disk() is None
+        assert stats.imbalance() == 1.0
+
+    def test_record_and_total(self):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.record_write(1, pages=3)
+        assert stats.reads == 1
+        assert stats.writes == 3
+        assert stats.total == 4
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.reset()
+        assert stats.total == 0
+        assert stats.per_disk_reads == {}
+
+    def test_snapshot_difference(self):
+        stats = IOStats()
+        stats.record_read(0)
+        before = stats.snapshot()
+        stats.record_write(0)
+        stats.record_read(1)
+        delta = stats.snapshot() - before
+        assert delta == TransferCounts(reads=1, writes=1)
+        assert delta.total == 2
+
+
+class TestWindow:
+    def test_window_counts_inner_transfers(self):
+        stats = IOStats()
+        stats.record_read(0)
+        with stats.window() as w:
+            stats.record_read(0)
+            stats.record_write(1)
+        assert (w.reads, w.writes, w.total) == (1, 1, 2)
+
+    def test_window_filled_even_on_exception(self):
+        stats = IOStats()
+        try:
+            with stats.window() as w:
+                stats.record_write(0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert w.writes == 1
+
+
+class TestBalance:
+    def test_busiest_disk(self):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.record_write(2)
+        stats.record_write(2)
+        assert stats.busiest_disk() == 2
+
+    def test_imbalance_uniform(self):
+        stats = IOStats()
+        for disk in range(4):
+            stats.record_read(disk)
+        assert stats.imbalance() == 1.0
+
+    def test_imbalance_skewed(self):
+        stats = IOStats()
+        stats.record_read(0, pages=9)
+        stats.record_read(1, pages=1)
+        assert stats.imbalance() == 1.8

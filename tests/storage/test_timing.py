@@ -1,0 +1,165 @@
+"""Tests for the disk service-time model."""
+
+import pytest
+
+from repro.storage.geometry import parity_striping_geometry, raid5_geometry
+from repro.storage.timing import (ArrayTimer, DiskTimer, DiskTimingSpec,
+                                  time_mixed_workload, time_read,
+                                  time_sequential_scan, time_small_write)
+
+
+@pytest.fixture
+def spec():
+    return DiskTimingSpec()
+
+
+CYLS = 125      # cylinders of a 1000-slot disk at 8 pages/cylinder
+
+
+class TestSpec:
+    def test_zero_distance_no_seek(self, spec):
+        assert spec.seek_time(0, CYLS) == 0.0
+
+    def test_full_stroke(self, spec):
+        assert spec.seek_time(CYLS - 1, CYLS) == pytest.approx(
+            spec.max_seek_ms)
+
+    def test_seek_monotone(self, spec):
+        times = [spec.seek_time(d, CYLS) for d in (1, 10, 60, 124)]
+        assert times == sorted(times)
+
+    def test_service_includes_rotation_and_transfer(self, spec):
+        assert spec.service_time(0, CYLS) == pytest.approx(
+            spec.rotation_ms / 2 + spec.transfer_ms_per_page)
+
+    def test_cylinders_for(self, spec):
+        assert spec.cylinders_for(1000) == 125
+        assert spec.cylinders_for(1) == 1
+
+
+class TestDiskTimer:
+    def test_repeated_same_slot_no_seek(self, spec):
+        timer = DiskTimer(spec, capacity=100)
+        timer.access(50)
+        first_busy = timer.busy_ms
+        timer.access(50)
+        assert timer.seeks == 1      # only the initial move
+        assert timer.busy_ms - first_busy == pytest.approx(
+            spec.service_time(0, spec.cylinders_for(100)))
+
+    def test_adjacent_slots_share_cylinder(self, spec):
+        timer = DiskTimer(spec, capacity=100)
+        timer.access(8)
+        timer.access(9)              # same cylinder at 8 pages/cylinder
+        assert timer.seeks == 1
+
+    def test_arm_tracks_position(self, spec):
+        timer = DiskTimer(spec, capacity=100)
+        timer.access(0)
+        timer.access(99)
+        assert timer.arm_cylinder == 99 // spec.pages_per_cylinder
+
+    def test_mean_service(self, spec):
+        timer = DiskTimer(spec, capacity=100)
+        assert timer.mean_service_ms == 0.0
+        timer.access(0)
+        timer.access(0)
+        assert timer.mean_service_ms == pytest.approx(timer.busy_ms / 2)
+
+    def test_single_slot_disk(self, spec):
+        timer = DiskTimer(spec, capacity=1)
+        timer.access(0)
+        assert timer.arm_cylinder == 0
+
+
+class TestArrayTimer:
+    def test_parallel_phase_takes_slowest(self, spec):
+        timer = ArrayTimer(spec, capacity_per_disk=100, num_disks=3)
+        # disk 0 at cylinder 0 stays; disk 1 must cross the disk
+        cylinders = spec.cylinders_for(100)
+        latency = timer.operation([(0, 0), (1, 99)])
+        assert latency == pytest.approx(
+            spec.service_time(99 // spec.pages_per_cylinder, cylinders))
+
+    def test_phases_are_sequential(self, spec):
+        timer = ArrayTimer(spec, capacity_per_disk=100, num_disks=2)
+        latency = timer.operation([(0, 0)], [(0, 0)])
+        assert latency == pytest.approx(
+            2 * spec.service_time(0, spec.cylinders_for(100)))
+
+    def test_utilizations_bounded(self, spec):
+        timer = ArrayTimer(spec, capacity_per_disk=100, num_disks=2)
+        timer.operation([(0, 0)])
+        timer.operation([(1, 50)])
+        for u in timer.utilizations():
+            assert 0.0 <= u <= 1.0
+
+    def test_mean_latency(self, spec):
+        timer = ArrayTimer(spec, capacity_per_disk=10, num_disks=2)
+        timer.operation([(0, 0)])
+        timer.operation([(0, 0)])
+        assert timer.mean_latency_ms() == pytest.approx(timer.elapsed_ms / 2)
+
+
+class TestOrganizationComparison:
+    """Gray's argument, measured: parity striping preserves sequential
+    locality; data striping trades it for parallel large transfers."""
+
+    def _timer_for(self, geometry, spec):
+        return ArrayTimer(spec, geometry.capacity_per_disk,
+                          geometry.num_disks)
+
+    def test_mixed_workload_favors_parity_striping(self, spec):
+        """A scan interleaved with random traffic: parity striping keeps
+        the scan on one arm, so it pays far fewer long seeks."""
+        import random
+        rng = random.Random(5)
+        raid = raid5_geometry(4, 200)
+        striped = parity_striping_geometry(4, 200)
+        scan = list(range(0, 60))
+        randoms = [rng.randrange(raid.num_data_pages) for _ in range(60)]
+        raid_timer = self._timer_for(raid, spec)
+        striped_timer = self._timer_for(striped, spec)
+        raid_total = time_mixed_workload(raid_timer, raid, scan, randoms)
+        striped_total = time_mixed_workload(striped_timer, striped, scan,
+                                            randoms)
+        assert striped_total < raid_total
+        assert striped_timer.total_seeks() < raid_timer.total_seeks()
+
+    def test_dedicated_scan_equal_cost(self, spec):
+        """Without contention the organizations tie: each disk's own
+        accesses are sequential either way."""
+        raid = raid5_geometry(4, 200)
+        striped = parity_striping_geometry(4, 200)
+        raid_total = time_sequential_scan(
+            self._timer_for(raid, spec), raid, 0, 40)
+        striped_total = time_sequential_scan(
+            self._timer_for(striped, spec), striped, 0, 40)
+        assert striped_total == pytest.approx(raid_total, rel=0.25)
+
+    def test_small_write_two_rounds(self, spec):
+        geometry = raid5_geometry(4, 50)
+        timer = self._timer_for(geometry, spec)
+        latency = time_small_write(timer, geometry, 0)
+        # two phases, each at least one rotation/2 + transfer
+        assert latency >= 2 * (spec.rotation_ms / 2
+                               + spec.transfer_ms_per_page)
+
+    def test_twin_write_not_slower_than_double(self, spec):
+        """Updating both twins happens in the same two rounds, so the
+        latency overhead of a dirty-group write is bounded by the extra
+        arm, not doubled."""
+        geometry = raid5_geometry(4, 50, twin=True)
+        single = time_small_write(self._timer_for(geometry, spec),
+                                  geometry, 0, twins=1)
+        both = time_small_write(self._timer_for(geometry, spec),
+                                geometry, 0, twins=2)
+        assert both < 2 * single
+
+    def test_buffered_old_skips_read_arm(self, spec):
+        geometry = raid5_geometry(4, 50)
+        cold = time_small_write(self._timer_for(geometry, spec), geometry, 0,
+                                old_in_buffer=False)
+        warm = time_small_write(self._timer_for(geometry, spec), geometry, 0,
+                                old_in_buffer=True)
+        assert warm <= cold

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--preset", "magic"])
+
+    def test_figure_choice_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "8"])
+
+
+class TestCommands:
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for number in range(9, 14):
+            assert f"Figure {number}" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--figure", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "Figure 9" not in out
+
+    def test_figures_csv(self, capsys):
+        assert main(["figures", "--figure", "13", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("s,% increase")
+        assert "|" not in out
+
+    def test_simulate_page_mode(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--num-groups", "12",
+                     "--buffer", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "clean" in out
+
+    def test_simulate_record_mode(self, capsys):
+        code = main(["simulate", "--preset", "record-noforce-rda",
+                     "--transactions", "30", "--num-groups", "12",
+                     "--buffer", "16"])
+        assert code == 0
+        assert "record logging" in capsys.readouterr().out
+
+    def test_simulate_with_crashes(self, capsys):
+        code = main(["simulate", "--preset", "page-noforce-log",
+                     "--transactions", "40", "--crash-every", "15",
+                     "--num-groups", "12", "--buffer", "16"])
+        assert code == 0
+        assert "crashes" in capsys.readouterr().out
+
+    def test_reliability(self, capsys):
+        assert main(["reliability", "--disks", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "mirroring" in out
+        assert "twin-parity" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "abort via parity twins" in out
+        assert "clean" in out

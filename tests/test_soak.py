@@ -1,0 +1,71 @@
+"""Soak test: everything at once, for a while.
+
+One long campaign mixing page traffic, record traffic (on a second
+database), crashes, media failures, latent sector corruption, scrubbing
+and log trimming — the kitchen sink a long-lived deployment sees.
+Asserts full consistency after every incident.  Kept to a few seconds
+of runtime; crank the constants for a real soak.
+"""
+
+import random
+
+import pytest
+
+from repro.db import Database, preset, verify_database
+from repro.sim import TPCB, Simulator, WorkloadSpec
+
+
+class TestPageModeSoak:
+    def test_kitchen_sink_campaign(self):
+        rng = random.Random(1234)
+        db = Database(preset("page-noforce-rda", group_size=5, num_groups=20,
+                             buffer_capacity=24, checkpoint_interval=250))
+        spec = WorkloadSpec(concurrency=4, pages_per_txn=6, communality=0.6,
+                            abort_probability=0.08, skew=0.5)
+        sim = Simulator(db, spec, seed=99)
+        incidents = {"crash": 0, "media": 0, "latent": 0, "trim": 0}
+        for round_ in range(10):
+            sim.run(sim.report.transactions + 25)
+            incident = rng.choice(["crash", "media", "latent", "trim"])
+            incidents[incident] += 1
+            if incident == "crash":
+                db.crash()
+                db.recover()
+            elif incident == "media":
+                victim = rng.randrange(len(db.array.disks))
+                db.media_failure(victim)
+                db.media_recover(victim, on_lost_undo="adopt")
+            elif incident == "latent":
+                page = rng.randrange(db.num_data_pages)
+                addr = db.array.geometry.data_address(page)
+                if not db.array.disks[addr.disk].failed:
+                    db.array.disks[addr.disk].corrupt(addr.slot)
+                    assert db.array.scrub_repair() == [page]
+            else:
+                db.checkpoint()
+                db.trim_log()
+            problems = verify_database(db)
+            assert problems == [], (round_, incident, problems)
+        assert sim.report.committed > 150
+        assert sum(incidents.values()) == 10
+
+    def test_record_mode_soak_with_tpcb(self):
+        db = Database(preset("record-noforce-rda", group_size=5,
+                             num_groups=16, buffer_capacity=20,
+                             checkpoint_interval=200))
+        workload = TPCB(db, seed=77)
+        workload.setup()
+        rng = random.Random(4321)
+        for round_ in range(6):
+            workload.run(15)
+            incident = rng.choice(["crash", "media", "none"])
+            if incident == "crash":
+                db.crash()
+                db.recover()
+            elif incident == "media":
+                victim = rng.randrange(len(db.array.disks))
+                db.media_failure(victim)
+                db.media_recover(victim, on_lost_undo="adopt")
+            assert workload.conserved(), (round_, incident, workload.totals())
+            assert verify_database(db) == []
+        assert workload.committed > 60

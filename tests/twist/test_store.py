@@ -1,0 +1,191 @@
+"""Tests for the TWIST twin-page store (the paper's reference [12])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParityGroupError
+from repro.storage import make_page
+from repro.storage.page import PAGE_SIZE
+from repro.twist import TwistStore
+
+
+@pytest.fixture
+def store():
+    store = TwistStore(num_pages=8, num_disks=4)
+    store.load({p: make_page(bytes([p + 1])) for p in range(8)})
+    return store
+
+
+class TestBasics:
+    def test_load_and_read(self, store):
+        assert store.read(0) == make_page(1)
+        assert store.read_committed(0) == make_page(1)
+
+    def test_unloaded_page_zero(self):
+        store = TwistStore(num_pages=2)
+        assert store.read(0) == bytes(PAGE_SIZE)
+
+    def test_write_visible_to_reader(self, store):
+        store.write(0, make_page(b"new"), txn_id=1)
+        assert store.read(0) == make_page(b"new")
+        assert store.read_committed(0) == make_page(1)
+
+    def test_twins_on_distinct_disks(self, store):
+        for page in range(store.num_pages):
+            d0, _ = store._address(page, 0)
+            d1, _ = store._address(page, 1)
+            assert d0 != d1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwistStore(0)
+        with pytest.raises(ValueError):
+            TwistStore(4, num_disks=1)
+        store = TwistStore(4)
+        with pytest.raises(ValueError):
+            store.read(99)
+        with pytest.raises(ValueError):
+            store.write(0, b"small", 1)
+
+    def test_second_uncommitted_writer_rejected(self, store):
+        store.write(0, make_page(b"a"), txn_id=1)
+        with pytest.raises(ParityGroupError):
+            store.write(0, make_page(b"b"), txn_id=2)
+
+    def test_same_txn_rewrites(self, store):
+        store.write(0, make_page(b"a"), txn_id=1)
+        store.write(0, make_page(b"b"), txn_id=1)
+        assert store.read(0) == make_page(b"b")
+
+
+class TestCosts:
+    def test_write_is_single_transfer(self, store):
+        with store.stats.window() as w:
+            store.write(0, make_page(b"x"), txn_id=1)
+        assert w.total == 1      # no parity: TWIST's write advantage
+
+    def test_commit_and_abort_are_free(self, store):
+        store.write(0, make_page(b"x"), txn_id=1)
+        with store.stats.window() as w:
+            store.commit(1)
+        assert w.total == 0
+        store.write(0, make_page(b"y"), txn_id=2)
+        with store.stats.window() as w:
+            store.abort(2)
+        assert w.total == 0
+
+    def test_storage_overhead_is_100_percent(self, store):
+        """The number RDA recovery undercuts: 2x vs (N+2)/(N+1)x."""
+        assert store.storage_overhead() == 0.5
+
+
+class TestEOT:
+    def test_commit_publishes(self, store):
+        store.write(0, make_page(b"x"), txn_id=1)
+        assert store.commit(1) == [0]
+        assert store.read_committed(0) == make_page(b"x")
+
+    def test_abort_reverts(self, store):
+        store.write(0, make_page(b"x"), txn_id=1)
+        assert store.abort(1) == [0]
+        assert store.read(0) == make_page(1)
+        assert store.uncommitted_pages() == []
+
+    def test_unknown_txn_noop(self, store):
+        assert store.commit(42) == []
+        assert store.abort(42) == []
+
+    def test_alternating_transactions(self, store):
+        for round_ in range(6):
+            txn = round_ + 10
+            store.write(3, make_page(round_ + 50), txn_id=txn)
+            store.commit(txn)
+        assert store.read(3) == make_page(55)
+
+    def test_multi_page_transaction(self, store):
+        store.write(0, make_page(b"a"), txn_id=1)
+        store.write(5, make_page(b"b"), txn_id=1)
+        store.abort(1)
+        assert store.read(0) == make_page(1)
+        assert store.read(5) == make_page(6)
+
+
+class TestCrash:
+    def test_committed_survives(self, store):
+        store.write(0, make_page(b"keep"), txn_id=1)
+        store.commit(1)
+        store.crash()
+        stats = store.recover(committed_txns={1})
+        assert stats["losers"] == []
+        assert store.read(0) == make_page(b"keep")
+
+    def test_loser_rolled_back(self, store):
+        store.write(0, make_page(b"gone"), txn_id=2)
+        store.crash()
+        stats = store.recover(committed_txns=set())
+        assert stats["losers"] == [2]
+        assert store.read(0) == make_page(1)
+
+    def test_mixed_outcome(self, store):
+        store.write(0, make_page(b"win"), txn_id=1)
+        store.commit(1)
+        store.write(1, make_page(b"lose"), txn_id=2)
+        store.crash()
+        store.recover(committed_txns={1})
+        assert store.read(0) == make_page(b"win")
+        assert store.read(1) == make_page(2)
+
+    def test_recover_scan_cost(self, store):
+        store.crash()
+        with store.stats.window() as w:
+            store.recover(committed_txns=set())
+        assert w.reads == 2 * store.num_pages
+
+    def test_sequence_of_commits_then_crash(self, store):
+        """The bit map alternates; recovery must land on the newest
+        committed twin, not merely a committed one."""
+        for round_ in range(4):
+            txn = 100 + round_
+            store.write(0, make_page(round_ + 60), txn_id=txn)
+            store.commit(txn)
+        store.crash()
+        store.recover(committed_txns={100, 101, 102, 103})
+        assert store.read(0) == make_page(63)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_twist_atomicity_property(data):
+    """Property: the committed view equals the serial application of
+    committed transactions, across aborts and crashes."""
+    store = TwistStore(num_pages=5, num_disks=3)
+    store.load({p: make_page(p + 1) for p in range(5)})
+    expected = {p: make_page(p + 1) for p in range(5)}
+    committed_txns = set()
+    next_txn = [1]
+    for _ in range(data.draw(st.integers(1, 15), label="rounds")):
+        action = data.draw(st.sampled_from(["txn", "crash"]), label="action")
+        if action == "crash":
+            store.crash()
+            store.recover(committed_txns=committed_txns)
+            continue
+        txn = next_txn[0]
+        next_txn[0] += 1
+        writes = {}
+        for _ in range(data.draw(st.integers(1, 3), label="writes")):
+            page = data.draw(st.integers(0, 4), label="page")
+            if page in store.uncommitted_pages() and page not in writes:
+                continue
+            payload = data.draw(st.binary(min_size=PAGE_SIZE,
+                                          max_size=PAGE_SIZE), label="bytes")
+            store.write(page, payload, txn_id=txn)
+            writes[page] = payload
+        if data.draw(st.booleans(), label="commit?"):
+            store.commit(txn)
+            committed_txns.add(txn)
+            expected.update(writes)
+        else:
+            store.abort(txn)
+    for page, payload in expected.items():
+        assert store.read_committed(page) == payload

@@ -1,0 +1,102 @@
+"""Tests for log record serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LogCorruptionError
+from repro.wal.records import (AbortRecord, BOTRecord, CheckpointRecord,
+                               CommitRecord, PageAfterImage, PageBeforeImage,
+                               RecordAfterEntry, RecordBeforeEntry, RecordType,
+                               deserialize)
+
+simple_records = st.one_of(
+    st.builds(BOTRecord, txn_id=st.integers(1, 1000)),
+    st.builds(CommitRecord, txn_id=st.integers(1, 1000)),
+    st.builds(AbortRecord, txn_id=st.integers(1, 1000)),
+)
+page_records = st.one_of(
+    st.builds(PageBeforeImage, txn_id=st.integers(1, 1000),
+              page_id=st.integers(0, 10_000), image=st.binary(max_size=64)),
+    st.builds(PageAfterImage, txn_id=st.integers(1, 1000),
+              page_id=st.integers(0, 10_000), image=st.binary(max_size=64)),
+)
+record_records = st.one_of(
+    st.builds(RecordBeforeEntry, txn_id=st.integers(1, 1000),
+              page_id=st.integers(0, 10_000), slot=st.integers(0, 100),
+              image=st.binary(max_size=64)),
+    st.builds(RecordAfterEntry, txn_id=st.integers(1, 1000),
+              page_id=st.integers(0, 10_000), slot=st.integers(0, 100),
+              image=st.binary(max_size=64)),
+)
+checkpoint_records = st.builds(
+    CheckpointRecord, txn_id=st.just(0),
+    active_txns=st.tuples(st.integers(1, 99)),
+    flushed_pages=st.tuples(st.integers(0, 99)),
+)
+any_record = st.one_of(simple_records, page_records, record_records,
+                       checkpoint_records)
+
+
+class TestRoundTrip:
+    @given(any_record)
+    def test_serialize_deserialize(self, record):
+        record.lsn = 7
+        record.prev_lsn = 3
+        blob = record.serialize()
+        parsed, offset = deserialize(blob)
+        assert offset == len(blob)
+        assert parsed == record
+        assert type(parsed) is type(record)
+
+    @given(st.lists(any_record, min_size=1, max_size=6))
+    def test_concatenated_stream(self, records):
+        blob = b""
+        for lsn, record in enumerate(records, start=1):
+            record.lsn = lsn
+            blob += record.serialize()
+        offset, parsed = 0, []
+        while offset < len(blob):
+            record, offset = deserialize(blob, offset)
+            parsed.append(record)
+        assert parsed == records
+
+    @given(any_record)
+    def test_serialized_size_matches(self, record):
+        assert record.serialized_size == len(record.serialize())
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        with pytest.raises(LogCorruptionError):
+            deserialize(b"\x01\x02")
+
+    def test_truncated_payload(self):
+        blob = PageBeforeImage(txn_id=1, page_id=2, image=b"abcdef").serialize()
+        with pytest.raises(LogCorruptionError):
+            deserialize(blob[:-2])
+
+    def test_unknown_type(self):
+        blob = bytearray(BOTRecord(txn_id=1).serialize())
+        blob[0] = 0xEE
+        with pytest.raises(LogCorruptionError):
+            deserialize(bytes(blob))
+
+
+class TestSemantics:
+    def test_record_types_distinct(self):
+        seen = {cls.record_type for cls in
+                (BOTRecord, CommitRecord, AbortRecord, PageBeforeImage,
+                 PageAfterImage, RecordBeforeEntry, RecordAfterEntry,
+                 CheckpointRecord)}
+        assert len(seen) == 8
+        assert seen == set(RecordType)
+
+    def test_bot_is_small(self):
+        """BOT/EOT records are tiny (the model's l_bc = 16 bytes)."""
+        assert BOTRecord(txn_id=1).serialized_size <= 40
+
+    def test_page_image_dominated_by_payload(self):
+        image = bytes(512)
+        record = PageBeforeImage(txn_id=1, page_id=0, image=image)
+        assert record.serialized_size < 512 + 60
