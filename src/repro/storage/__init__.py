@@ -10,13 +10,19 @@ Public surface:
 * :class:`~repro.storage.array.SingleParityArray` and
   :class:`~repro.storage.twin_array.TwinParityArray` implementing the
   small-write protocol, degraded reads and rebuild;
-* :class:`~repro.storage.iostats.IOStats` page-transfer accounting.
+* :class:`~repro.storage.iostats.IOStats` page-transfer accounting;
+* vectorized page kernels with runtime tier selection
+  (:mod:`repro.storage.kernels`: :func:`~repro.storage.kernels.active_tier`,
+  :func:`~repro.storage.kernels.available_tiers`,
+  :func:`~repro.storage.kernels.set_kernel`,
+  :func:`~repro.storage.kernels.use_kernel`).
 """
 
 from .array import DiskArray, SingleParityArray
 from .disk import SimulatedDisk
 from .geometry import (Geometry, PhysAddr, Placement, parity_striping_geometry,
                        raid5_geometry)
+from .kernels import active_tier, available_tiers, set_kernel, use_kernel
 from .iostats import IOStats, TransferCounts
 from .page import (HEADER_SIZE, NO_PAGE, NO_TXN, PAGE_SIZE, ZERO_PAGE,
                    ParityHeader, TwinState, compute_parity, make_page,
@@ -32,6 +38,10 @@ from .twin_array import (DirtyGroupInfo, RebuildReport, TwinParityArray,
                          TwinUpdate, select_current_twin)
 
 __all__ = [
+    "active_tier",
+    "available_tiers",
+    "set_kernel",
+    "use_kernel",
     "DiskArray",
     "SingleParityArray",
     "SimulatedDisk",

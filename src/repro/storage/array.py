@@ -12,6 +12,11 @@ plus full-stripe writes for bulk loading.
 
 The twin-parity variant used by RDA recovery lives in
 :mod:`repro.storage.twin_array`.
+
+All parity arithmetic routes through the vectorized page kernels
+(:mod:`repro.storage.kernels`): reconstruction and rebuild paths gather
+their operands and reduce them in one batched k-page XOR rather than
+k-1 pairwise passes.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from ..errors import (AddressError, ArrayDegradedError, LatentSectorError,
 from .disk import SimulatedDisk
 from .geometry import Geometry, PhysAddr
 from .iostats import IOStats
-from .page import PAGE_SIZE, ParityHeader, xor_pages
+from .page import PAGE_SIZE, ParityHeader, compute_parity, xor_pages
 
 
 class DiskArray:
@@ -131,7 +136,7 @@ class DiskArray:
     def _rebuild_parity_slot(self, disk_id: int, group: int) -> int:
         """Recompute the parity slot(s) of ``group`` living on ``disk_id``."""
         data = [self.read_page(p) for p in self.geometry.group_pages(group)]
-        parity = xor_pages(*data)
+        parity = compute_parity(data)
         written = 0
         for addr in self.geometry.parity_addresses(group):
             if addr.disk == disk_id:
@@ -226,7 +231,7 @@ class DiskArray:
         return bad
 
     def _group_consistent(self, group: int) -> bool:
-        expected = xor_pages(*self.group_data_payloads(group))
+        expected = compute_parity(self.group_data_payloads(group))
         (addr,) = self.geometry.parity_addresses(group)
         return self.disks[addr.disk].peek(addr.slot) == expected
 
@@ -287,6 +292,6 @@ class SingleParityArray(DiskArray):
             )
         for page, payload in zip(pages, payloads):
             self._write_at(self.geometry.data_address(page), payload)
-        parity = xor_pages(*payloads)
+        parity = compute_parity(payloads)
         (parity_addr,) = self.geometry.parity_addresses(group)
         self._write_at(parity_addr, parity)

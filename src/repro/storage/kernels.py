@@ -1,0 +1,342 @@
+"""Vectorized page kernels: the byte-level substrate of every parity op.
+
+Everything the paper costs in page transfers — small-write parity
+updates, the twin-parity undo identity ``D_old = P_w ⊕ P_c ⊕ D_new``,
+crash/media rebuilds, RAID-6 P+Q syndromes — bottoms out in two
+primitives over :data:`~repro.storage.page.PAGE_SIZE`-byte payloads:
+
+* whole-page XOR (GF(2) addition), and
+* GF(256) scalar-times-page multiplication (Reed-Solomon weighting).
+
+This module provides both in three interchangeable **tiers**, selected
+once at import time and overridable per call site for tests and
+benchmarks:
+
+``numpy``
+    Pages viewed as ``uint8`` vectors; XOR is ``np.bitwise_xor`` and
+    GF(256) multiply is a row of a precomputed 256×256 product table
+    indexed by the page bytes.  Registered only when numpy imports.
+
+``stdlib``
+    No third-party code.  Whole-page XOR runs as one arbitrary-precision
+    integer XOR (``int.from_bytes(a) ^ int.from_bytes(b)``); GF(256)
+    scalar-times-page runs as ``page.translate(table)`` against one of
+    256 precomputed translation tables.  Both execute in C inside the
+    interpreter, tens of times faster than a Python byte loop.
+
+``reference``
+    The original pure-Python byte loops, kept as the executable
+    specification.  The other tiers are property-tested against it
+    byte-for-byte (``tests/storage/test_kernels.py``).
+
+Tier selection: the best available tier wins (numpy > stdlib), unless
+the environment variable :data:`TIER_ENV_VAR` (``REPRO_KERNEL_TIER``)
+names one of ``numpy``/``stdlib``/``reference``/``auto``, or the
+program calls :func:`set_kernel` / :func:`use_kernel`.  Setting
+``REPRO_NO_NUMPY=1`` hides numpy even when importable — CI uses it to
+exercise the fallback path.
+
+Each tier exposes the same five static operations; callers validate
+page lengths (hoisted out of the hot loops) and the kernels assume
+well-formed input:
+
+* ``xor(a, b)`` — two-operand XOR (truncates to the shorter operand,
+  matching the historical ``zip`` semantics of ``gf256.page_xor``);
+* ``xor_accumulate(pages, size)`` — one batched k-page XOR reduction
+  (the rebuild/degraded-read hot path); zero pages → the zero page;
+* ``xor_inplace(accumulator, page)`` — XOR into a ``bytearray``;
+* ``gf_scale(coefficient, page)`` — GF(256) scalar × page;
+* ``gf_scale_accumulate(pairs, size)`` — batched ``Σ c_i · D_i``
+  (the Q-syndrome / two-erasure hot path).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+TIER_ENV_VAR = "REPRO_KERNEL_TIER"
+"""Environment variable naming the tier to activate at import time."""
+
+NO_NUMPY_ENV_VAR = "REPRO_NO_NUMPY"
+"""Set to ``1`` to pretend numpy is not installed (CI fallback leg)."""
+
+
+# -- GF(256) product tables ------------------------------------------------------------
+#
+# Built locally (mirroring repro.storage.gf256, which delegates its page
+# operations here and therefore cannot be imported at module load).
+# The field is GF(256) mod x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 2.
+
+def _build_mul_tables() -> tuple:
+    """All 256 GF(256) scalar-multiplication tables.
+
+    ``tables[c][x] == c · x`` in the field; each table is a 256-byte
+    ``bytes`` object usable directly with ``bytes.translate``.
+    """
+    poly = 0x11D
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value <<= 1
+        if value & 0x100:
+            value ^= poly
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return exp[log[a] + log[b]]
+
+    return tuple(bytes(mul(c, x) for x in range(256)) for c in range(256))
+
+
+MUL_TABLES = _build_mul_tables()
+"""``MUL_TABLES[c]`` is the ``bytes.translate`` table for GF(256) ·c."""
+
+_EXPANDED = MUL_TABLES[2]  # sanity anchor: 2·0x80 must reduce mod the polynomial
+assert _EXPANDED[0x80] == 0x1D, "GF(256) table built with the wrong polynomial"
+del _EXPANDED
+
+
+# -- reference tier --------------------------------------------------------------------
+
+
+class ReferenceKernel:
+    """The original pure-Python byte loops — the executable spec."""
+
+    name = "reference"
+
+    @staticmethod
+    def xor(a: bytes, b: bytes) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    @staticmethod
+    def xor_accumulate(pages, size: int) -> bytes:
+        out = bytearray(size)
+        for page in pages:
+            for i, byte in enumerate(page):
+                out[i] ^= byte
+        return bytes(out)
+
+    @staticmethod
+    def xor_inplace(accumulator: bytearray, page: bytes) -> None:
+        for i, byte in enumerate(page):
+            accumulator[i] ^= byte
+
+    @staticmethod
+    def gf_scale(coefficient: int, page: bytes) -> bytes:
+        if coefficient == 0:
+            return bytes(len(page))
+        if coefficient == 1:
+            return bytes(page)
+        table = MUL_TABLES[coefficient]
+        return bytes(table[b] for b in page)
+
+    @staticmethod
+    def gf_scale_accumulate(pairs, size: int) -> bytes:
+        out = bytes(size)
+        for coefficient, page in pairs:
+            out = ReferenceKernel.xor(out, ReferenceKernel.gf_scale(coefficient, page))
+        return out
+
+
+# -- stdlib tier -----------------------------------------------------------------------
+
+
+class StdlibKernel:
+    """C-speed primitives from the standard library alone.
+
+    Whole-page XOR as one big-int XOR and GF(256) scaling as
+    ``bytes.translate`` both run inside the interpreter's C core — no
+    per-byte Python bytecode.
+    """
+
+    name = "stdlib"
+
+    @staticmethod
+    def xor(a: bytes, b: bytes) -> bytes:
+        n = len(a)
+        if len(b) != n:
+            n = min(n, len(b))
+            a, b = a[:n], b[:n]
+        return (int.from_bytes(a, "little")
+                ^ int.from_bytes(b, "little")).to_bytes(n, "little")
+
+    @staticmethod
+    def xor_accumulate(pages, size: int) -> bytes:
+        acc = 0
+        for page in pages:
+            acc ^= int.from_bytes(page, "little")
+        return acc.to_bytes(size, "little")
+
+    @staticmethod
+    def xor_inplace(accumulator: bytearray, page: bytes) -> None:
+        accumulator[:] = (
+            int.from_bytes(accumulator, "little") ^ int.from_bytes(page, "little")
+        ).to_bytes(len(accumulator), "little")
+
+    @staticmethod
+    def gf_scale(coefficient: int, page: bytes) -> bytes:
+        if coefficient == 0:
+            return bytes(len(page))
+        if coefficient == 1:
+            return bytes(page)
+        return page.translate(MUL_TABLES[coefficient])
+
+    @staticmethod
+    def gf_scale_accumulate(pairs, size: int) -> bytes:
+        acc = 0
+        for coefficient, page in pairs:
+            if coefficient == 0:
+                continue
+            if coefficient == 1:
+                acc ^= int.from_bytes(page, "little")
+            else:
+                acc ^= int.from_bytes(page.translate(MUL_TABLES[coefficient]),
+                                      "little")
+        return acc.to_bytes(size, "little")
+
+
+# -- numpy tier ------------------------------------------------------------------------
+
+
+def _make_numpy_kernel():
+    """Build the numpy tier, or return None when numpy is unavailable."""
+    if os.environ.get(NO_NUMPY_ENV_VAR, "").strip() in ("1", "true", "yes"):
+        return None
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+
+    mul_matrix = np.frombuffer(b"".join(MUL_TABLES),
+                               dtype=np.uint8).reshape(256, 256)
+
+    class NumpyKernel:
+        """Pages as ``uint8`` vectors; GF(256) via a 256×256 product table."""
+
+        name = "numpy"
+
+        @staticmethod
+        def xor(a: bytes, b: bytes) -> bytes:
+            n = min(len(a), len(b))
+            va = np.frombuffer(a, dtype=np.uint8, count=n)
+            vb = np.frombuffer(b, dtype=np.uint8, count=n)
+            return np.bitwise_xor(va, vb).tobytes()
+
+        @staticmethod
+        def xor_accumulate(pages, size: int) -> bytes:
+            pages = list(pages)
+            if not pages:
+                return bytes(size)
+            stacked = np.frombuffer(b"".join(pages),
+                                    dtype=np.uint8).reshape(len(pages), size)
+            return np.bitwise_xor.reduce(stacked, axis=0).tobytes()
+
+        @staticmethod
+        def xor_inplace(accumulator: bytearray, page: bytes) -> None:
+            acc = np.frombuffer(accumulator, dtype=np.uint8)
+            acc ^= np.frombuffer(page, dtype=np.uint8, count=len(accumulator))
+
+        @staticmethod
+        def gf_scale(coefficient: int, page: bytes) -> bytes:
+            if coefficient == 0:
+                return bytes(len(page))
+            if coefficient == 1:
+                return bytes(page)
+            view = np.frombuffer(page, dtype=np.uint8)
+            return mul_matrix[coefficient][view].tobytes()
+
+        @staticmethod
+        def gf_scale_accumulate(pairs, size: int) -> bytes:
+            pairs = list(pairs)
+            if not pairs:
+                return bytes(size)
+            coefficients = np.fromiter((c for c, _ in pairs), dtype=np.uint8,
+                                       count=len(pairs))
+            stacked = np.frombuffer(b"".join(p for _, p in pairs),
+                                    dtype=np.uint8).reshape(len(pairs), size)
+            weighted = mul_matrix[coefficients[:, None], stacked]
+            return np.bitwise_xor.reduce(weighted, axis=0).tobytes()
+
+    return NumpyKernel
+
+
+# -- registry and selection ------------------------------------------------------------
+
+KERNELS = {
+    ReferenceKernel.name: ReferenceKernel,
+    StdlibKernel.name: StdlibKernel,
+}
+
+_numpy_kernel = _make_numpy_kernel()
+if _numpy_kernel is not None:
+    KERNELS[_numpy_kernel.name] = _numpy_kernel
+
+
+def available_tiers() -> tuple:
+    """Registered tier names, fastest first."""
+    order = ("numpy", "stdlib", "reference")
+    return tuple(name for name in order if name in KERNELS)
+
+
+def _select_default():
+    """Apply the env-var override, else pick the fastest available tier."""
+    requested = os.environ.get(TIER_ENV_VAR, "auto").strip().lower()
+    if requested in ("", "auto"):
+        return KERNELS[available_tiers()[0]]
+    if requested in KERNELS:
+        return KERNELS[requested]
+    if requested == "numpy":
+        warnings.warn(
+            f"{TIER_ENV_VAR}=numpy but numpy is unavailable; "
+            "falling back to the stdlib kernel tier",
+            RuntimeWarning, stacklevel=2)
+        return KERNELS["stdlib"]
+    raise ValueError(
+        f"{TIER_ENV_VAR}={requested!r} names no kernel tier; "
+        f"choose from {('auto',) + tuple(sorted(KERNELS))}")
+
+
+_active = _select_default()
+
+
+def get_kernel():
+    """The active kernel tier (class with the five static operations)."""
+    return _active
+
+
+def active_tier() -> str:
+    """Name of the active tier."""
+    return _active.name
+
+
+def set_kernel(name: str) -> str:
+    """Activate a tier by name; returns the previously active name.
+
+    This is the programmatic/config override of the import-time
+    selection; tests and benchmarks prefer :func:`use_kernel`.
+    """
+    global _active
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel tier {name!r}; available: {available_tiers()}")
+    previous = _active.name
+    _active = KERNELS[name]
+    return previous
+
+
+@contextmanager
+def use_kernel(name: str):
+    """Context manager pinning the active tier, restoring it on exit."""
+    previous = set_kernel(name)
+    try:
+        yield KERNELS[name]
+    finally:
+        set_kernel(previous)

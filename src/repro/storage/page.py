@@ -26,6 +26,8 @@ import struct
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from . import kernels as _kernels
+
 PAGE_SIZE = 512
 """Bytes per page.  Small enough to keep full-array tests fast, large
 enough that XOR bugs cannot hide in a couple of bytes."""
@@ -121,24 +123,26 @@ def xor_pages(*pages: bytes) -> bytes:
     With zero arguments this returns the zero page (the XOR identity),
     which makes parity computation over an empty set well defined.
 
+    The reduction happens in one batched kernel call (see
+    :mod:`repro.storage.kernels`), so a k-page rebuild accumulation
+    costs one vector op, not k-1 pairwise passes.
+
     Raises:
         ValueError: if any operand is not exactly :data:`PAGE_SIZE` bytes.
     """
-    out = bytearray(PAGE_SIZE)
     for page in pages:
         if len(page) != PAGE_SIZE:
             raise ValueError(f"xor_pages operand has {len(page)} bytes, want {PAGE_SIZE}")
-        for i, byte in enumerate(page):
-            out[i] ^= byte
-    return bytes(out)
+    if not pages:
+        return ZERO_PAGE
+    return _kernels.get_kernel().xor_accumulate(pages, PAGE_SIZE)
 
 
 def xor_into(accumulator: bytearray, page: bytes) -> None:
     """XOR ``page`` into ``accumulator`` in place (hot path for rebuilds)."""
     if len(page) != PAGE_SIZE or len(accumulator) != PAGE_SIZE:
         raise ValueError("xor_into operands must be full pages")
-    for i, byte in enumerate(page):
-        accumulator[i] ^= byte
+    _kernels.get_kernel().xor_inplace(accumulator, page)
 
 
 def make_page(fill: bytes | str | int = b"") -> bytes:

@@ -15,11 +15,20 @@ module is redundancy only, a substrate for the comparison benches.
 from __future__ import annotations
 
 from ..errors import UnrecoverableDataError
+from . import kernels as _kernels
 from .array import DiskArray
 from .geometry import Geometry, Placement
-from .gf256 import gf_pow, page_mul, page_xor, q_parity, solve_two_erasures
+from .gf256 import (GEN_POWERS, gf_div, page_mul, page_xor, q_parity,
+                    solve_two_erasures)
 from .iostats import IOStats
 from .page import PAGE_SIZE, xor_pages
+
+
+def _gen_coeff(index: int) -> int:
+    """``g^index`` (g = 2) from the precomputed power table — the
+    Reed-Solomon weight of group member ``index``, cached instead of
+    recomputed on every small write, degraded read, and recovery call."""
+    return GEN_POWERS[index % 255]
 
 
 def raid6_geometry(group_size: int, num_groups: int) -> Geometry:
@@ -65,7 +74,7 @@ class Raid6Array(DiskArray):
         self._write_at(addr, new_data)
         self._write_at(p_addr, page_xor(old_p, delta))
         self._write_at(q_addr,
-                       page_xor(old_q, page_mul(gf_pow(2, index), delta)))
+                       page_xor(old_q, page_mul(_gen_coeff(index), delta)))
 
     def full_stripe_write(self, group: int, payloads: list) -> None:
         """Write a whole group plus fresh P and Q (N + 2 transfers)."""
@@ -130,32 +139,34 @@ class Raid6Array(DiskArray):
                 continue
             survivors[index] = self._read_at(self.geometry.data_address(member))
 
+        kernel = _kernels.get_kernel()
         if len(failed) == 1:
             index = failed[0]
             if p_ok:
-                acc = self._read_at(self._p_addr(group))
-                for payload in survivors.values():
-                    acc = page_xor(acc, payload)
-                return acc
+                # one batched reduction over P and every survivor
+                return kernel.xor_accumulate(
+                    [self._read_at(self._p_addr(group)),
+                     *survivors.values()], PAGE_SIZE)
             if not q_ok:
                 raise UnrecoverableDataError(
                     f"group {group}: data, P and Q all unavailable")
-            acc = self._read_at(self._q_addr(group))
-            for other_index, payload in survivors.items():
-                acc = page_xor(acc, page_mul(gf_pow(2, other_index), payload))
-            from .gf256 import gf_div
-            inv = gf_div(1, gf_pow(2, index))
-            return page_mul(inv, acc)
+            acc = kernel.gf_scale_accumulate(
+                [(1, self._read_at(self._q_addr(group)))]
+                + [(_gen_coeff(other_index), payload)
+                   for other_index, payload in survivors.items()], PAGE_SIZE)
+            return page_mul(gf_div(1, _gen_coeff(index)), acc)
 
         # two data members lost: need both P and Q
         if not (p_ok and q_ok):
             raise UnrecoverableDataError(
                 f"group {group}: two data members plus a parity device lost")
-        p_star = self._read_at(self._p_addr(group))
-        q_star = self._read_at(self._q_addr(group))
-        for index, payload in survivors.items():
-            p_star = page_xor(p_star, payload)
-            q_star = page_xor(q_star, page_mul(gf_pow(2, index), payload))
+        p_star = kernel.xor_accumulate(
+            [self._read_at(self._p_addr(group)), *survivors.values()],
+            PAGE_SIZE)
+        q_star = kernel.gf_scale_accumulate(
+            [(1, self._read_at(self._q_addr(group)))]
+            + [(_gen_coeff(index), payload)
+               for index, payload in survivors.items()], PAGE_SIZE)
         d_a, d_b = solve_two_erasures(failed[0], failed[1], p_star, q_star)
         return d_a if target_index == failed[0] else d_b
 

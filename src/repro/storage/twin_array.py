@@ -31,7 +31,8 @@ from dataclasses import dataclass
 from ..errors import UnrecoverableDataError
 from .array import DiskArray
 from .geometry import Geometry
-from .page import PAGE_SIZE, ParityHeader, TwinState, xor_pages
+from .page import (PAGE_SIZE, ParityHeader, TwinState, compute_parity,
+                   xor_pages)
 
 
 @dataclass(frozen=True)
@@ -253,7 +254,7 @@ class TwinParityArray(DiskArray):
             )
         for page, payload in zip(pages, payloads):
             self._write_at(self.geometry.data_address(page), payload)
-        parity = xor_pages(*payloads)
+        parity = compute_parity(payloads)
         stamp = self.next_timestamp()
         committed = header if header is not None else ParityHeader(
             timestamp=stamp, state=TwinState.COMMITTED)
@@ -279,7 +280,7 @@ class TwinParityArray(DiskArray):
     def _group_consistent(self, group: int) -> bool:
         """Scrub check: the newest trusted twin must match the data
         (same selection rule as reconstruction)."""
-        expected = xor_pages(*self.group_data_payloads(group))
+        expected = compute_parity(self.group_data_payloads(group))
         payloads = []
         headers = []
         for which in range(2):
@@ -334,7 +335,7 @@ class TwinParityArray(DiskArray):
     def _rebuild_twin(self, group: int, which: int, info, on_lost_undo: str) -> bool:
         """Recompute one twin of ``group``; returns True if undo was lost."""
         data = [self.read_page(p) for p in self.geometry.group_pages(group)]
-        parity = xor_pages(*data)
+        parity = compute_parity(data)
         _, survivor_header = self.read_twin(group, 1 - which)
         if info is None:
             # clean group: the recomputed twin becomes the committed one
