@@ -33,6 +33,7 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import RDAManager                              # noqa: E402
+from repro.obs import NullSink, Tracer                         # noqa: E402
 from repro.storage import (ParityHeader, TwinState, make_page,  # noqa: E402
                            make_twin_raid5)
 from repro.storage import kernels                              # noqa: E402
@@ -46,6 +47,11 @@ ROOT_TRAJECTORY_PATH = (pathlib.Path(__file__).parent.parent
 REQUIRED_STDLIB_SPEEDUP = 10.0
 """The stdlib tier must beat the reference loops by at least this factor
 on whole-page XOR and GF(256) page-multiply (acceptance criterion)."""
+
+MAX_TRACER_OVERHEAD = 1.05
+"""An enabled tracer with a null sink may slow the steal-abort-undo
+episode by at most 5% over the untraced run (acceptance criterion of
+the observability layer)."""
 
 GROUP = 8          # pages per batched reduction
 TARGET_SECONDS = 0.08   # calibration budget per measurement
@@ -89,8 +95,8 @@ def _micro_cases():
     }
 
 
-def _loaded_twin_array():
-    array = make_twin_raid5(8, 16)
+def _loaded_twin_array(tracer=None):
+    array = make_twin_raid5(8, 16, tracer=tracer)
     for g in range(array.geometry.num_groups):
         array.full_stripe_write(
             g, [make_page(bytes([g % 200 + 1, i + 1]))
@@ -104,12 +110,30 @@ def _rebuild_episode() -> None:
     array.rebuild_disk(3)
 
 
-def _steal_abort_undo_episode() -> None:
-    array = _loaded_twin_array()
+def _steal_abort_undo_episode(tracer=None) -> None:
+    array = _loaded_twin_array(tracer=tracer)
     rda = RDAManager(array)
     for txn_id, page in ((7, 0), (8, 9), (9, 18)):
         rda.write_uncommitted(page, make_page(0xAB), txn_id)
         rda.abort_txn(txn_id)
+
+
+def measure_tracer_overhead(target_seconds: float, attempts: int = 3) -> float:
+    """Ratio of the null-sink-traced steal-abort-undo episode to the
+    untraced one, minimum over ``attempts`` paired runs (the minimum is
+    the noise-robust estimator for a lower-bounded timing)."""
+    tracer = Tracer(NullSink())
+    best = None
+    for _ in range(attempts):
+        untraced = _time_ns(_steal_abort_undo_episode, target_seconds)
+        traced = _time_ns(lambda: _steal_abort_undo_episode(tracer),
+                          target_seconds)
+        ratio = traced / untraced
+        if best is None or ratio < best:
+            best = ratio
+        if best < MAX_TRACER_OVERHEAD:
+            break
+    return best
 
 
 EPISODES = {
@@ -158,6 +182,8 @@ def run(quick: bool = False) -> dict:
     stdlib_ok = (speedups["stdlib"]["xor_page_pair"] >= REQUIRED_STDLIB_SPEEDUP
                  and speedups["stdlib"]["gf256_page_mul"] >= REQUIRED_STDLIB_SPEEDUP)
 
+    tracer_overhead = measure_tracer_overhead(target, attempts=5)
+
     return {
         "schema": "repro-kernels-bench/v1",
         "page_size": PAGE_SIZE,
@@ -170,9 +196,15 @@ def run(quick: bool = False) -> dict:
         "micro_ns": micro,
         "episodes": episodes,
         "speedup_vs_reference": speedups,
+        "tracer_overhead": {
+            "episode": "steal_abort_undo_x3",
+            "null_sink_ratio": round(tracer_overhead, 4),
+            "max_allowed": MAX_TRACER_OVERHEAD,
+        },
         "acceptance": {
             "required_stdlib_speedup": REQUIRED_STDLIB_SPEEDUP,
             "stdlib_beats_reference": stdlib_ok,
+            "tracer_overhead_ok": tracer_overhead < MAX_TRACER_OVERHEAD,
         },
     }
 
@@ -190,6 +222,9 @@ def test_kernel_perf_regression():
     assert doc["acceptance"]["stdlib_beats_reference"], (
         "stdlib kernel tier no longer beats the reference loops by "
         f"{REQUIRED_STDLIB_SPEEDUP}x: {doc['speedup_vs_reference']['stdlib']}")
+    assert doc["acceptance"]["tracer_overhead_ok"], (
+        "null-sink tracer slows the steal-abort-undo episode by more "
+        f"than {MAX_TRACER_OVERHEAD}x: {doc['tracer_overhead']}")
 
 
 def main() -> int:
@@ -200,6 +235,10 @@ def main() -> int:
     print(f"\n[written to {RESULTS_PATH} and {ROOT_TRAJECTORY_PATH}]")
     if not doc["acceptance"]["stdlib_beats_reference"]:
         print("FAIL: stdlib tier below the required speedup floor",
+              file=sys.stderr)
+        return 1
+    if not doc["acceptance"]["tracer_overhead_ok"]:
+        print("FAIL: null-sink tracer overhead above the 5% budget",
               file=sys.stderr)
         return 1
     return 0

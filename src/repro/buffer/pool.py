@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BufferFullError, PageNotPinnedError
+from ..obs.tracer import NULL_TRACER
 from .frame import Frame
 from .replacement import make_policy
 
@@ -61,10 +62,14 @@ class BufferPool:
             page at write-back time — non-empty means this is a *steal*.
         policy: ``"lru"`` (default) or ``"clock"``.
         steal: allow eviction of uncommitted-dirty frames (STEAL).
+        tracer: event tracer (eviction/steal events only; hits and
+            misses are counted, not traced).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
     """
 
     def __init__(self, capacity: int, fetch_fn, writeback_fn,
-                 policy: str = "lru", steal: bool = True) -> None:
+                 policy: str = "lru", steal: bool = True,
+                 tracer=None, metrics=None) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
         self.capacity = capacity
@@ -72,6 +77,15 @@ class BufferPool:
         self._writeback = writeback_fn
         self._policy = make_policy(policy)
         self.steal = steal
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if metrics is not None:
+            self._m_hits = metrics.counter("buffer.hits")
+            self._m_misses = metrics.counter("buffer.misses")
+            self._m_evictions = metrics.counter("buffer.evictions")
+            self._m_steals = metrics.counter("buffer.steals")
+        else:
+            self._m_hits = self._m_misses = None
+            self._m_evictions = self._m_steals = None
         self._frames = [Frame() for _ in range(capacity)]
         self._table: dict = {}
         self.stats = BufferStats()
@@ -200,9 +214,13 @@ class BufferPool:
         index = self._table.get(page_id)
         if index is not None:
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self._policy.touch(index)
             return self._frames[index]
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         index = self._free_frame()
         frame = self._frames[index]
         frame.page_id = page_id
@@ -240,6 +258,14 @@ class BufferPool:
         index = self._policy.choose_victim(candidates)
         frame = self._frames[index]
         self.stats.evictions += 1
+        stolen = frame.dirty and frame.uncommitted
+        if self._m_evictions is not None:
+            self._m_evictions.inc()
+            if stolen:
+                self._m_steals.inc()
+        if self.tracer.enabled:
+            self.tracer.emit("buffer.evict", page=frame.page_id,
+                             dirty=frame.dirty, steal=stolen)
         if frame.dirty:
             self.stats.dirty_evictions += 1
             if frame.uncommitted:

@@ -2,21 +2,30 @@
 
     python -m repro figures [--figure 9..13]
     python -m repro simulate --preset page-force-rda --transactions 200
+    python -m repro simulate --trace-out run.jsonl --metrics-out run.json
+    python -m repro inspect-trace run.jsonl
     python -m repro reliability [--disks 200] [--mttr 24]
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation tables, ``simulate``
-drives the live system, ``reliability`` prints the Section 1 motivation
-numbers, and ``demo`` walks the three recovery scenarios.
+drives the live system (optionally recording a structured event trace
+and a metrics snapshot), ``inspect-trace`` aggregates a recorded trace
+into the per-event-type cost table of the paper's model,
+``reliability`` prints the Section 1 motivation numbers, and ``demo``
+walks the three recovery scenarios.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 from .db import Database, all_preset_names, preset
+from .errors import ModelError
 from .model import figures as figure_module
 from .model.reliability import paper_motivation_table
+from .obs import (JsonlSink, MetricsRegistry, Tracer, aggregate_trace_file,
+                  format_cost_table)
 from .sim import Simulator, WorkloadSpec
 from .storage import make_page
 
@@ -37,7 +46,13 @@ def _cmd_simulate(args) -> int:
                      buffer_capacity=args.buffer)
     if "noforce" in args.preset:
         overrides["checkpoint_interval"] = args.checkpoint_interval
-    db = Database(preset(args.preset, **overrides))
+    tracer = (Tracer(JsonlSink(args.trace_out))
+              if args.trace_out is not None else None)
+    metrics = (MetricsRegistry()
+               if args.metrics_out is not None or args.trace_out is not None
+               else None)
+    db = Database(preset(args.preset, **overrides), tracer=tracer,
+                  metrics=metrics)
     spec = WorkloadSpec(concurrency=args.concurrency,
                         pages_per_txn=args.pages_per_txn,
                         update_txn_fraction=args.update_fraction,
@@ -55,9 +70,30 @@ def _cmd_simulate(args) -> int:
     if report.crashes:
         print(f"crashes       : {report.crashes} "
               f"({report.recovery_transfers} recovery transfers)")
+    if tracer is not None:
+        tracer.close()
+        print(f"trace         : {tracer.events_emitted} events "
+              f"-> {args.trace_out}")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"metrics       : {args.metrics_out}")
     bad = db.verify_parity()
     print(f"parity scrub  : {'clean' if not bad else bad}")
     return 0 if not bad else 1
+
+
+def _cmd_inspect_trace(args) -> int:
+    try:
+        rows = aggregate_trace_file(args.trace)
+    except (OSError, ModelError) as error:
+        print(f"inspect-trace: {error}")
+        return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_cost_table(rows))
+    return 0
 
 
 def _cmd_reliability(args) -> int:
@@ -129,7 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--checkpoint-interval", type=float, default=400)
     simulate.add_argument("--crash-every", type=int, default=None)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace-out", metavar="FILE", default=None,
+                          help="record a JSONL event trace to FILE")
+    simulate.add_argument("--metrics-out", metavar="FILE", default=None,
+                          help="write a metrics snapshot (JSON) to FILE")
     simulate.set_defaults(func=_cmd_simulate)
+
+    inspect_trace = sub.add_parser(
+        "inspect-trace",
+        help="aggregate a recorded trace into the per-event cost table")
+    inspect_trace.add_argument("trace", help="JSONL trace file to aggregate")
+    inspect_trace.add_argument("--json", action="store_true",
+                               help="emit JSON instead of a table")
+    inspect_trace.set_defaults(func=_cmd_inspect_trace)
 
     reliability = sub.add_parser("reliability",
                                  help="Section 1 motivation numbers")

@@ -18,6 +18,7 @@ every *I* cost units — the model's checkpoint interval.
 
 from __future__ import annotations
 
+from ..obs.tracer import NULL_TRACER
 from ..wal.records import CheckpointRecord
 
 
@@ -34,25 +35,39 @@ class ACCCheckpointer:
             transaction-consistent, so these may be non-empty).
         interval: cost units between automatic checkpoints (the model's
             ``I``); None disables :meth:`maybe_checkpoint`.
+        tracer: event tracer; each checkpoint becomes a ``checkpoint``
+            span carrying the flushed-page count and (with ``stats``)
+            the transfers it cost.
+        stats: shared page-transfer counters to bind to checkpoint spans.
+        metrics: optional registry for ``checkpoint.taken``.
     """
 
     def __init__(self, flush_dirty, append_and_force, active_txn_ids,
-                 interval: float | None = None) -> None:
+                 interval: float | None = None, tracer=None, stats=None,
+                 metrics=None) -> None:
         self._flush_dirty = flush_dirty
         self._append_and_force = append_and_force
         self._active_txn_ids = active_txn_ids
         self.interval = interval
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._stats = stats
+        self._m_taken = (metrics.counter("checkpoint.taken")
+                         if metrics is not None else None)
         self._work_since = 0.0
         self.checkpoints_taken = 0
         self.last_checkpoint_lsn = None
 
     def checkpoint(self) -> int:
         """Take a checkpoint now; returns the checkpoint record's LSN."""
-        flushed = tuple(self._flush_dirty())
-        record = CheckpointRecord(txn_id=0,
-                                  active_txns=tuple(self._active_txn_ids()),
-                                  flushed_pages=flushed)
-        lsn = self._append_and_force(record)
+        with self.tracer.span("checkpoint", stats=self._stats) as span:
+            flushed = tuple(self._flush_dirty())
+            record = CheckpointRecord(txn_id=0,
+                                      active_txns=tuple(self._active_txn_ids()),
+                                      flushed_pages=flushed)
+            lsn = self._append_and_force(record)
+            span.set(flushed=len(flushed), lsn=lsn)
+        if self._m_taken is not None:
+            self._m_taken.inc()
         self.checkpoints_taken += 1
         self.last_checkpoint_lsn = lsn
         self._work_since = 0.0

@@ -35,13 +35,27 @@ from .parity_group import DirtyEntry, DirtySet
 
 
 class RDAManager:
-    """Policy engine for RDA recovery over a twin-parity array."""
+    """Policy engine for RDA recovery over a twin-parity array.
+
+    Tracing and metrics piggyback on the array's (``array.tracer`` /
+    ``array.metrics``) so the whole storage-plus-policy stack shares one
+    event stream; the manager adds the *policy* events — dirty-group
+    enter/leave, zero-transfer twin flips at commit, costed undos.
+    """
 
     def __init__(self, array: TwinParityArray, dirty_set: DirtySet | None = None) -> None:
         self.array = array
         self.dirty_set = dirty_set if dirty_set is not None else DirtySet()
+        self.tracer = array.tracer
+        self.metrics = array.metrics
+        self._g_dirty = (self.metrics.gauge("rda.dirty_groups")
+                         if self.metrics is not None else None)
         self._headers: dict = {}       # group -> [header0, header1] cache
         self._current: dict = {}       # group -> current twin index (the bit map)
+
+    def _note_dirty_gauge(self) -> None:
+        if self._g_dirty is not None:
+            self._g_dirty.set(len(self.dirty_set))
 
     # -- header cache -------------------------------------------------------------
 
@@ -133,6 +147,12 @@ class RDAManager:
         self.dirty_set.mark_dirty(DirtyEntry(
             group=group, txn_id=txn_id, page_id=page, page_index=index,
             working_twin=target, working_timestamp=stamp))
+        self._note_dirty_gauge()
+        if self.tracer.enabled:
+            self.tracer.emit("rda.group_dirty", group=group, page=page,
+                             txn=txn_id)
+        if self.metrics is not None:
+            self.metrics.counter("rda.unlogged_steals").inc()
 
     def _resteal(self, entry: DirtyEntry, payload: bytes,
                  old_data: bytes | None) -> None:
@@ -191,9 +211,22 @@ class RDAManager:
         durable commit record in the log is what makes the WORKING twins
         valid at recovery time.  Returns the groups cleaned."""
         groups = self.dirty_set.groups_of(txn_id)
+        traced = self.tracer.enabled
         for group in groups:
             entry = self.dirty_set.clean(group)
             self._current[group] = entry.working_twin
+            if traced:
+                # the paper's headline number: committing a stolen page
+                # costs zero page transfers (a main-memory bit flip)
+                self.tracer.emit("rda.twin_flip", group=group, txn=txn_id,
+                                 reads=0, writes=0, transfers=0)
+        if traced:
+            self.tracer.emit("rda.commit", txn=txn_id, groups=len(groups),
+                             reads=0, writes=0, transfers=0)
+        self._note_dirty_gauge()
+        if self.metrics is not None:
+            self.metrics.counter("rda.commits").inc()
+            self.metrics.counter("rda.twin_flips").inc(len(groups))
         return groups
 
     def abort_txn(self, txn_id: int, buffered=None) -> dict:
@@ -218,6 +251,19 @@ class RDAManager:
 
         Returns ``(page_id, before_image)``.
         """
+        if self.metrics is not None:
+            self.metrics.counter("rda.undos").inc()
+        if not self.tracer.enabled:
+            return self._undo_group_inner(group, new_data)
+        buffered = new_data is not None
+        with self.array.stats.window() as window:
+            page, before = self._undo_group_inner(group, new_data)
+        self.tracer.emit_costed("rda.undo", window, group=group, page=page,
+                                buffered=buffered)
+        self.tracer.emit("rda.group_clean", group=group, cause="undo")
+        return page, before
+
+    def _undo_group_inner(self, group: int, new_data: bytes | None) -> tuple:
         entry = self.dirty_set.entry(group)
         working_payload, _ = self.array.read_twin(group, entry.working_twin)
         committed_payload, _ = self.array.read_twin(group, 1 - entry.working_twin)
@@ -243,6 +289,7 @@ class RDAManager:
             headers[survivor] = promoted
         self._current[group] = survivor
         self.dirty_set.clean(group)
+        self._note_dirty_gauge()
         return entry.page_id, before
 
     def promote_to_logged(self, group: int, log_before_image) -> tuple:
@@ -271,6 +318,13 @@ class RDAManager:
         headers[entry.working_twin] = header
         self._current[group] = entry.working_twin
         self.dirty_set.clean(group)
+        self._note_dirty_gauge()
+        if self.tracer.enabled:
+            self.tracer.emit("rda.promote", group=group, txn=entry.txn_id,
+                             page=entry.page_id)
+            self.tracer.emit("rda.group_clean", group=group, cause="promote")
+        if self.metrics is not None:
+            self.metrics.counter("rda.promotions").inc()
         return entry.txn_id, entry.page_id
 
     # -- crash recovery (Section 4.3) ---------------------------------------------------------
@@ -289,6 +343,14 @@ class RDAManager:
                 uncommitted transactions (protocol violation).
         """
         self.lose_memory()
+        with self.tracer.span("recovery.twin_scan", stats=self.array.stats,
+                              groups=self.array.geometry.num_groups) as span:
+            losers = self._crash_scan_inner(committed_txns)
+            span.set(losers=len(losers))
+        self._note_dirty_gauge()
+        return losers
+
+    def _crash_scan_inner(self, committed_txns: set) -> list:
         losers = []
         for group in range(self.array.geometry.num_groups):
             (_, h0), (_, h1) = self.array.read_twins(group)
@@ -351,6 +413,10 @@ class RDAManager:
             must_commit.add(entry.txn_id)
             self._headers.pop(group, None)
             self._current.pop(group, None)
+            if self.tracer.enabled:
+                self.tracer.emit("rda.group_clean", group=group,
+                                 cause="lost_undo", txn=entry.txn_id)
+        self._note_dirty_gauge()
         # header cache entries for rebuilt parity slots are stale
         for group in self.array.geometry.groups_with_parity_on(disk_id):
             self._headers.pop(group, None)

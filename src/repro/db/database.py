@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..buffer import BufferPool
 from ..core import ACCCheckpointer, RDAManager
 from ..errors import RecoveryError, TransactionError
+from ..obs.tracer import NULL_TRACER
 from ..storage import IOStats, SingleParityArray, TwinParityArray
 from ..storage.geometry import Geometry
 from ..storage.page import PAGE_SIZE, ZERO_PAGE
@@ -82,27 +83,42 @@ class WriteCounters:
 
 
 class Database:
-    """A recoverable page/record store over a redundant disk array."""
+    """A recoverable page/record store over a redundant disk array.
 
-    def __init__(self, config: DBConfig) -> None:
+    Args:
+        config: the recovery configuration (one of the paper's eight).
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; shared by
+            every component so a single trace interleaves storage,
+            buffer, transaction, and recovery events.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            shared likewise.
+    """
+
+    def __init__(self, config: DBConfig, tracer=None, metrics=None) -> None:
         self.config = config
         self.stats = IOStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         geometry = Geometry(config.group_size, config.num_groups,
                             twin=config.rda, placement=config.placement)
         if config.rda:
-            self.array = TwinParityArray(geometry, stats=self.stats)
+            self.array = TwinParityArray(geometry, stats=self.stats,
+                                         tracer=self.tracer, metrics=metrics)
             self.rda = RDAManager(self.array)
         else:
-            self.array = SingleParityArray(geometry, stats=self.stats)
+            self.array = SingleParityArray(geometry, stats=self.stats,
+                                           tracer=self.tracer, metrics=metrics)
             self.rda = None
         self.buffer = BufferPool(config.buffer_capacity, self._fetch,
                                  self._writeback, policy=config.replacement,
-                                 steal=config.steal)
+                                 steal=config.steal, tracer=self.tracer,
+                                 metrics=metrics)
         self.locks = LockManager()
-        self.txns = TransactionManager()
+        self.txns = TransactionManager(tracer=self.tracer, stats=self.stats,
+                                       metrics=metrics)
         log_kwargs = dict(page_size=config.log_page_size,
                           transfers_per_log_page=config.log_transfers_per_page,
-                          stats=self.stats)
+                          stats=self.stats, metrics=metrics)
         if config.force:
             self.undo_log = LogManager(name="undo", **log_kwargs)
             self.redo_log = LogManager(name="redo", **log_kwargs)
@@ -114,7 +130,8 @@ class Database:
             self.checkpointer = ACCCheckpointer(
                 self.buffer.flush_all_dirty, self._append_and_force_redo,
                 lambda: [t.txn_id for t in self.txns.active_transactions()],
-                interval=config.checkpoint_interval)
+                interval=config.checkpoint_interval,
+                tracer=self.tracer, stats=self.stats, metrics=metrics)
         self.recovery = RecoveryManager(self)
         self.counters = WriteCounters()
 
@@ -171,10 +188,28 @@ class Database:
                 and not self.rda.needs_undo_log(page, single)):
             self.rda.write_uncommitted(page, payload, single, old_data=old)
             self.counters.unlogged_steals += 1
+            if self.metrics is not None:
+                self.metrics.counter("db.steals").labels(mode="unlogged").inc()
             self.txns.get(single).note_steal(page)
             self._last_stolen[(single, page)] = payload
             return
         # logged steal: WAL — undo information durable before the write
+        if self.rda is not None:
+            # why the twins could not cover this steal (the complement
+            # of the model's 1 - p_l)
+            if single is None:
+                reason = "multi_modifier"
+            elif was_residue:
+                reason = "residue"
+            else:
+                reason = "dirty_group"
+            if self.tracer.enabled:
+                self.tracer.emit("wal.forced_undo", page=page, reason=reason)
+            if self.metrics is not None:
+                self.metrics.counter("rda.forced_undo").labels(
+                    reason=reason).inc()
+        if self.metrics is not None:
+            self.metrics.counter("db.steals").labels(mode="logged").inc()
         self._ensure_undo_durable(page, modifiers)
         if self.rda is not None:
             owner = single if single is not None else next(iter(modifiers))
@@ -489,6 +524,7 @@ class Database:
     def crash(self) -> None:
         """Lose main memory: buffer, lock table, transaction registry,
         Dirty_Set, unforced log tails."""
+        self.tracer.emit("db.crash")
         self.buffer.invalidate_all()
         self.locks = LockManager()
         self.txns.lose_memory()

@@ -60,16 +60,17 @@ class RecoveryManager:
             raise RecoveryError(
                 f"transaction {txn_id} lost its parity-encoded before-image "
                 "to a media failure and can no longer abort")
-        if txn.is_update_transaction:
-            db._ensure_bot(txn_id)
-            if db.config.record_logging:
-                self._abort_record_mode(txn)
-            else:
-                self._abort_page_mode(txn)
-            db.undo_log.append(AbortRecord(txn_id=txn_id))
-            db.undo_log.force()
-        db.locks.release_all(txn_id)
-        db.txns.finish(txn_id, TxnState.ABORTED)
+        with db.tracer.span("recovery.abort", stats=db.stats, txn=txn_id):
+            if txn.is_update_transaction:
+                db._ensure_bot(txn_id)
+                if db.config.record_logging:
+                    self._abort_record_mode(txn)
+                else:
+                    self._abort_page_mode(txn)
+                db.undo_log.append(AbortRecord(txn_id=txn_id))
+                db.undo_log.force()
+            db.locks.release_all(txn_id)
+            db.txns.finish(txn_id, TxnState.ABORTED)
         db._forget(txn_id)
         db.counters.transactions_aborted += 1
 
@@ -173,74 +174,97 @@ class RecoveryManager:
         db = self.db
         fault = fault_hook if fault_hook is not None else (lambda label: None)
         before = db.stats.snapshot()
-        db.undo_log.after_crash()
-        if db.redo_log is not db.undo_log:
-            db.redo_log.after_crash()
+        restart = db.tracer.span("recovery.restart", stats=db.stats)
+        restart.__enter__()
+        try:
+            with db.tracer.span("recovery.phase", stats=db.stats,
+                                phase="analysis") as span:
+                db.undo_log.after_crash()
+                if db.redo_log is not db.undo_log:
+                    db.redo_log.after_crash()
 
-        winners = {r.txn_id for r in db.redo_log.scan(CommitRecord)}
-        aborted = {r.txn_id for r in db.undo_log.scan(AbortRecord)}
-        bots = {r.txn_id for r in db.undo_log.scan(BOTRecord)}
-        losers = set(bots) - winners - aborted
+                winners = {r.txn_id for r in db.redo_log.scan(CommitRecord)}
+                aborted = {r.txn_id for r in db.undo_log.scan(AbortRecord)}
+                bots = {r.txn_id for r in db.undo_log.scan(BOTRecord)}
+                losers = set(bots) - winners - aborted
+                span.set(winners=len(winners), losers=len(losers))
 
-        # 1. parity undo of unlogged stolen pages (must precede log writes)
-        parity_undone = 0
-        if db.rda is not None:
-            for entry in db.rda.crash_scan(winners):
-                losers.add(entry.txn_id)
-                fault(f"parity-undo group {entry.group}")
-                db.rda.undo_group(entry.group)
-                parity_undone += 1
+            # 1. parity undo of unlogged stolen pages (must precede log writes)
+            parity_undone = 0
+            if db.rda is not None:
+                with db.tracer.span("recovery.phase", stats=db.stats,
+                                    phase="parity_undo") as span:
+                    for entry in db.rda.crash_scan(winners):
+                        losers.add(entry.txn_id)
+                        fault(f"parity-undo group {entry.group}")
+                        db.rda.undo_group(entry.group)
+                        parity_undone += 1
+                    span.set(pages=parity_undone)
 
-        cache: dict = {}
+            cache: dict = {}
 
-        def page_base(page: int) -> bytes:
-            if page not in cache:
-                cache[page] = db.array.read_page(page)
-            return cache[page]
+            def page_base(page: int) -> bytes:
+                if page not in cache:
+                    cache[page] = db.array.read_page(page)
+                return cache[page]
 
-        # 2. REDO committed work since the last checkpoint (¬FORCE only)
-        redone = 0
-        if not db.config.force:
-            start = 0
-            for record in db.redo_log.scan(CheckpointRecord):
-                start = record.lsn
-            replay = [r for r in db.redo_log.records() if r.lsn > start]
-            db.redo_log.charge_read(replay)
-            for record in replay:
-                if record.txn_id not in winners:
-                    continue
-                if isinstance(record, PageAfterImage):
-                    cache[record.page_id] = record.image
-                    redone += 1
-                elif isinstance(record, RecordAfterEntry):
-                    cache[record.page_id] = _apply_record_image(
-                        page_base(record.page_id), record.slot, record.image)
-                    redone += 1
+            # 2. REDO committed work since the last checkpoint (¬FORCE only)
+            redone = 0
+            if not db.config.force:
+                with db.tracer.span("recovery.phase", stats=db.stats,
+                                    phase="redo") as span:
+                    start = 0
+                    for record in db.redo_log.scan(CheckpointRecord):
+                        start = record.lsn
+                    replay = [r for r in db.redo_log.records() if r.lsn > start]
+                    db.redo_log.charge_read(replay)
+                    for record in replay:
+                        if record.txn_id not in winners:
+                            continue
+                        if isinstance(record, PageAfterImage):
+                            cache[record.page_id] = record.image
+                            redone += 1
+                        elif isinstance(record, RecordAfterEntry):
+                            cache[record.page_id] = _apply_record_image(
+                                page_base(record.page_id), record.slot,
+                                record.image)
+                            redone += 1
+                    span.set(applied=redone)
 
-        # 3. UNDO losers from the log, backward in global LSN order
-        undo_records = [
-            r for r in db.undo_log.records()
-            if r.txn_id in losers
-            and isinstance(r, (PageBeforeImage, RecordBeforeEntry))
-        ]
-        db.undo_log.charge_read(undo_records)
-        undone = 0
-        for record in sorted(undo_records, key=lambda r: r.lsn, reverse=True):
-            if isinstance(record, PageBeforeImage):
-                cache[record.page_id] = record.image
-            else:
-                cache[record.page_id] = _apply_record_image(
-                    page_base(record.page_id), record.slot, record.image)
-            undone += 1
+            # 3. UNDO losers from the log, backward in global LSN order
+            with db.tracer.span("recovery.phase", stats=db.stats,
+                                phase="undo") as span:
+                undo_records = [
+                    r for r in db.undo_log.records()
+                    if r.txn_id in losers
+                    and isinstance(r, (PageBeforeImage, RecordBeforeEntry))
+                ]
+                db.undo_log.charge_read(undo_records)
+                undone = 0
+                for record in sorted(undo_records, key=lambda r: r.lsn,
+                                     reverse=True):
+                    if isinstance(record, PageBeforeImage):
+                        cache[record.page_id] = record.image
+                    else:
+                        cache[record.page_id] = _apply_record_image(
+                            page_base(record.page_id), record.slot,
+                            record.image)
+                    undone += 1
+                span.set(applied=undone)
 
-        for page in sorted(cache):
-            fault(f"restore page {page}")
-            db._write_committed(page, cache[page])
+            with db.tracer.span("recovery.phase", stats=db.stats,
+                                phase="restore") as span:
+                for page in sorted(cache):
+                    fault(f"restore page {page}")
+                    db._write_committed(page, cache[page])
 
-        fault("abort records")
-        for txn_id in sorted(losers):
-            db.undo_log.append(AbortRecord(txn_id=txn_id))
-        db.undo_log.force()
+                fault("abort records")
+                for txn_id in sorted(losers):
+                    db.undo_log.append(AbortRecord(txn_id=txn_id))
+                db.undo_log.force()
+                span.set(pages=len(cache))
+        finally:
+            restart.__exit__(None, None, None)
 
         delta = db.stats.snapshot() - before
         return {
@@ -263,10 +287,11 @@ class RecoveryManager:
         (their stolen pages can no longer be rolled back).
         """
         db = self.db
-        if db.rda is not None:
-            report, must_commit = db.rda.rebuild_disk(disk_id,
-                                                      on_lost_undo=on_lost_undo)
-            for txn_id in must_commit:
-                db.txns.get(txn_id).must_commit = True
-            return report
-        return db.array.rebuild_disk(disk_id)
+        with db.tracer.span("recovery.media", stats=db.stats, disk=disk_id):
+            if db.rda is not None:
+                report, must_commit = db.rda.rebuild_disk(
+                    disk_id, on_lost_undo=on_lost_undo)
+                for txn_id in must_commit:
+                    db.txns.get(txn_id).must_commit = True
+                return report
+            return db.array.rebuild_disk(disk_id)

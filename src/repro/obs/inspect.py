@@ -1,0 +1,143 @@
+"""Trace aggregation: from an event stream to the paper's cost table.
+
+The analytical model (Section 5) predicts a page-transfer cost per
+*operation type*: a small write costs ``a ∈ {3, 4}`` transfers, a write
+into a dirty group ``a + 2``, an RDA commit zero, an undo-via-parity
+five to six.  :func:`aggregate_events` reduces a recorded trace to
+exactly that shape — per event *variant*, the count and the mean
+read/write/transfer cost — so a simulated run can be cross-checked
+against the model event-by-event instead of per-run.
+
+Event variants: events of the same name are split by the small set of
+discriminating attributes in :data:`VARIANT_KEYS` (e.g.
+``array.small_write[buffered=False,twins=1]`` vs
+``array.small_write[twins=2]``), because the model prices those
+variants differently.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ModelError
+
+VARIANT_KEYS = ("mode", "buffered", "twins", "logged", "degraded",
+                "outcome", "reason", "cause", "phase")
+"""Attribute names that split one event name into model-priced variants,
+in the order they appear in the variant suffix."""
+
+MODEL_EXPECTATIONS = (
+    ("array.small_write[buffered=False,twins=1]", "4"),
+    ("array.small_write[buffered=True,twins=1]", "3"),
+    ("array.small_write[buffered=False,twins=2]", "6 (4+2)"),
+    ("array.small_write[buffered=True,twins=2]", "5 (3+2)"),
+    ("array.small_write[mode=small,buffered=False]", "4"),
+    ("array.small_write[mode=small,buffered=True]", "3"),
+    ("array.small_write[mode=reconstruct", "N+1"),
+    ("rda.commit", "0"),
+    ("rda.twin_flip", "0"),
+    ("rda.undo", "5-6"),
+    ("array.degraded_read", "N"),
+    ("txn[outcome=committed]", "-"),
+)
+"""``(variant-key prefix, predicted transfers)`` pairs from the paper's
+cost model; matched by prefix so rotated attribute values still hit."""
+
+
+def model_expectation(key: str) -> str:
+    """The model's predicted transfer count for an event variant
+    (``""`` when the model does not price it)."""
+    for prefix, prediction in MODEL_EXPECTATIONS:
+        if key.startswith(prefix):
+            return prediction
+    return ""
+
+
+def event_key(name: str, attrs: dict) -> str:
+    """Aggregation key: the event name plus its discriminating attrs."""
+    variants = [f"{k}={attrs[k]}" for k in VARIANT_KEYS if k in attrs]
+    if not variants:
+        return name
+    return f"{name}[{','.join(variants)}]"
+
+
+def load_trace(path) -> list:
+    """Parse a JSONL trace file into event dicts.
+
+    Raises:
+        ModelError: on a malformed line (truncated file, non-JSON).
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as error:
+                raise ModelError(
+                    f"{path}:{lineno}: malformed trace line: {error}"
+                ) from None
+            if not isinstance(event, dict) or "name" not in event:
+                raise ModelError(
+                    f"{path}:{lineno}: trace line is not an event object")
+            events.append(event)
+    return events
+
+
+def aggregate_events(events) -> dict:
+    """Reduce events to per-variant cost rows.
+
+    Returns ``{variant_key: {"count", "reads", "writes", "transfers",
+    "mean_reads", "mean_writes", "mean_transfers", "dur_ms",
+    "model"}}``; the transfer fields stay ``None`` for event types that
+    never carried a cost (pure markers like ``txn.begin``).
+    """
+    rows: dict = {}
+    for event in events:
+        attrs = event.get("attrs", {})
+        key = event_key(event["name"], attrs)
+        row = rows.get(key)
+        if row is None:
+            row = {"count": 0, "reads": None, "writes": None,
+                   "transfers": None, "dur_ms": None}
+            rows[key] = row
+        row["count"] += 1
+        if "transfers" in attrs:
+            for field in ("reads", "writes", "transfers"):
+                value = attrs.get(field, 0)
+                row[field] = value if row[field] is None else row[field] + value
+        if "dur_ms" in attrs:
+            row["dur_ms"] = (attrs["dur_ms"] if row["dur_ms"] is None
+                             else row["dur_ms"] + attrs["dur_ms"])
+    for key, row in rows.items():
+        for field in ("reads", "writes", "transfers"):
+            total = row[field]
+            row[f"mean_{field}"] = (round(total / row["count"], 3)
+                                    if total is not None else None)
+        row["model"] = model_expectation(key)
+    return rows
+
+
+def aggregate_trace_file(path) -> dict:
+    """:func:`load_trace` + :func:`aggregate_events`."""
+    return aggregate_events(load_trace(path))
+
+
+def format_cost_table(rows: dict) -> str:
+    """Render aggregated rows as the per-event-type cost table."""
+    header = (f"{'event':<48} {'count':>7} {'reads':>7} {'writes':>7} "
+              f"{'mean xfer':>9}  {'model':<8}")
+    lines = [header, "-" * len(header)]
+    for key in sorted(rows, key=lambda k: (-(rows[k]['transfers'] or 0), k)):
+        row = rows[key]
+
+        def fmt(value):
+            return f"{value:.2f}" if value is not None else "-"
+
+        lines.append(
+            f"{key:<48} {row['count']:>7} {fmt(row['mean_reads']):>7} "
+            f"{fmt(row['mean_writes']):>7} {fmt(row['mean_transfers']):>9}  "
+            f"{row['model']:<8}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Metrics: counters, gauges and histograms with labeled children.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer: where the tracer records *what happened*, the registry records
+*how often and how much*.  All instruments are plain-Python and cheap —
+a counter increment is one dict-free integer add — so they stay enabled
+even when tracing is off.
+
+Labeled children follow the Prometheus idiom::
+
+    wal = registry.counter("wal.records")
+    wal.labels(type="CommitRecord").inc()
+
+``snapshot()`` renders everything as a JSON-friendly dict, with child
+series keyed ``name{k=v,...}`` (label keys sorted).
+"""
+
+from __future__ import annotations
+
+
+def _series_key(name: str, labels: dict) -> str:
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (events, transfers, records)."""
+
+    __slots__ = ("name", "value", "_children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._children: dict = {}
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def labels(self, **labels) -> "Counter":
+        """The child counter for one label combination (created lazily)."""
+        key = _series_key(self.name, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Counter(key)
+            self._children[key] = child
+        return child
+
+    def collect(self, out: dict) -> None:
+        out[self.name] = self.value
+        for child in self._children.values():
+            child.collect(out)
+
+
+class Gauge:
+    """A value that goes up and down (dirty groups, live transactions)."""
+
+    __slots__ = ("name", "value", "_children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._children: dict = {}
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def labels(self, **labels) -> "Gauge":
+        key = _series_key(self.name, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Gauge(key)
+            self._children[key] = child
+        return child
+
+    def collect(self, out: dict) -> None:
+        out[self.name] = self.value
+        for child in self._children.values():
+            child.collect(out)
+
+
+DEFAULT_BUCKETS = (1, 2, 3, 4, 5, 6, 8, 12, 16, 32, 64, 128)
+"""Histogram bucket upper bounds, tuned for per-operation transfer
+counts (the interesting values are small integers: 3, 4, 5...)."""
+
+
+class Histogram:
+    """Distribution of an observed value (per-operation transfers,
+    span durations)."""
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
+                 "min", "max", "_children")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +inf
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._children: dict = {}
+
+    def observe(self, value) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def labels(self, **labels) -> "Histogram":
+        key = _series_key(self.name, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(key, self.buckets)
+            self._children[key] = child
+        return child
+
+    def collect(self, out: dict) -> None:
+        doc = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": round(self.mean, 4),
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                **{f"le_{bound}": count
+                   for bound, count in zip(self.buckets, self.bucket_counts)},
+                "le_inf": self.bucket_counts[-1],
+            },
+        }
+        out[self.name] = doc
+        for child in self._children.values():
+            child.collect(out)
+
+
+class MetricsRegistry:
+    """Names a family of instruments; the single export point.
+
+    The same name always returns the same instrument (get-or-create),
+    so call sites need no coordination — ``registry.counter("x")`` in
+    two modules shares one counter.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram ``name``."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, buckets)
+            self._histograms[name] = instrument
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Everything, as a JSON-friendly dict::
+
+            {"counters": {name: value, ...},
+             "gauges": {name: value, ...},
+             "histograms": {name: {count, sum, mean, min, max, buckets}}}
+        """
+        counters: dict = {}
+        for instrument in self._counters.values():
+            instrument.collect(counters)
+        gauges: dict = {}
+        for instrument in self._gauges.values():
+            instrument.collect(gauges)
+        histograms: dict = {}
+        for instrument in self._histograms.values():
+            instrument.collect(histograms)
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}

@@ -1,0 +1,280 @@
+"""The event tracer: typed, timestamped events and spans.
+
+Design constraints, in priority order:
+
+1. **Near-zero overhead when disabled.**  Every hot path guards with
+   ``if tracer.enabled:`` (one attribute load), and the shared
+   :data:`NULL_TRACER` returns a stateless no-op span without
+   allocating, so the instrumented small-write path costs one branch
+   over the uninstrumented one.
+2. **Dependency-free.**  Sinks are plain objects with an
+   ``emit(dict)`` method; the JSONL sink uses only :mod:`json`.
+3. **Costs ride along.**  A span bound to an
+   :class:`~repro.storage.iostats.IOStats` snapshots the counters at
+   start and attaches the read/write/transfer delta to its closing
+   event — the paper's page-transfer accounting, per operation.
+
+Event wire format (one JSON object per line in a JSONL sink)::
+
+    {"seq": 17, "ts": 0.00213, "name": "array.small_write",
+     "attrs": {"page": 3, "buffered": false, "twins": 1,
+               "reads": 2, "writes": 2, "transfers": 4}}
+
+Span events additionally carry ``"span"`` (the span's id), ``"parent"``
+(the enclosing span's id, if any) and ``attrs.dur_ms``.  Events emitted
+*inside* a lexical span carry ``"span"`` pointing at it, so a trace can
+be re-nested offline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+
+class NullSink:
+    """Discards every event (for overhead measurement: the tracer is
+    *enabled* — events are built — but nothing is retained)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory (tests, post-mortem
+    flight recorder)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self._buffer.append(event)
+
+    def events(self) -> list:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one compact JSON object per event to a file."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self.count = 0
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, separators=(",", ":"),
+                                      default=str) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class Span:
+    """One in-flight multi-step operation.
+
+    Created by :meth:`Tracer.span` (lexical, joins the tracer's span
+    stack) or :meth:`Tracer.start_span` (detached, for operations whose
+    begin and end live in different call frames, e.g. a transaction's
+    lifetime).  Emits a single event when finished, carrying duration
+    and — when bound to an :class:`~repro.storage.iostats.IOStats` —
+    the page transfers performed while it was open.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
+                 "_t0", "_stats", "_before", "_lexical", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id, attrs: dict, stats, lexical: bool) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._stats = stats
+        self._before = stats.snapshot() if stats is not None else None
+        self._lexical = lexical
+        self._done = False
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span's closing event."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs) -> None:
+        """Close the span and emit its event (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        if attrs:
+            self.attrs.update(attrs)
+        self.attrs["dur_ms"] = round(
+            (time.perf_counter() - self._t0) * 1e3, 3)
+        if self._stats is not None:
+            delta = self._stats.snapshot() - self._before
+            self.attrs["reads"] = delta.reads
+            self.attrs["writes"] = delta.writes
+            self.attrs["transfers"] = delta.total
+        tracer = self._tracer
+        if self._lexical:
+            tracer._pop_span(self)
+        tracer._emit_raw(self.name, self.attrs, span_id=self.span_id,
+                         parent_id=self.parent_id)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def finish(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits typed events to one sink; disabled without a sink.
+
+    Args:
+        sink: any object with ``emit(dict)`` / ``close()``; ``None``
+            disables the tracer entirely (use the module-level
+            :data:`NULL_TRACER` instead of constructing one per
+            component).
+    """
+
+    def __init__(self, sink=None) -> None:
+        self.sink = sink
+        self.enabled = sink is not None
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._stack: list = []      # lexical span ids, innermost last
+        self._next_span_id = 1
+
+    # -- events --------------------------------------------------------------
+
+    def emit(self, name: str, **attrs) -> None:
+        """Emit one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._emit_raw(name, attrs)
+
+    def emit_costed(self, name: str, window, **attrs) -> None:
+        """Emit one event carrying a transfer-count delta.
+
+        ``window`` is anything with ``reads``/``writes`` attributes —
+        typically a :class:`~repro.storage.iostats.TransferCounts`
+        from ``IOStats.window()`` or a snapshot difference.
+        """
+        if not self.enabled:
+            return
+        attrs["reads"] = window.reads
+        attrs["writes"] = window.writes
+        attrs["transfers"] = window.reads + window.writes
+        self._emit_raw(name, attrs)
+
+    def _emit_raw(self, name: str, attrs: dict, span_id=None,
+                  parent_id=None) -> None:
+        if not self.enabled:
+            return
+        self._seq += 1
+        event = {
+            "seq": self._seq,
+            "ts": round(time.perf_counter() - self._t0, 6),
+            "name": name,
+        }
+        if span_id is not None:
+            event["span"] = span_id
+        elif self._stack:
+            event["span"] = self._stack[-1]
+        if parent_id is not None:
+            event["parent"] = parent_id
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, stats=None, **attrs):
+        """A lexical span: use as a context manager.  Child events and
+        spans opened inside it reference it via ``"span"``/``"parent"``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(self, name, self._next_span_id,
+                    self._stack[-1] if self._stack else None,
+                    attrs, stats, lexical=True)
+        self._next_span_id += 1
+        self._stack.append(span.span_id)
+        return span
+
+    def start_span(self, name: str, stats=None, **attrs):
+        """A detached span: caller keeps the handle and calls
+        :meth:`Span.finish` later (possibly from another call frame)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(self, name, self._next_span_id,
+                    self._stack[-1] if self._stack else None,
+                    attrs, stats, lexical=False)
+        self._next_span_id += 1
+        return span
+
+    def _pop_span(self, span: Span) -> None:
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:        # mis-nested finish
+            self._stack.remove(span.span_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def events_emitted(self) -> int:
+        """Events emitted so far."""
+        return self._seq
+
+    def close(self) -> None:
+        """Close the sink (flushes a JSONL sink to disk)."""
+        if self.sink is not None:
+            self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+NULL_TRACER = Tracer(None)
+"""Shared disabled tracer: the default for every instrumented component."""

@@ -184,6 +184,8 @@ class Simulator:
 
     def crash_and_recover(self) -> dict:
         """Crash the database mid-load, recover, roll live state forward."""
+        self.db.tracer.emit("sim.crash", live_txns=len(self._live),
+                            finished=self.report.transactions)
         self.db.crash()
         before = self.db.stats.total
         stats = self.db.recover()
@@ -217,6 +219,10 @@ class Simulator:
             self.report.extra["busiest_arm_ms"] = round(
                 self.observer.busiest_ms, 1)
             self.report.extra["seeks"] = self.observer.total_seeks
+        if self.db.metrics is not None:
+            self.report.extra["metrics"] = self.db.metrics.snapshot()
+        if self.db.tracer.enabled:
+            self.report.extra["trace_events"] = self.db.tracer.events_emitted
 
 
 def run_workload(db: Database, spec: WorkloadSpec, transactions: int,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..errors import (AddressError, ArrayDegradedError, LatentSectorError,
                       UnrecoverableDataError)
+from ..obs.tracer import NULL_TRACER
 from .disk import SimulatedDisk
 from .geometry import Geometry, PhysAddr
 from .iostats import IOStats
@@ -35,11 +36,18 @@ class DiskArray:
     Args:
         geometry: the :class:`~repro.storage.geometry.Geometry` to realize.
         stats: shared :class:`IOStats`; a fresh one is created if omitted.
+        tracer: event tracer (default: the shared disabled tracer).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
     """
 
-    def __init__(self, geometry: Geometry, stats: IOStats | None = None) -> None:
+    def __init__(self, geometry: Geometry, stats: IOStats | None = None,
+                 tracer=None, metrics=None) -> None:
         self.geometry = geometry
         self.stats = stats if stats is not None else IOStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._xfer_hist = (metrics.histogram("array.small_write_transfers")
+                           if metrics is not None else None)
         self.disks = [
             SimulatedDisk(d, geometry.capacity_per_disk, self.stats)
             for d in range(geometry.num_disks)
@@ -74,7 +82,12 @@ class DiskArray:
         addr = self.geometry.data_address(page)
         if not self.disks[addr.disk].failed:
             return self._read_at(addr)
-        return self._reconstruct_data_page(page)
+        if not self.tracer.enabled:
+            return self._reconstruct_data_page(page)
+        with self.stats.window() as window:
+            payload = self._reconstruct_data_page(page)
+        self.tracer.emit_costed("array.degraded_read", window, page=page)
+        return payload
 
     def _reconstruct_data_page(self, page: int) -> bytes:
         group = self.geometry.group_of(page)
@@ -122,15 +135,20 @@ class DiskArray:
         makes some slot unrecoverable.
         """
         self._check_disk(disk_id)
-        disk = self.disks[disk_id]
-        disk.replace()
-        rebuilt = 0
-        for slot, page in self.geometry.pages_on_disk(disk_id):
-            payload = self._reconstruct_data_page(page)
-            disk.write(slot, payload)
-            rebuilt += 1
-        for group in self.geometry.groups_with_parity_on(disk_id):
-            rebuilt += self._rebuild_parity_slot(disk_id, group)
+        with self.tracer.span("array.rebuild", stats=self.stats,
+                              disk=disk_id) as span:
+            disk = self.disks[disk_id]
+            disk.replace()
+            rebuilt = 0
+            for slot, page in self.geometry.pages_on_disk(disk_id):
+                payload = self._reconstruct_data_page(page)
+                disk.write(slot, payload)
+                rebuilt += 1
+            for group in self.geometry.groups_with_parity_on(disk_id):
+                rebuilt += self._rebuild_parity_slot(disk_id, group)
+            span.set(slots=rebuilt)
+        if self.metrics is not None:
+            self.metrics.counter("array.rebuilds").inc()
         return rebuilt
 
     def _rebuild_parity_slot(self, disk_id: int, group: int) -> int:
@@ -245,7 +263,11 @@ class SingleParityArray(DiskArray):
 
         Costs 4 page transfers, or 3 when ``old_data`` (the page's
         current on-disk contents) is supplied by the caller's buffer —
-        exactly the model's ``a`` constant.
+        exactly the model's ``a`` constant.  When recomputing the parity
+        from the group's *other* members is strictly cheaper than the
+        read-modify-write (only possible for two-page groups with the
+        old data unbuffered: N-1 reads < 2 reads), the write switches to
+        the classical *reconstruct-write* and costs N+1 transfers.
 
         Degraded cases: if the parity disk is failed the data is written
         without a parity update; if the data disk is failed the write is
@@ -253,6 +275,20 @@ class SingleParityArray(DiskArray):
         """
         if len(new_data) != PAGE_SIZE:
             raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        if not self.tracer.enabled:
+            self._write_page_inner(page, new_data, old_data)
+            return
+        with self.stats.window() as window:
+            mode, degraded = self._write_page_inner(page, new_data, old_data)
+        self.tracer.emit_costed("array.small_write", window, page=page,
+                                mode=mode, buffered=old_data is not None,
+                                degraded=degraded)
+        if self._xfer_hist is not None:
+            self._xfer_hist.observe(window.total)
+
+    def _write_page_inner(self, page: int, new_data: bytes,
+                          old_data: bytes | None) -> tuple:
+        """The write itself; returns ``(mode, degraded)`` for tracing."""
         addr = self.geometry.data_address(page)
         group = self.geometry.group_of(page)
         (parity_addr,) = self.geometry.parity_addresses(group)
@@ -268,16 +304,30 @@ class SingleParityArray(DiskArray):
             old_parity = self._read_at(parity_addr)
             new_parity = xor_pages(old_parity, old, new_data)
             self._write_at(parity_addr, new_parity)
-            return
+            return "small", True
 
-        old = self._read_at(addr) if old_data is None else old_data
         if parity_disk.failed:
             self._write_at(addr, new_data)
-            return
+            return "small", True
+
+        # small write reads {old data?, old parity}; reconstruct-write
+        # reads the N-1 group mates — take the cheaper plan
+        small_reads = (2 if old_data is None else 1)
+        if self.geometry.group_size - 1 < small_reads \
+                and not any(d.failed for d in self.disks):
+            mates = [self._read_at(self.geometry.data_address(mate))
+                     for mate in self.geometry.group_pages(group)
+                     if mate != page]
+            self._write_at(addr, new_data)
+            self._write_at(parity_addr, compute_parity([*mates, new_data]))
+            return "reconstruct", False
+
+        old = self._read_at(addr) if old_data is None else old_data
         old_parity = self._read_at(parity_addr)
         new_parity = xor_pages(old_parity, old, new_data)
         self._write_at(addr, new_data)
         self._write_at(parity_addr, new_parity)
+        return "small", False
 
     def full_stripe_write(self, group: int, payloads: list) -> None:
         """Write every data page of ``group`` plus fresh parity.

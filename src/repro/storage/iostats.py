@@ -15,9 +15,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(frozen=True)
 class TransferCounts:
-    """Immutable-ish snapshot of read/write counters."""
+    """Immutable snapshot of read/write counters."""
 
     reads: int = 0
     writes: int = 0
@@ -91,9 +91,11 @@ class IOStats:
         try:
             yield result
         finally:
+            # TransferCounts is frozen; the window object is filled in
+            # exactly once, here, after the measured block has run
             delta = self.snapshot() - before
-            result.reads = delta.reads
-            result.writes = delta.writes
+            object.__setattr__(result, "reads", delta.reads)
+            object.__setattr__(result, "writes", delta.writes)
 
     def busiest_disk(self) -> int | None:
         """Disk id with the most transfers, or None if no I/O happened.

@@ -19,16 +19,18 @@ from .twin_array import TwinParityArray
 
 
 def make_raid5(group_size: int, num_groups: int,
-               stats: IOStats | None = None) -> SingleParityArray:
+               stats: IOStats | None = None, tracer=None,
+               metrics=None) -> SingleParityArray:
     """A classical RAID-5 array: N data disks' worth of pages + 1 parity
     page per group, rotated (Figure 1)."""
     return SingleParityArray(raid5_geometry(group_size, num_groups, twin=False),
-                             stats=stats)
+                             stats=stats, tracer=tracer, metrics=metrics)
 
 
 def make_twin_raid5(group_size: int, num_groups: int,
-                    stats: IOStats | None = None) -> TwinParityArray:
+                    stats: IOStats | None = None, tracer=None,
+                    metrics=None) -> TwinParityArray:
     """RAID-5 with the twin-page parity scheme for RDA recovery
     (Figure 4): two rotated parity pages per group on distinct disks."""
     return TwinParityArray(raid5_geometry(group_size, num_groups, twin=True),
-                           stats=stats)
+                           stats=stats, tracer=tracer, metrics=metrics)

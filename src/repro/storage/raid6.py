@@ -41,10 +41,11 @@ def raid6_geometry(group_size: int, num_groups: int) -> Geometry:
 class Raid6Array(DiskArray):
     """Double-parity array: P = XOR, Q = Σ g^i·D_i."""
 
-    def __init__(self, geometry: Geometry, stats: IOStats | None = None) -> None:
+    def __init__(self, geometry: Geometry, stats: IOStats | None = None,
+                 tracer=None, metrics=None) -> None:
         if not geometry.twin:
             raise ValueError("RAID-6 needs the two-parity-slot geometry")
-        super().__init__(geometry, stats)
+        super().__init__(geometry, stats, tracer=tracer, metrics=metrics)
 
     # -- parity addresses: slot 0 = P, slot 1 = Q ------------------------------------
 
@@ -62,6 +63,18 @@ class Raid6Array(DiskArray):
         old data supplied)."""
         if len(new_data) != PAGE_SIZE:
             raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
+        if not self.tracer.enabled:
+            self._write_page_inner(page, new_data, old_data)
+            return
+        with self.stats.window() as window:
+            self._write_page_inner(page, new_data, old_data)
+        self.tracer.emit_costed("array.small_write", window, page=page,
+                                mode="pq", buffered=old_data is not None)
+        if self._xfer_hist is not None:
+            self._xfer_hist.observe(window.total)
+
+    def _write_page_inner(self, page: int, new_data: bytes,
+                          old_data: bytes | None) -> None:
         addr = self.geometry.data_address(page)
         group = self.geometry.group_of(page)
         index = self.geometry.index_in_group(page)
@@ -181,25 +194,30 @@ class Raid6Array(DiskArray):
         parity) to its own reconstruction reads.
         """
         self._check_disk(disk_id)
-        disk = self.disks[disk_id]
-        disk.replace()
-        disk.fail()
-        payloads = {slot: self.read_page(page)
-                    for slot, page in self.geometry.pages_on_disk(disk_id)}
-        parity_payloads = {}
-        for group in self.geometry.groups_with_parity_on(disk_id):
-            data = [self.read_page(p)
-                    for p in self.geometry.group_pages(group)]
-            p_addr, q_addr = self._p_addr(group), self._q_addr(group)
-            if p_addr.disk == disk_id:
-                parity_payloads[p_addr.slot] = xor_pages(*data)
-            if q_addr.disk == disk_id:
-                parity_payloads[q_addr.slot] = q_parity(data)
-        disk.revive()
-        rebuilt = 0
-        for slot, payload in {**payloads, **parity_payloads}.items():
-            disk.write(slot, payload)
-            rebuilt += 1
+        with self.tracer.span("array.rebuild", stats=self.stats,
+                              disk=disk_id) as span:
+            disk = self.disks[disk_id]
+            disk.replace()
+            disk.fail()
+            payloads = {slot: self.read_page(page)
+                        for slot, page in self.geometry.pages_on_disk(disk_id)}
+            parity_payloads = {}
+            for group in self.geometry.groups_with_parity_on(disk_id):
+                data = [self.read_page(p)
+                        for p in self.geometry.group_pages(group)]
+                p_addr, q_addr = self._p_addr(group), self._q_addr(group)
+                if p_addr.disk == disk_id:
+                    parity_payloads[p_addr.slot] = xor_pages(*data)
+                if q_addr.disk == disk_id:
+                    parity_payloads[q_addr.slot] = q_parity(data)
+            disk.revive()
+            rebuilt = 0
+            for slot, payload in {**payloads, **parity_payloads}.items():
+                disk.write(slot, payload)
+                rebuilt += 1
+            span.set(slots=rebuilt)
+        if self.metrics is not None:
+            self.metrics.counter("array.rebuilds").inc()
         return rebuilt
 
     # -- verification ----------------------------------------------------------------------
@@ -213,6 +231,8 @@ class Raid6Array(DiskArray):
 
 
 def make_raid6(group_size: int, num_groups: int,
-               stats: IOStats | None = None) -> Raid6Array:
+               stats: IOStats | None = None, tracer=None,
+               metrics=None) -> Raid6Array:
     """A RAID-6 array of N data pages + P + Q per group."""
-    return Raid6Array(raid6_geometry(group_size, num_groups), stats=stats)
+    return Raid6Array(raid6_geometry(group_size, num_groups), stats=stats,
+                      tracer=tracer, metrics=metrics)

@@ -116,10 +116,11 @@ def select_current_twin(headers: tuple, committed_txns=None) -> int:
 class TwinParityArray(DiskArray):
     """Disk array with two parity pages per group (RDA substrate)."""
 
-    def __init__(self, geometry: Geometry, stats=None) -> None:
+    def __init__(self, geometry: Geometry, stats=None, tracer=None,
+                 metrics=None) -> None:
         if not geometry.twin:
             raise ValueError("TwinParityArray requires a twin geometry")
-        super().__init__(geometry, stats)
+        super().__init__(geometry, stats, tracer=tracer, metrics=metrics)
         self._clock = 0
 
     # -- timestamps ---------------------------------------------------------------
@@ -196,6 +197,19 @@ class TwinParityArray(DiskArray):
             raise ValueError(f"page payload must be {PAGE_SIZE} bytes")
         if not updates:
             raise ValueError("small_write needs at least one TwinUpdate")
+        if not self.tracer.enabled:
+            self._small_write_inner(page, new_data, updates, old_data)
+            return
+        with self.stats.window() as window:
+            self._small_write_inner(page, new_data, updates, old_data)
+        self.tracer.emit_costed("array.small_write", window, page=page,
+                                buffered=old_data is not None,
+                                twins=len(updates))
+        if self._xfer_hist is not None:
+            self._xfer_hist.observe(window.total)
+
+    def _small_write_inner(self, page: int, new_data: bytes, updates: list,
+                           old_data: bytes | None) -> None:
         addr = self.geometry.data_address(page)
         group = self.geometry.group_of(page)
         data_disk = self.disks[addr.disk]
@@ -314,22 +328,28 @@ class TwinParityArray(DiskArray):
             raise ValueError("on_lost_undo must be 'raise' or 'adopt'")
         dirty_info = dirty_info or {}
         self._check_disk(disk_id)
-        disk = self.disks[disk_id]
-        disk.replace()
-        rebuilt = 0
-        lost_undo = []
-        for slot, page in self.geometry.pages_on_disk(disk_id):
-            payload = self._reconstruct_data_page(page)
-            disk.write(slot, payload)
-            rebuilt += 1
-        for group in self.geometry.groups_with_parity_on(disk_id):
-            addrs = self.geometry.parity_addresses(group)
-            which_failed = next(i for i, a in enumerate(addrs) if a.disk == disk_id)
-            lost = self._rebuild_twin(group, which_failed,
-                                      dirty_info.get(group), on_lost_undo)
-            if lost:
-                lost_undo.append(group)
-            rebuilt += 1
+        with self.tracer.span("array.rebuild", stats=self.stats,
+                              disk=disk_id) as span:
+            disk = self.disks[disk_id]
+            disk.replace()
+            rebuilt = 0
+            lost_undo = []
+            for slot, page in self.geometry.pages_on_disk(disk_id):
+                payload = self._reconstruct_data_page(page)
+                disk.write(slot, payload)
+                rebuilt += 1
+            for group in self.geometry.groups_with_parity_on(disk_id):
+                addrs = self.geometry.parity_addresses(group)
+                which_failed = next(i for i, a in enumerate(addrs)
+                                    if a.disk == disk_id)
+                lost = self._rebuild_twin(group, which_failed,
+                                          dirty_info.get(group), on_lost_undo)
+                if lost:
+                    lost_undo.append(group)
+                rebuilt += 1
+            span.set(slots=rebuilt, lost_undo_groups=len(lost_undo))
+        if self.metrics is not None:
+            self.metrics.counter("array.rebuilds").inc()
         return RebuildReport(slots_rebuilt=rebuilt, lost_undo_groups=tuple(lost_undo))
 
     def _rebuild_twin(self, group: int, which: int, info, on_lost_undo: str) -> bool:

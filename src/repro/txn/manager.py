@@ -9,21 +9,40 @@ is orchestrated by the recovery layer, which calls back into
 from __future__ import annotations
 
 from ..errors import InvalidTransactionState
+from ..obs.tracer import NULL_TRACER
 from .transaction import Transaction, TxnState
 
 
 class TransactionManager:
-    """Registry and lifecycle authority for transactions."""
+    """Registry and lifecycle authority for transactions.
 
-    def __init__(self) -> None:
+    Args:
+        tracer: event tracer; each transaction's lifetime becomes a
+            detached ``txn`` span (begin → commit/abort) carrying its
+            outcome and — when ``stats`` is supplied — the page
+            transfers performed while it ran.
+        stats: shared :class:`~repro.storage.iostats.IOStats` to bind
+            to the transaction spans.
+        metrics: optional registry for ``txn.finished{outcome=...}``.
+    """
+
+    def __init__(self, tracer=None, stats=None, metrics=None) -> None:
         self._next_id = 1
         self._transactions: dict = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._stats = stats
+        self._m_finished = (metrics.counter("txn.finished")
+                            if metrics is not None else None)
+        self._spans: dict = {}
 
     def begin(self) -> Transaction:
         """Start a new transaction (the BOT event)."""
         txn = Transaction(txn_id=self._next_id)
         self._next_id += 1
         self._transactions[txn.txn_id] = txn
+        if self.tracer.enabled:
+            self._spans[txn.txn_id] = self.tracer.start_span(
+                "txn", stats=self._stats, txn=txn.txn_id)
         return txn
 
     def get(self, txn_id: int) -> Transaction:
@@ -47,6 +66,11 @@ class TransactionManager:
             raise ValueError("outcome must be COMMITTED or ABORTED")
         txn = self.require_active(txn_id)
         txn.state = outcome
+        span = self._spans.pop(txn_id, None)
+        if span is not None:
+            span.finish(outcome=outcome.value)
+        if self._m_finished is not None:
+            self._m_finished.labels(outcome=outcome.value).inc()
         return txn
 
     def active_transactions(self) -> list:
@@ -65,6 +89,8 @@ class TransactionManager:
         Ids keep increasing across the crash so stamps stay unique.
         """
         self._transactions.clear()
+        # in-flight spans die with main memory: no events for them
+        self._spans.clear()
 
     def adopt(self, txn: Transaction) -> None:
         """Re-register a transaction reconstructed from the log."""

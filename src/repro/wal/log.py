@@ -96,15 +96,22 @@ class LogManager:
         stats: shared page-transfer counters.
         duplex: keep two mirror copies (the paper's assumption); set
             False for single-copy ablations.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            records appended are counted per record type
+            (``wal.records{log=...,type=...}``), plus forces.
     """
 
     _device_counter = 0
 
     def __init__(self, name: str = "log", page_size: int = DEFAULT_LOG_PAGE_SIZE,
                  transfers_per_log_page: int = 1, stats: IOStats | None = None,
-                 duplex: bool = True) -> None:
+                 duplex: bool = True, metrics=None) -> None:
         self.name = name
         self.stats = stats if stats is not None else IOStats()
+        self._m_records = (metrics.counter("wal.records")
+                           if metrics is not None else None)
+        self._m_forces = (metrics.counter("wal.forces")
+                          if metrics is not None else None)
         copies = 2 if duplex else 1
         # device ids are negative so they never collide with array disks
         self._devices = []
@@ -133,12 +140,17 @@ class LogManager:
         for device in self._devices:
             device.append(blob)
         self._records.append(record)
+        if self._m_records is not None:
+            self._m_records.labels(log=self.name,
+                                   type=type(record).__name__).inc()
         return record.lsn
 
     def force(self) -> None:
         """Make everything appended so far durable (flush partial pages)."""
         for device in self._devices:
             device.force()
+        if self._m_forces is not None:
+            self._m_forces.labels(log=self.name).inc()
         if self._records:
             self._forced_lsn = self._records[-1].lsn
 

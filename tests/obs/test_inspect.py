@@ -1,0 +1,67 @@
+"""Unit tests for trace aggregation and the cost table."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.obs import (aggregate_events, aggregate_trace_file, event_key,
+                       format_cost_table, load_trace, model_expectation)
+
+
+def test_event_key_splits_variants_in_fixed_order():
+    assert event_key("a", {}) == "a"
+    assert event_key("array.small_write",
+                     {"twins": 1, "buffered": False, "page": 9}) == \
+        "array.small_write[buffered=False,twins=1]"
+
+
+def test_model_expectation_prefix_match():
+    assert model_expectation("array.small_write[buffered=False,twins=1]") == "4"
+    assert model_expectation("rda.commit") == "0"
+    assert model_expectation("rda.commit[foo=bar]") == "0"
+    assert model_expectation("something.unknown") == ""
+
+
+def test_aggregate_sums_and_means_costed_events():
+    events = [
+        {"name": "w", "attrs": {"buffered": True, "reads": 1, "writes": 2,
+                                "transfers": 3}},
+        {"name": "w", "attrs": {"buffered": True, "reads": 1, "writes": 2,
+                                "transfers": 3}},
+        {"name": "marker", "attrs": {"page": 1}},
+    ]
+    rows = aggregate_events(events)
+    assert rows["w[buffered=True]"]["count"] == 2
+    assert rows["w[buffered=True]"]["mean_transfers"] == 3.0
+    assert rows["w[buffered=True]"]["reads"] == 2
+    # pure markers keep None cost fields, not zero
+    assert rows["marker"]["mean_transfers"] is None
+
+
+def test_load_trace_rejects_malformed_lines(tmp_path):
+    bad_json = tmp_path / "bad.jsonl"
+    bad_json.write_text('{"name": "ok"}\n{not json\n')
+    with pytest.raises(ModelError):
+        load_trace(bad_json)
+
+    not_event = tmp_path / "notevent.jsonl"
+    not_event.write_text('[1, 2, 3]\n')
+    with pytest.raises(ModelError):
+        load_trace(not_event)
+
+    no_name = tmp_path / "noname.jsonl"
+    no_name.write_text('{"attrs": {}}\n')
+    with pytest.raises(ModelError):
+        load_trace(no_name)
+
+
+def test_aggregate_trace_file_and_table_render(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        '{"name":"rda.commit","attrs":{"reads":0,"writes":0,"transfers":0}}\n'
+        '{"name":"array.small_write","attrs":{"buffered":false,"twins":1,'
+        '"reads":2,"writes":2,"transfers":4}}\n')
+    rows = aggregate_trace_file(path)
+    table = format_cost_table(rows)
+    assert "rda.commit" in table
+    assert "array.small_write[buffered=False,twins=1]" in table
+    assert "4" in table       # the model column

@@ -1,0 +1,80 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_cached_children():
+    c = Counter("wal.records")
+    c.labels(type="CommitRecord").inc()
+    c.labels(type="CommitRecord").inc()
+    c.labels(type="BOTRecord").inc()
+    assert c.labels(type="CommitRecord") is c.labels(type="CommitRecord")
+    out = {}
+    c.collect(out)
+    assert out["wal.records{type=CommitRecord}"] == 2
+    assert out["wal.records{type=BOTRecord}"] == 1
+    assert out["wal.records"] == 0        # parent counts only direct incs
+
+
+def test_label_keys_are_sorted_in_series_key():
+    c = Counter("s")
+    c.labels(b=2, a=1).inc()
+    out = {}
+    c.collect(out)
+    assert "s{a=1,b=2}" in out
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("dirty")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2
+
+
+def test_histogram_buckets_and_summary():
+    h = Histogram("xfers", buckets=(3, 4, 6))
+    for value in (3, 4, 4, 5, 100):
+        h.observe(value)
+    assert h.count == 5
+    assert h.min == 3 and h.max == 100
+    assert h.mean == pytest.approx(116 / 5)
+    out = {}
+    h.collect(out)
+    doc = out["xfers"]
+    assert doc["buckets"] == {"le_3": 1, "le_4": 2, "le_6": 1, "le_inf": 1}
+
+
+def test_registry_get_or_create_shares_instruments():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+
+
+def test_snapshot_is_json_serializable():
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(7)
+    registry.counter("ops").labels(kind="read").inc()
+    registry.gauge("depth").set(2)
+    registry.histogram("cost").observe(4)
+    snap = registry.snapshot()
+    assert snap["counters"]["ops"] == 7
+    assert snap["counters"]["ops{kind=read}"] == 1
+    assert snap["gauges"]["depth"] == 2
+    assert snap["histograms"]["cost"]["count"] == 1
+    json.dumps(snap)      # must round-trip to JSON without custom encoders

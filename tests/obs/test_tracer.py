@@ -1,0 +1,126 @@
+"""Unit tests for the event tracer, spans, and sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (NULL_TRACER, JsonlSink, RingBufferSink, Tracer,
+                       load_trace)
+from repro.storage.iostats import IOStats
+
+
+def test_disabled_tracer_emits_nothing():
+    tracer = Tracer(None)
+    tracer.emit("x", a=1)
+    with tracer.span("y") as span:
+        span.set(b=2)
+    assert tracer.events_emitted == 0
+    assert not tracer.enabled
+
+
+def test_null_tracer_is_shared_and_disabled():
+    assert NULL_TRACER.enabled is False
+    span = NULL_TRACER.span("anything")
+    # the stateless no-op span: same object every time, ignores set()
+    assert NULL_TRACER.span("other") is span
+    span.set(a=1).finish()
+    assert NULL_TRACER.start_span("z") is span
+
+
+def test_emit_records_name_attrs_and_sequence():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    tracer.emit("first", page=3)
+    tracer.emit("second")
+    events = sink.events()
+    assert [e["name"] for e in events] == ["first", "second"]
+    assert events[0]["attrs"] == {"page": 3}
+    assert events[0]["seq"] == 1 and events[1]["seq"] == 2
+    assert events[0]["ts"] <= events[1]["ts"]
+
+
+def test_emit_costed_attaches_transfer_counts():
+    stats = IOStats()
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with stats.window() as window:
+        stats.record_read(0, 2)
+        stats.record_write(1, 1)
+    tracer.emit_costed("op", window, page=9)
+    (event,) = sink.events()
+    assert event["attrs"] == {"page": 9, "reads": 2, "writes": 1,
+                              "transfers": 3}
+
+
+def test_span_carries_duration_and_io_delta():
+    stats = IOStats()
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("work", stats=stats, disk=1) as span:
+        stats.record_read(0, 4)
+        span.set(extra="yes")
+    (event,) = sink.events()
+    assert event["name"] == "work"
+    assert event["attrs"]["reads"] == 4
+    assert event["attrs"]["writes"] == 0
+    assert event["attrs"]["transfers"] == 4
+    assert event["attrs"]["extra"] == "yes"
+    assert event["attrs"]["dur_ms"] >= 0
+    assert event["span"] == 1
+
+
+def test_nested_spans_link_parent_and_children():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("outer"):
+        tracer.emit("inside")
+        with tracer.span("inner"):
+            pass
+    inside, inner, outer = sink.events()
+    assert inside["span"] == outer["span"]        # event inside outer
+    assert inner["parent"] == outer["span"]
+    assert "parent" not in outer
+
+
+def test_detached_span_finishes_from_another_frame():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    span = tracer.start_span("txn", txn=7)
+    tracer.emit("unrelated")
+    span.finish(outcome="committed")
+    span.finish(outcome="twice")      # idempotent: second finish ignored
+    events = sink.events()
+    assert len(events) == 2
+    assert events[-1]["attrs"]["outcome"] == "committed"
+
+
+def test_span_records_error_attribute_on_exception():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    (event,) = sink.events()
+    assert event["attrs"]["error"] == "ValueError"
+
+
+def test_ring_buffer_sink_caps_capacity():
+    sink = RingBufferSink(capacity=3)
+    tracer = Tracer(sink)
+    for i in range(10):
+        tracer.emit("e", i=i)
+    kept = [e["attrs"]["i"] for e in sink.events()]
+    assert kept == [7, 8, 9]
+
+
+def test_jsonl_sink_round_trips_through_load_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(JsonlSink(path)) as tracer:
+        tracer.emit("a", n=1)
+        with tracer.span("b"):
+            pass
+    events = load_trace(path)
+    assert [e["name"] for e in events] == ["a", "b"]
+    # each line is standalone JSON
+    lines = path.read_text().strip().splitlines()
+    assert all(json.loads(line)["name"] for line in lines)

@@ -1,0 +1,51 @@
+"""Property tests for the workload-trace wire format.
+
+``script_from_json ∘ script_to_json`` must be the identity on any
+:class:`TransactionScript`, and malformed lines must fail loudly with
+:class:`ModelError` — a silently mangled trace would replay the wrong
+workload forever.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.sim.trace import script_from_json, script_to_json
+from repro.sim.workload import Access, TransactionScript
+
+scripts = st.builds(
+    TransactionScript,
+    accesses=st.lists(
+        st.builds(Access, page=st.integers(0, 10_000), update=st.booleans()),
+        max_size=30),
+    is_update=st.booleans(),
+    wants_abort=st.booleans(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scripts)
+def test_round_trip_is_identity(script):
+    line = script_to_json(script)
+    back = script_from_json(line)
+    assert back.accesses == script.accesses
+    assert back.is_update == script.is_update
+    assert back.wants_abort == script.wants_abort
+    # serialization is canonical: a second trip yields identical bytes
+    assert script_to_json(back) == line
+
+
+@pytest.mark.parametrize("line", [
+    "",                                        # empty
+    "not json at all",                         # not JSON
+    "[]",                                      # wrong top-level type
+    '{"update": true, "abort": false}',        # missing accesses
+    '{"accesses": 5, "update": true, "abort": false}',      # not a list
+    '{"accesses": [[1]], "update": true, "abort": false}',  # short pair
+    '{"accesses": [["x", true]], "update": true, "abort": false}',
+    '{"accesses": [[1, true]], "abort": false}',            # missing update
+])
+def test_malformed_lines_raise_model_error(line):
+    with pytest.raises(ModelError):
+        script_from_json(line)

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import load_trace
 
 
 class TestParser:
@@ -60,6 +63,42 @@ class TestCommands:
                      "--num-groups", "12", "--buffer", "16"])
         assert code == 0
         assert "crashes" in capsys.readouterr().out
+
+    def test_simulate_trace_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        metrics = tmp_path / "run.json"
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "30", "--num-groups", "12",
+                     "--buffer", "16",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+        events = load_trace(trace)
+        assert any(e["name"] == "array.small_write" for e in events)
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["rda.commits"] > 0
+
+    def test_inspect_trace_renders_cost_table(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "30", "--num-groups", "12",
+                     "--buffer", "16", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["inspect-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "array.small_write" in out
+        assert "model" in out
+        assert main(["inspect-trace", str(trace), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(key.startswith("array.small_write") for key in rows)
+
+    def test_inspect_trace_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["inspect-trace", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().out
 
     def test_reliability(self, capsys):
         assert main(["reliability", "--disks", "100"]) == 0
