@@ -46,6 +46,8 @@ def _cmd_simulate(args) -> int:
                      buffer_capacity=args.buffer)
     if "noforce" in args.preset:
         overrides["checkpoint_interval"] = args.checkpoint_interval
+    if args.fault_sweep:
+        return _cmd_fault_sweep(args, overrides)
     tracer = (Tracer(JsonlSink(args.trace_out))
               if args.trace_out is not None else None)
     metrics = (MetricsRegistry()
@@ -81,6 +83,56 @@ def _cmd_simulate(args) -> int:
     bad = db.verify_parity()
     print(f"parity scrub  : {'clean' if not bad else bad}")
     return 0 if not bad else 1
+
+
+def _cmd_fault_sweep(args, overrides) -> int:
+    """Exhaustive crash-point enumeration (``simulate --fault-sweep``)."""
+    from .sim import default_fault_workload, run_sweep
+
+    config = preset(args.preset, **overrides)
+    if config.record_logging:
+        print("fault-sweep: use a page-logging preset "
+              "(the sweep script drives write_page)")
+        return 2
+    modes = tuple(m.strip() for m in args.fault_modes.split(",") if m.strip())
+    ops = default_fault_workload(transactions=args.fault_transactions,
+                                 group_size=config.group_size)
+    needed = max(op[2] for op in ops if op[0] == "write") + 1
+    if needed > config.num_data_pages:
+        print(f"fault-sweep: workload needs {needed} pages; raise "
+              f"--num-groups (have {config.num_data_pages})")
+        return 2
+    tracer = (Tracer(JsonlSink(args.trace_out))
+              if args.trace_out is not None else None)
+
+    def make_db():
+        return Database(preset(args.preset, **overrides))
+
+    report = run_sweep(make_db, ops, modes=modes, tracer=tracer)
+    counts = report.counts
+    print(f"configuration : {config.algorithm_name}")
+    print(f"fault sweep   : {len(report.schedule)} crash points "
+          f"x {len(modes)} modes = {len(report.results)} schedules")
+    print(f"outcomes      : {counts['recovered']} recovered, "
+          f"{counts['detected']} detected, "
+          f"{counts['violation']} violations")
+    if not report.clean:
+        for kind, count in sorted(report.violations_by_kind().items()):
+            print(f"  {kind}: {count}")
+        for result in report.results:
+            if result.violations:
+                print(f"  crash_after={result.plan.crash_after} "
+                      f"mode={result.plan.mode}: "
+                      f"{result.violations[0]}")
+    if tracer is not None:
+        tracer.close()
+        print(f"trace         : {tracer.events_emitted} events "
+              f"-> {args.trace_out}")
+    if args.fault_report is not None:
+        with open(args.fault_report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(indent=2))
+        print(f"report        : {args.fault_report}")
+    return 0 if report.clean else 1
 
 
 def _cmd_inspect_trace(args) -> int:
@@ -169,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record a JSONL event trace to FILE")
     simulate.add_argument("--metrics-out", metavar="FILE", default=None,
                           help="write a metrics snapshot (JSON) to FILE")
+    simulate.add_argument("--fault-sweep", action="store_true",
+                          help="enumerate every crash point of a scripted "
+                               "workload instead of running the simulator")
+    simulate.add_argument("--fault-transactions", type=int, default=2,
+                          help="transactions in the fault-sweep script")
+    simulate.add_argument("--fault-modes", default="clean,torn,latent",
+                          help="comma-separated crash-point perturbations")
+    simulate.add_argument("--fault-report", metavar="FILE", default=None,
+                          help="write the FaultSweepReport (JSON) to FILE")
     simulate.set_defaults(func=_cmd_simulate)
 
     inspect_trace = sub.add_parser(

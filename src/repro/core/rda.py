@@ -28,7 +28,8 @@ lost in a crash and rebuilt by :meth:`crash_scan`.
 from __future__ import annotations
 
 from ..errors import ParityGroupError, RecoveryError
-from ..storage.page import NO_PAGE, NO_TXN, ParityHeader, TwinState, xor_pages
+from ..storage.page import (NO_PAGE, NO_TXN, ParityHeader, TwinState,
+                            compute_parity, xor_pages)
 from ..storage.twin_array import (DirtyGroupInfo, TwinParityArray, TwinUpdate,
                                   select_current_twin)
 from .parity_group import DirtyEntry, DirtySet
@@ -140,9 +141,12 @@ class RDAManager:
         index = self.array.geometry.index_in_group(page)
         header = ParityHeader(timestamp=stamp, txn_id=txn_id,
                               dirty_page_index=index, state=TwinState.WORKING)
+        # twin_first: the working twin is the steal's only undo source,
+        # so it must reach disk before the data overwrite (the parity
+        # analogue of the WAL rule)
         self.array.small_write(page, payload,
                                [TwinUpdate(current, target, header)],
-                               old_data=old_data)
+                               old_data=old_data, twin_first=True)
         headers[target] = header
         self.dirty_set.mark_dirty(DirtyEntry(
             group=group, txn_id=txn_id, page_id=page, page_index=index,
@@ -164,7 +168,7 @@ class RDAManager:
         which = entry.working_twin
         self.array.small_write(entry.page_id, payload,
                                [TwinUpdate(which, which, header)],
-                               old_data=old_data)
+                               old_data=old_data, twin_first=True)
         headers[which] = header
         self.dirty_set.mark_dirty(DirtyEntry(
             group=entry.group, txn_id=entry.txn_id, page_id=entry.page_id,
@@ -267,9 +271,24 @@ class RDAManager:
         entry = self.dirty_set.entry(group)
         working_payload, _ = self.array.read_twin(group, entry.working_twin)
         committed_payload, _ = self.array.read_twin(group, 1 - entry.working_twin)
-        if new_data is None:
-            new_data = self.array.read_page(entry.page_id)
-        before = xor_pages(working_payload, committed_payload, new_data)
+        if working_payload == compute_parity(
+                self.array.group_data_payloads(group)):
+            # normal case: the steal fully landed, so the twin-XOR
+            # identity recovers the before-image from D_new
+            if new_data is None:
+                new_data = self.array.read_page(entry.page_id)
+            before = xor_pages(working_payload, committed_payload, new_data)
+        else:
+            # the steal's data write never reached the disk (crash
+            # between the twin-first working-twin write and the data
+            # write): the twin-XOR identity would mis-derive the
+            # before-image, but the committed twin plus the group mates
+            # still reconstruct it directly
+            mates = [self.array.read_page(p)
+                     for p in self.array.geometry.group_pages(group)
+                     if p != entry.page_id]
+            before = xor_pages(committed_payload, *mates) if mates \
+                else committed_payload
         self.array.write_data_only(entry.page_id, before)
         invalid = ParityHeader(timestamp=entry.working_timestamp,
                                txn_id=entry.txn_id,

@@ -23,7 +23,9 @@ written once, then flushed via parity-tracking writes.
 
 from __future__ import annotations
 
-from ..errors import RecoveryError
+from ..errors import RecoveryError, UnrecoverableDataError
+from ..storage.geometry import PhysAddr
+from ..storage.page import NO_TXN, TwinState, compute_parity
 from ..txn import TxnState
 from ..wal.records import (AbortRecord, BOTRecord, CheckpointRecord,
                            CommitRecord, PageAfterImage, PageBeforeImage,
@@ -189,6 +191,19 @@ class RecoveryManager:
                 losers = set(bots) - winners - aborted
                 span.set(winners=len(winners), losers=len(losers))
 
+            # 0. media scan: repair latent sector errors (torn or corrupt
+            # sectors left by the crash) before anything reads them
+            sectors_repaired = self._media_scan(winners, fault)
+
+            # 0b. RAID write-hole resync (¬RDA only): a crash between a
+            # small-write's data and parity transfers leaves the parity
+            # stale; recovery's own small writes assume it is current,
+            # so recompute it first.  (The twin array needs no resync:
+            # its interrupted writes are resolved through the headers
+            # by parity undo below.)
+            parity_resynced = self._parity_resync(fault) if db.rda is None \
+                else 0
+
             # 1. parity undo of unlogged stolen pages (must precede log writes)
             parity_undone = 0
             if db.rda is not None:
@@ -270,11 +285,101 @@ class RecoveryManager:
         return {
             "winners": sorted(winners),
             "losers": sorted(losers),
+            "sectors_repaired": sectors_repaired,
+            "parity_resynced": parity_resynced,
             "parity_undone_pages": parity_undone,
             "redo_applied": redone,
             "log_undo_applied": undone,
             "page_transfers": delta.total,
         }
+
+    # ==================== media scan (restart phase 0) ====================
+
+    def _media_scan(self, winners: set, fault) -> int:
+        """Repair latent sector errors surfaced by the restart scan.
+
+        A crash can leave torn sectors (partial writes) whose checksums
+        no longer match; later phases read those very sectors, so they
+        are repaired first from the surviving redundancy.  Clean
+        restarts skip the phase entirely (no span, no fault-hook calls).
+        """
+        db = self.db
+        bad = [(disk.disk_id, slot)
+               for disk in db.array.disks if not disk.failed
+               for slot in disk.bad_sectors()]
+        if not bad:
+            return 0
+        # data slots first: parity recompute below reads the data pages
+        bad.sort(key=lambda item: (
+            db.array.geometry.page_at(PhysAddr(*item)) is None, item))
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            phase="media_scan") as span:
+            for disk_id, slot in bad:
+                fault(f"media repair disk {disk_id} slot {slot}")
+                self._repair_sector(disk_id, slot, winners)
+            span.set(sectors=len(bad))
+        return len(bad)
+
+    def _parity_resync(self, fault) -> int:
+        """Recompute stale single-parity groups after a crash.
+
+        Detection uses uncounted peeks (the restart scrub); the repair
+        writes are counted.  Clean restarts skip the phase entirely.
+        """
+        db = self.db
+        stale = db.array.scrub()
+        if not stale:
+            return 0
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            phase="parity_resync") as span:
+            for group in stale:
+                fault(f"parity resync group {group}")
+                data = [db.array.read_page(p)
+                        for p in db.array.geometry.group_pages(group)]
+                (addr,) = db.array.geometry.parity_addresses(group)
+                db.array.disks[addr.disk].write(addr.slot,
+                                                compute_parity(data))
+            span.set(groups=len(stale))
+        return len(stale)
+
+    def _repair_sector(self, disk_id: int, slot: int, winners: set) -> None:
+        """Rebuild one unreadable sector from the group's redundancy."""
+        db = self.db
+        geometry = db.array.geometry
+        page = geometry.page_at(PhysAddr(disk_id, slot))
+        if page is not None:
+            # data sector: mates + current parity reconstruct it; for a
+            # torn in-flight write the selected twin decides whether the
+            # write completes or rolls back, matching what parity undo /
+            # log undo will conclude from the same headers
+            db.array.repair_page(page)
+            return
+
+        group = slot
+        data = [db.array.read_page(p) for p in geometry.group_pages(group)]
+        addrs = geometry.parity_addresses(group)
+        if not hasattr(db.array, "write_twin"):
+            if len(addrs) > 1 and addrs[1].disk == disk_id:
+                from ..storage.gf256 import q_parity
+                db.array.disks[disk_id].write(slot, q_parity(data))
+            else:
+                db.array.disks[disk_id].write(slot, compute_parity(data))
+            return
+
+        which = next(i for i, a in enumerate(addrs) if a.disk == disk_id)
+        other_addr = addrs[1 - which]
+        other = db.array.disks[other_addr.disk].read_header(other_addr.slot)
+        if (other.state is TwinState.WORKING and other.txn_id != NO_TXN
+                and other.txn_id not in winners):
+            # the damaged twin was the committed parity of a dirty group:
+            # it is the loser's only before-image, and the data already
+            # holds the uncommitted value — detectable but not repairable
+            raise UnrecoverableDataError(
+                f"group {group}: committed parity twin lost to a media "
+                f"error while transaction {other.txn_id} holds an "
+                "unlogged stolen page in the group")
+        header = db.array.disks[disk_id].read_header(slot)
+        db.array.write_twin(group, which, compute_parity(data), header)
 
     # ==================== media recovery ====================
 

@@ -1,6 +1,10 @@
 """Workload generation, simulation driving, and failure campaigns."""
 
 from .crash import CampaignResult, crash_campaign, media_campaign
+from .faultplan import (CrashPointReached, FaultInjector, FaultPlan,
+                        FaultSweepReport, PlanOutcome, Violation, WriteRecord,
+                        default_fault_workload, record_schedule, run_plan,
+                        run_sweep, violations_by_kind)
 from .metrics import DEFAULT_T, SimulationReport
 from .simulator import Simulator, run_workload
 from .timed import TimedObserver
@@ -14,6 +18,18 @@ __all__ = [
     "CampaignResult",
     "crash_campaign",
     "media_campaign",
+    "CrashPointReached",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSweepReport",
+    "PlanOutcome",
+    "Violation",
+    "WriteRecord",
+    "default_fault_workload",
+    "record_schedule",
+    "run_plan",
+    "run_sweep",
+    "violations_by_kind",
     "DEFAULT_T",
     "SimulationReport",
     "Simulator",

@@ -17,13 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import UnrecoverableDataError
+from .faultplan import Violation, violations_by_kind
 from .simulator import Simulator
 from .workload import WorkloadSpec
 
 
 @dataclass
 class CampaignResult:
-    """Outcome of a failure campaign."""
+    """Outcome of a failure campaign.
+
+    ``violations`` holds structured :class:`~repro.sim.faultplan.
+    Violation` ``(kind, detail)`` tuples; ``str()`` on one gives the old
+    flat message.
+    """
 
     cycles: int = 0
     recovered_losers: int = 0
@@ -35,6 +41,10 @@ class CampaignResult:
     def clean(self) -> bool:
         """True when no invariant was violated."""
         return not self.violations
+
+    def by_kind(self) -> dict:
+        """Violation counts per kind."""
+        return violations_by_kind(self.violations)
 
 
 def crash_campaign(db, spec: WorkloadSpec, cycles: int,
@@ -54,7 +64,8 @@ def crash_campaign(db, spec: WorkloadSpec, cycles: int,
         result.recovered_losers += len(stats["losers"])
         result.recovery_transfers += stats["page_transfers"]
         for problem in verify_database(db):
-            result.violations.append(f"cycle {cycle}: {problem}")
+            result.violations.append(
+                Violation("verify", f"cycle {cycle}: {problem}"))
     return result
 
 
@@ -76,11 +87,13 @@ def media_campaign(db, spec: WorkloadSpec, transactions_per_disk: int = 15,
         try:
             report = db.media_recover(disk_id, on_lost_undo="adopt")
         except UnrecoverableDataError as error:
-            result.violations.append(f"disk {disk_id}: {error}")
+            result.violations.append(
+                Violation("unrecoverable", f"disk {disk_id}: {error}"))
             break
         result.cycles += 1
         slots = getattr(report, "slots_rebuilt", report)
         result.rebuilt_slots += slots if isinstance(slots, int) else 0
         for problem in verify_database(db):
-            result.violations.append(f"disk {disk_id}: {problem}")
+            result.violations.append(
+                Violation("verify", f"disk {disk_id}: {problem}"))
     return result

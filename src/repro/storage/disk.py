@@ -43,6 +43,12 @@ class SimulatedDisk:
         self.read_count = 0
         self.write_count = 0
         self.on_access = None   # optional hook: (disk_id, slot, kind)
+        # fault-injection seam: called before a write lands with
+        # (disk_id, slot, payload); may raise to abort the write (nothing
+        # lands or is counted) or return replacement bytes to store — the
+        # checksum recorded is always that of the *intended* payload, so
+        # a mangled replacement surfaces as a LatentSectorError on read.
+        self.fault_hook = None
 
     # -- failure injection -------------------------------------------------
 
@@ -113,11 +119,16 @@ class SimulatedDisk:
         self._check(slot, "write")
         if len(payload) != PAGE_SIZE:
             raise ValueError(f"payload must be {PAGE_SIZE} bytes, got {len(payload)}")
+        stored = payload
+        if self.fault_hook is not None:
+            replacement = self.fault_hook(self.disk_id, slot, payload)
+            if replacement is not None:
+                stored = replacement
         self.write_count += 1
         self.stats.record_write(self.disk_id)
         if self.on_access is not None:
             self.on_access(self.disk_id, slot, "write")
-        self._pages[slot] = bytes(payload)
+        self._pages[slot] = bytes(stored)
         self._checksums[slot] = zlib.crc32(payload)
 
     def read_header(self, slot: int) -> ParityHeader:
@@ -160,6 +171,14 @@ class SimulatedDisk:
     def written_slots(self) -> list:
         """Sorted list of slots that have ever been written."""
         return sorted(self._pages)
+
+    def bad_sectors(self) -> list:
+        """Sorted slots whose stored bytes no longer match their checksum
+        (latent sector errors awaiting repair).  No transfer cost: this
+        models the media scan a restart performs against sector CRCs."""
+        return sorted(slot for slot, payload in self._pages.items()
+                      if slot in self._checksums
+                      and zlib.crc32(payload) != self._checksums[slot])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "FAILED" if self._failed else "ok"

@@ -180,7 +180,8 @@ class TwinParityArray(DiskArray):
     # -- the small-write protocol -----------------------------------------------------
 
     def small_write(self, page: int, new_data: bytes, updates: list,
-                    old_data: bytes | None = None) -> None:
+                    old_data: bytes | None = None,
+                    twin_first: bool = False) -> None:
         """Write a data page, updating the listed parity twins.
 
         Each :class:`TwinUpdate` reads its ``source`` twin, XORs in the
@@ -188,6 +189,13 @@ class TwinParityArray(DiskArray):
         ``target`` twin with the supplied header.  Transfer cost:
         ``1 read (old data, unless supplied) + len(updates) reads +
         1 write (data) + len(updates) writes``.
+
+        ``twin_first`` writes the parity twins *before* the data page.
+        This is the RDA analogue of the WAL rule: an unlogged steal's
+        only undo information is the twin pair, so the working twin must
+        be durable before the data overwrite — a crash between the two
+        writes then leaves a WORKING header that restart can see, rather
+        than an uncommitted page no recovery source knows about.
 
         Degraded behaviour: a failed twin disk is skipped (the group
         loses that twin until rebuild); a failed data disk absorbs the
@@ -198,10 +206,12 @@ class TwinParityArray(DiskArray):
         if not updates:
             raise ValueError("small_write needs at least one TwinUpdate")
         if not self.tracer.enabled:
-            self._small_write_inner(page, new_data, updates, old_data)
+            self._small_write_inner(page, new_data, updates, old_data,
+                                    twin_first)
             return
         with self.stats.window() as window:
-            self._small_write_inner(page, new_data, updates, old_data)
+            self._small_write_inner(page, new_data, updates, old_data,
+                                    twin_first)
         self.tracer.emit_costed("array.small_write", window, page=page,
                                 buffered=old_data is not None,
                                 twins=len(updates))
@@ -209,7 +219,8 @@ class TwinParityArray(DiskArray):
             self._xfer_hist.observe(window.total)
 
     def _small_write_inner(self, page: int, new_data: bytes, updates: list,
-                           old_data: bytes | None) -> None:
+                           old_data: bytes | None,
+                           twin_first: bool = False) -> None:
         addr = self.geometry.data_address(page)
         group = self.geometry.group_of(page)
         data_disk = self.disks[addr.disk]
@@ -231,7 +242,7 @@ class TwinParityArray(DiskArray):
                 source_payload, _ = self.read_twin(group, update.source)
             new_payloads[update.target] = xor_pages(source_payload, delta)
 
-        if not data_disk.failed:
+        if not twin_first and not data_disk.failed:
             data_disk.write(addr.slot, new_data)
         for update in updates:
             if update.target not in new_payloads:
@@ -241,6 +252,8 @@ class TwinParityArray(DiskArray):
                 continue
             self.write_twin(group, update.target, new_payloads[update.target],
                             update.header)
+        if twin_first and not data_disk.failed:
+            data_disk.write(addr.slot, new_data)
 
     def write_data_only(self, page: int, payload: bytes) -> None:
         """Write a data page WITHOUT touching parity (1 page transfer).

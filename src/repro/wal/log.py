@@ -19,7 +19,8 @@ the model counts.  :class:`LogManager` therefore:
 
 from __future__ import annotations
 
-from ..errors import LogCorruptionError, TornRecordError
+from ..errors import (LogCorruptionError, TornRecordError,
+                      UnrecoverableDataError)
 from ..storage.iostats import IOStats
 from .records import NULL_LSN, LogRecord, deserialize
 
@@ -38,18 +39,27 @@ class LogDevice:
         self.stats = stats
         self._data = bytearray()
         self._pages_charged = 0
+        # fault-injection seam: called with (device_id, page_index) just
+        # before a log page becomes durable; raising aborts the flush, so
+        # the page never counts toward durable_size and is removed by
+        # crash_truncate at the next crash.
+        self.on_page_write = None
 
     def append(self, blob: bytes) -> None:
         """Append bytes, charging transfers as log pages fill."""
         self._data.extend(blob)
         filled = len(self._data) // self.page_size
         while self._pages_charged < filled:
+            if self.on_page_write is not None:
+                self.on_page_write(self.device_id, self._pages_charged)
             self.stats.record_write(self.device_id, self.transfers_per_page)
             self._pages_charged += 1
 
     def force(self) -> None:
         """Flush the current partial page (WAL rule at commit)."""
         if len(self._data) > self._pages_charged * self.page_size:
+            if self.on_page_write is not None:
+                self.on_page_write(self.device_id, self._pages_charged)
             self.stats.record_write(self.device_id, self.transfers_per_page)
             self._pages_charged += 1
 
@@ -284,8 +294,10 @@ class LogManager:
         restart.  Returns the number of records recovered.
 
         Raises:
-            LogCorruptionError: if log bytes exist but no copy yields a
-                single valid record.
+            UnrecoverableDataError: if log bytes exist but every mirror
+                copy ends in a CRC/type failure — all copies are truly
+                corrupt, so silently adopting the longest prefix could
+                drop acknowledged-durable commits.
         """
         best: list = []
         best_bytes = b""
@@ -299,10 +311,12 @@ class LogManager:
             if len(records) > len(best):
                 best = records
                 best_bytes = device.contents[:prefix_len]
-        if any_bytes and not best and not any_clean_stop:
-            # every copy dies on a CRC/type error before yielding a
-            # record — true corruption, not a torn crash tail
-            raise LogCorruptionError(f"{self.name}: every duplex copy is corrupt")
+        if any_bytes and not any_clean_stop:
+            # every copy dies on a CRC/type error (not a torn crash
+            # tail): the log may be missing acknowledged records past
+            # the damage, so refusing is the only safe answer
+            raise UnrecoverableDataError(
+                f"{self.name}: every duplex copy is corrupt")
         for device in self._devices:
             device.reset_to(best_bytes)
         self._records = best

@@ -11,7 +11,8 @@ injected at the same points.
 import pytest
 
 from repro.db import Database, preset
-from repro.sim import Simulator, WorkloadSpec
+from repro.sim import (CampaignResult, Simulator, Violation, WorkloadSpec,
+                       crash_campaign)
 
 PAGE_PRESETS = ["page-force-rda", "page-force-log",
                 "page-noforce-rda", "page-noforce-log"]
@@ -57,3 +58,27 @@ class TestEquivalence:
             mismatches = [p for p, payload in state.items()
                           if payload != reference_state[p]]
             assert mismatches == [], (name, mismatches)
+
+
+class TestStructuredViolations:
+    """CampaignResult.violations carries (kind, detail) tuples."""
+
+    def test_clean_campaign_has_no_violations(self):
+        db = Database(preset("page-force-rda", **SIZES))
+        result = crash_campaign(db, SPEC, cycles=2,
+                                transactions_per_cycle=10, seed=3)
+        assert result.clean
+        assert result.violations == []
+        assert result.by_kind() == {}
+
+    def test_violations_are_kinded_tuples(self):
+        violation = Violation("verify", "cycle 0: parity mismatch in group 1")
+        kind, detail = violation
+        assert (kind, detail) == (violation.kind, violation.detail)
+        result = CampaignResult(violations=[
+            violation, Violation("unrecoverable", "disk 2: twin lost")])
+        assert not result.clean
+        assert result.by_kind() == {"verify": 1, "unrecoverable": 1}
+        # str() preserves the old flat-message format for display
+        assert str(violation) == \
+            "verify: cycle 0: parity mismatch in group 1"

@@ -15,6 +15,7 @@ from repro.db import Database, preset, verify_database
 from repro.sim import TPCB, Simulator, WorkloadSpec
 
 
+@pytest.mark.soak
 class TestPageModeSoak:
     def test_kitchen_sink_campaign(self):
         rng = random.Random(1234)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import LogCorruptionError
+from repro.errors import LogCorruptionError, UnrecoverableDataError
 from repro.storage.iostats import IOStats
 from repro.wal import (BOTRecord, CommitRecord, LogManager, NULL_LSN,
                        PageBeforeImage)
@@ -132,10 +132,36 @@ class TestCrashRestart:
         assert log.after_crash() == 1
 
     def test_after_crash_all_copies_corrupt(self, log):
+        """Every copy dying on a CRC error (not a clean torn tail) must
+        refuse loudly: acknowledged records past the damage may be gone,
+        so adopting the longest prefix would be silent data loss."""
         log.append(BOTRecord(txn_id=1))
         log.damage_copy(0, 0)
         log.damage_copy(1, 0)
-        with pytest.raises(LogCorruptionError):
+        with pytest.raises(UnrecoverableDataError):
+            log.after_crash()
+
+    def test_torn_single_copy_healed_from_duplex_mate(self, log):
+        """A torn write to ONE duplex copy is healed from the other: the
+        survivor parses cleanly and restart adopts its full prefix."""
+        log.append(BOTRecord(txn_id=1))
+        log.append(CommitRecord(txn_id=1))
+        log.force()
+        # tear the tail of copy 0 mid-record (CRC now fails there)
+        log.damage_copy(0, log.size_bytes - 2)
+        assert log.after_crash() == 2
+        assert [type(r).__name__ for r in log.records()] == [
+            "BOTRecord", "CommitRecord"]
+
+    def test_torn_both_copies_detected_not_silent(self, log):
+        """Tearing the SAME forced record on both copies is detected as
+        unrecoverable corruption, never silently truncated away."""
+        log.append(BOTRecord(txn_id=1))
+        log.append(CommitRecord(txn_id=1))
+        log.force()
+        log.damage_copy(0, log.size_bytes - 2)
+        log.damage_copy(1, log.size_bytes - 2)
+        with pytest.raises(UnrecoverableDataError):
             log.after_crash()
 
     def test_empty_log_restart(self, log):
