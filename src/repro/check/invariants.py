@@ -1,0 +1,363 @@
+"""Online invariant engine: the paper's safety rules, checked live.
+
+Rules subscribe to *barriers* — protocol points where the paper's
+correctness argument makes a claim about durable state:
+
+``steal``
+    A buffer-pool writeback of uncommitted data just finished
+    (:meth:`Database._writeback`).
+``twin_write``
+    A twin-parity small write just landed (inside a steal; the
+    Dirty_Set may not reflect it yet, so only stateless-against-the-
+    Dirty_Set rules subscribe here).
+``flip``
+    A commit just flipped one group's current-parity bit
+    (:meth:`RDAManager.commit_txn`).
+``commit`` / ``abort``
+    End of transaction, after all EOT processing.
+``checkpoint``
+    An ACC checkpoint completed.
+``restart``
+    Crash recovery finished (also invoked by ``faultplan`` after every
+    surviving replayed restart).
+
+Each rule also carries a deliberate **mutant**: a minimal corruption
+of live state that the rule — and only the protocol property it
+states — must catch.  Tests apply the mutant and assert the rule
+fires; a rule whose mutant goes unnoticed is dead weight.
+
+Checks use uncounted peeks (``peek_twin`` / ``peek_page`` /
+``group_data_payloads``) so enabling the engine does not perturb the
+transfer accounting the simulator reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.faultplan import Violation
+from ..storage.page import TwinState, compute_parity, xor_pages
+from ..storage.twin_array import select_current_twin
+from ..wal import PageBeforeImage, RecordBeforeEntry
+
+BARRIERS = ("steal", "twin_write", "flip", "commit", "abort",
+            "checkpoint", "restart")
+
+
+class MutantError(RuntimeError):
+    """A mutant's precondition is not met (e.g. no dirty group yet)."""
+
+
+class InvariantRule:
+    """Base class: subclasses define ``name``, ``barriers``, ``check``
+    and ``mutate``."""
+
+    name = "abstract"
+    barriers: Tuple[str, ...] = ()
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        raise NotImplementedError
+
+    def mutate(self, db) -> str:
+        """Corrupt live state such that ``check`` must report a
+        violation at the next subscribed barrier.  Returns a
+        description of the corruption.  Raises :class:`MutantError`
+        when the database is not in a state the mutant can corrupt."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _first_dirty_entry(db):
+        if db.rda is None or not db.rda.dirty_set.entries():
+            raise MutantError("no dirty parity group to corrupt")
+        return db.rda.dirty_set.entries()[0]
+
+
+class TwinParityIdentityRule(InvariantRule):
+    """Paper Section 4.2: for every dirty group, the working twin is
+    the parity of the current data, and the twin XOR identity
+    ``D_old = P_w XOR P_c XOR D_new`` reproduces the stolen page's
+    before-image.  At a flip, the current-twin choice must equal pure
+    timestamp ordering over valid twins (Section 4.1)."""
+
+    name = "twin-parity-identity"
+    barriers = ("steal", "twin_write", "flip", "commit", "checkpoint",
+                "restart")
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        if db.rda is None:
+            return []
+        violations: List[Violation] = []
+        for entry in db.rda.dirty_set.entries():
+            p_w, h_w = db.array.peek_twin(entry.group, entry.working_twin)
+            p_c, _h_c = db.array.peek_twin(entry.group,
+                                           1 - entry.working_twin)
+            data = db.array.group_data_payloads(entry.group)
+            if p_w != compute_parity(data):
+                violations.append(Violation(
+                    "twin-parity-identity",
+                    f"group {entry.group}: working twin is not the parity "
+                    f"of the group data ({barrier})"))
+            if h_w.state is not TwinState.WORKING \
+                    or h_w.txn_id != entry.txn_id \
+                    or h_w.dirty_page_index != entry.page_index:
+                violations.append(Violation(
+                    "twin-parity-identity",
+                    f"group {entry.group}: working-twin header "
+                    f"{h_w} disagrees with Dirty_Set entry {entry} "
+                    f"({barrier})"))
+            captured = db._before_images.get((entry.txn_id, entry.page_id))
+            if captured is not None:
+                derived = xor_pages(p_w, p_c, data[entry.page_index])
+                if derived != captured:
+                    violations.append(Violation(
+                        "twin-parity-identity",
+                        f"group {entry.group}: P_w XOR P_c XOR D_new does "
+                        f"not reproduce the before-image of page "
+                        f"{entry.page_id} ({barrier})"))
+        if barrier == "flip":
+            violations.extend(self._check_flip(db, ctx))
+        return violations
+
+    def _check_flip(self, db, ctx: dict) -> List[Violation]:
+        group, txn = ctx["group"], ctx["txn"]
+        (p0, h0) = db.array.peek_twin(group, 0)
+        (p1, h1) = db.array.peek_twin(group, 1)
+        committed = db.txns.committed_ids() | {txn}
+        expected = select_current_twin((h0, h1), committed)
+        actual = db.rda.current_twin(group)
+        violations: List[Violation] = []
+        if actual != expected:
+            violations.append(Violation(
+                "twin-flip-order",
+                f"group {group}: commit of txn {txn} flipped to twin "
+                f"{actual}, but timestamp ordering selects {expected}"))
+        current_payload = (p0, p1)[actual]
+        if current_payload != compute_parity(
+                db.array.group_data_payloads(group)):
+            violations.append(Violation(
+                "twin-flip-order",
+                f"group {group}: current twin after flip is not the "
+                f"parity of the group data"))
+        return violations
+
+    def mutate(self, db) -> str:
+        entry = self._first_dirty_entry(db)
+        committed = 1 - entry.working_twin
+        payload, header = db.array.peek_twin(entry.group, committed)
+        corrupted = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        db.array.write_twin(entry.group, committed, corrupted, header)
+        return (f"XOR-corrupted committed twin of group {entry.group} "
+                f"(breaks the before-image identity)")
+
+
+class DirtySetBoundRule(InvariantRule):
+    """Paper Figure 3: at most one unlogged uncommitted page per parity
+    group — durably, at most one WORKING twin owned by an active
+    transaction, and the Dirty_Set agrees with the on-disk headers."""
+
+    name = "dirty-set-bound"
+    barriers = ("steal", "commit", "abort", "checkpoint", "restart")
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        if db.rda is None:
+            return []
+        violations: List[Violation] = []
+        active = {t.txn_id for t in db.txns.active_transactions()}
+        geometry = db.array.geometry
+        for group in range(geometry.num_groups):
+            headers = [db.array.peek_twin(group, which)[1]
+                       for which in (0, 1)]
+            working = [which for which in (0, 1)
+                       if headers[which].state is TwinState.WORKING
+                       and headers[which].txn_id in active]
+            if len(working) > 1:
+                violations.append(Violation(
+                    "dirty-set-bound",
+                    f"group {group}: both twins WORKING for active "
+                    f"transactions ({barrier})"))
+            entry = db.rda.dirty_set.get(group)
+            if entry is None:
+                if working and barrier != "steal":
+                    # mid-steal the twin lands before mark_dirty; at
+                    # every other barrier an active WORKING twin must
+                    # have a Dirty_Set entry
+                    violations.append(Violation(
+                        "dirty-set-bound",
+                        f"group {group}: WORKING twin {working[0]} "
+                        f"(txn {headers[working[0]].txn_id}) has no "
+                        f"Dirty_Set entry ({barrier})"))
+                continue
+            header = headers[entry.working_twin]
+            if header.state is not TwinState.WORKING \
+                    or header.txn_id != entry.txn_id:
+                violations.append(Violation(
+                    "dirty-set-bound",
+                    f"group {group}: Dirty_Set entry {entry} not backed "
+                    f"by a WORKING twin header ({barrier})"))
+        return violations
+
+    def mutate(self, db) -> str:
+        entry = self._first_dirty_entry(db)
+        other = 1 - entry.working_twin
+        _payload, header = db.array.peek_twin(entry.group, other)
+        db.array.rewrite_twin_header(entry.group, other, header.with_(
+            state=TwinState.WORKING, txn_id=entry.txn_id,
+            dirty_page_index=entry.page_index))
+        return (f"stamped both twins of group {entry.group} WORKING "
+                f"for active txn {entry.txn_id}")
+
+
+class WalBeforeDataRule(InvariantRule):
+    """WAL before data: a logged steal's before-image records must be
+    durable (appended and forced) before the data page overwrite; an
+    unlogged steal must instead be covered by a Dirty_Set entry —
+    undo information always exists *somewhere* before data lands."""
+
+    name = "wal-before-data"
+    barriers = ("steal",)
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        page = ctx["page"]
+        txns = ctx["txns"]
+        if not ctx["logged"]:
+            entry = (db.rda.dirty_set.get(db.array.geometry.group_of(page))
+                     if db.rda is not None else None)
+            if entry is None or entry.page_id != page \
+                    or entry.txn_id not in txns:
+                return [Violation(
+                    "wal-before-data",
+                    f"unlogged steal of page {page} (txns {sorted(txns)}) "
+                    f"left no Dirty_Set cover")]
+            return []
+        violations: List[Violation] = []
+        forced = db.undo_log.forced_lsn
+        for txn_id in sorted(txns):
+            pending = [e for e in db._pending_undo.get(txn_id, [])
+                       if e.page_id == page]
+            if pending:
+                violations.append(Violation(
+                    "wal-before-data",
+                    f"logged steal of page {page}: txn {txn_id} still has "
+                    f"{len(pending)} undo records deferred in memory"))
+                continue
+            records = [r for r in db.undo_log.records_of(txn_id)
+                       if isinstance(r, (PageBeforeImage, RecordBeforeEntry))
+                       and r.page_id == page]
+            if not records:
+                violations.append(Violation(
+                    "wal-before-data",
+                    f"logged steal of page {page}: no before-image record "
+                    f"for txn {txn_id} in the undo log"))
+            elif any(r.lsn > forced for r in records):
+                violations.append(Violation(
+                    "wal-before-data",
+                    f"logged steal of page {page}: txn {txn_id} has undo "
+                    f"records beyond the forced LSN ({forced})"))
+        return violations
+
+    def mutate(self, db) -> str:
+        db.undo_log.force = lambda: None
+        return "disabled undo_log.force (steals land before their undo)"
+
+
+class LsnMonotonicityRule(InvariantRule):
+    """Log sequence numbers strictly increase, the forced horizon never
+    exceeds the tail, and the base LSN matches the first record —
+    restart analysis depends on all three."""
+
+    name = "lsn-monotonicity"
+    barriers = ("commit", "checkpoint", "restart")
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        violations: List[Violation] = []
+        logs = [db.undo_log]
+        if db.redo_log is not db.undo_log:
+            logs.append(db.redo_log)
+        for log in logs:
+            records = log.records()
+            lsns = [record.lsn for record in records]
+            if any(b <= a for a, b in zip(lsns, lsns[1:])):
+                violations.append(Violation(
+                    "lsn-monotonicity",
+                    f"{log.name} log: LSNs not strictly increasing "
+                    f"({barrier})"))
+            if log.forced_lsn > log.last_lsn:
+                violations.append(Violation(
+                    "lsn-monotonicity",
+                    f"{log.name} log: forced LSN {log.forced_lsn} beyond "
+                    f"tail {log.last_lsn} ({barrier})"))
+            if records and lsns[0] != log.base_lsn:
+                violations.append(Violation(
+                    "lsn-monotonicity",
+                    f"{log.name} log: base LSN {log.base_lsn} disagrees "
+                    f"with first record {lsns[0]} ({barrier})"))
+        return violations
+
+    def mutate(self, db) -> str:
+        records = db.undo_log.records()
+        if len(records) < 2:
+            raise MutantError("undo log needs two records to reorder")
+        records[-1].lsn = records[0].lsn
+        return "rewound the last undo-log record's LSN"
+
+
+def default_rules() -> List[InvariantRule]:
+    return [TwinParityIdentityRule(), DirtySetBoundRule(),
+            WalBeforeDataRule(), LsnMonotonicityRule()]
+
+
+class InvariantEngine:
+    """Dispatches barrier notifications to the subscribed rules and
+    accumulates violations."""
+
+    def __init__(self, db, rules: Optional[List[InvariantRule]] = None):
+        self.db = db
+        self.rules = default_rules() if rules is None else list(rules)
+        self.violations: List[Violation] = []
+        self.barrier_counts: Dict[str, int] = {}
+
+    @classmethod
+    def attach(cls, db, rules: Optional[List[InvariantRule]] = None
+               ) -> "InvariantEngine":
+        """Create an engine and wire it into the database's barrier
+        seams (``db.invariants``, the RDA flip hook and the twin-array
+        write hook)."""
+        engine = cls(db, rules)
+        db.invariants = engine
+        if db.rda is not None:
+            db.rda.barrier_hook = engine.barrier
+            db.array.barrier_hook = engine.barrier
+        return engine
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def barrier(self, name: str, **ctx) -> List[Violation]:
+        """Evaluate every rule subscribed to ``name``; returns (and
+        accumulates) the violations found."""
+        if name not in BARRIERS:
+            raise ValueError(f"unknown barrier {name!r}")
+        self.barrier_counts[name] = self.barrier_counts.get(name, 0) + 1
+        found: List[Violation] = []
+        for rule in self.rules:
+            if name in rule.barriers:
+                found.extend(rule.check(self.db, name, ctx))
+        self.violations.extend(found)
+        return found
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            raise AssertionError(
+                f"{len(self.violations)} invariant violations, first: "
+                f"{self.violations[0]}")
+
+
+def check_restart(db) -> List[Violation]:
+    """One-shot restart-barrier evaluation on a freshly recovered
+    database (used by the fault-injection harness after every
+    surviving replayed restart)."""
+    engine = InvariantEngine(db)
+    return engine.barrier("restart")

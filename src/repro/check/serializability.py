@@ -1,0 +1,226 @@
+"""Conflict-serializability and strictness analysis of a history.
+
+Classical scheduler theory (Bernstein/Hadzilacos/Goodman): a history
+is *conflict-serializable* iff its precedence graph over committed
+transactions is acyclic; it is *recoverable* (RC) when every reader
+commits after the writer it read from, *avoids cascading aborts* (ACA)
+when transactions only read committed data, and *strict* (ST) when no
+resource written by T is read or overwritten before T ends.  Strict
+two-phase locking — what :mod:`repro.txn.locks` implements — must
+yield strict, serializable histories; this module is the oracle that
+checks it did.
+
+Resources are ``(page, slot)`` pairs; page-mode operations use
+``slot=None``, so page and record locking share one analysis.
+Aborted transactions' writes are treated as undone: they are removed
+from the version stack, and reads-from edges never point at them
+(a read that *did* observe an aborted write is reported as a dirty
+read anomaly instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .history import History
+
+Resource = Tuple[Optional[int], Optional[int]]
+
+
+@dataclass
+class SerializabilityReport:
+    """Verdict of :func:`analyze` over one history."""
+
+    serializable: bool
+    cycle: Optional[List[int]]       # a precedence cycle, if any
+    serial_order: Optional[List[int]]  # a witness order when serializable
+    recoverable: bool
+    avoids_cascading_aborts: bool
+    strict: bool
+    anomalies: List[str] = field(default_factory=list)
+    edges: Set[Tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def clean(self) -> bool:
+        return self.serializable and self.strict and not self.anomalies
+
+    def to_dict(self) -> dict:
+        return {
+            "serializable": self.serializable,
+            "cycle": self.cycle,
+            "serial_order": self.serial_order,
+            "recoverable": self.recoverable,
+            "avoids_cascading_aborts": self.avoids_cascading_aborts,
+            "strict": self.strict,
+            "anomalies": sorted(self.anomalies),
+            "edges": sorted(list(edge) for edge in self.edges),
+        }
+
+
+def analyze(history: History) -> SerializabilityReport:
+    """Classify ``history``; see the module docstring for definitions."""
+    committed = history.committed_txns()
+    aborted = set(history.aborted_txns())
+    end_seq: Dict[int, int] = {}
+    commit_seq: Dict[int, int] = {}
+    begun: Set[int] = set()
+    for event in history:
+        if event.op == "begin":
+            begun.add(event.txn)
+        elif event.op == "commit":
+            commit_seq[event.txn] = event.seq
+            end_seq[event.txn] = event.seq
+        elif event.op == "abort":
+            end_seq[event.txn] = event.seq
+        elif event.op == "crash":
+            # A crash ends every in-flight transaction; restart undoes
+            # its effects, so losers are aborts for analysis purposes.
+            for txn in begun:
+                if txn not in end_seq:
+                    end_seq[txn] = event.seq
+                    aborted.add(txn)
+
+    # Live write stacks per resource: (txn, seq), newest last.  Abort
+    # pops the aborting transaction's entries (its writes are undone).
+    writes: Dict[Resource, List[Tuple[int, int]]] = {}
+    # Full op log per resource for conflict edges: (seq, txn, kind).
+    ops: Dict[Resource, List[Tuple[int, int, str]]] = {}
+    # reads-from: (reader, read_seq, writer, write_seq)
+    reads_from: List[Tuple[int, int, int, int]] = []
+    anomalies: List[str] = []
+
+    for event in history:
+        if event.op in ("read", "write"):
+            res = (event.page, event.slot)
+            ops.setdefault(res, []).append((event.seq, event.txn, event.op))
+            if event.op == "write":
+                writes.setdefault(res, []).append((event.txn, event.seq))
+            else:
+                stack = writes.get(res, [])
+                for writer, wseq in reversed(stack):
+                    if writer != event.txn:
+                        reads_from.append((event.txn, event.seq, writer, wseq))
+                        break
+        elif event.op == "abort":
+            for stack in writes.values():
+                stack[:] = [w for w in stack if w[0] != event.txn]
+        elif event.op == "crash":
+            # Restart recovery undoes every loser's writes.
+            for stack in writes.values():
+                stack[:] = [w for w in stack
+                            if commit_seq.get(w[0], event.seq + 1)
+                            < event.seq]
+
+    # -- precedence graph over committed transactions ------------------------
+    edges: Set[Tuple[int, int]] = set()
+    for res, oplist in ops.items():
+        for i, (seq_i, txn_i, kind_i) in enumerate(oplist):
+            if txn_i not in committed:
+                continue
+            for seq_j, txn_j, kind_j in oplist[i + 1:]:
+                if txn_j == txn_i or txn_j not in committed:
+                    continue
+                if kind_i == "read" and kind_j == "read":
+                    continue
+                edges.add((txn_i, txn_j))
+
+    cycle = _find_cycle(committed, edges)
+    serial_order = None if cycle else _topo_order(committed, edges)
+
+    # -- recoverability ladder ----------------------------------------------
+    recoverable = True
+    aca = True
+    strict = True
+    for reader, rseq, writer, wseq in reads_from:
+        if writer in aborted and reader in committed:
+            anomalies.append(
+                f"dirty read: T{reader} read (seq {rseq}) from aborted "
+                f"T{writer}")
+        writer_commit = commit_seq.get(writer)
+        if reader in committed:
+            reader_commit = commit_seq[reader]
+            if writer_commit is None or writer_commit > reader_commit:
+                recoverable = False
+        if writer_commit is None or rseq < writer_commit:
+            aca = False
+            strict = False
+    # Strictness also forbids overwriting uncommitted data (write-write).
+    for res, oplist in ops.items():
+        last_write: Optional[Tuple[int, int]] = None  # (txn, seq)
+        for seq, txn, kind in oplist:
+            if kind != "write":
+                continue
+            if last_write is not None and last_write[0] != txn:
+                prev_txn, _prev_seq = last_write
+                prev_end = end_seq.get(prev_txn)
+                if prev_end is None or seq < prev_end:
+                    strict = False
+            last_write = (txn, seq)
+
+    if cycle is not None:
+        anomalies.append(
+            "precedence cycle: " + " -> ".join(f"T{t}" for t in cycle))
+    return SerializabilityReport(
+        serializable=cycle is None,
+        cycle=cycle,
+        serial_order=serial_order,
+        recoverable=recoverable,
+        avoids_cascading_aborts=aca,
+        strict=strict,
+        anomalies=anomalies,
+        edges=edges,
+    )
+
+
+def _find_cycle(nodes: Set[int], edges: Set[Tuple[int, int]]):
+    """Iterative three-color DFS; returns one cycle as a node list."""
+    adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
+    for src, dst in edges:
+        adjacency[src].append(dst)
+    for neighbors in adjacency.values():
+        neighbors.sort()
+    color = {node: 0 for node in nodes}  # 0 white, 1 gray, 2 black
+    for root in sorted(nodes):
+        if color[root] != 0:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        color[root] = 1
+        path = [root]
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for nxt in neighbors:
+                if color[nxt] == 1:
+                    return path[path.index(nxt):] + [nxt]
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    path.append(nxt)
+                    stack.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+                stack.pop()
+    return None
+
+
+def _topo_order(nodes: Set[int], edges: Set[Tuple[int, int]]):
+    """Kahn topological order (deterministic: smallest txn id first)."""
+    indegree = {node: 0 for node in nodes}
+    adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
+    for src, dst in edges:
+        adjacency[src].append(dst)
+        indegree[dst] += 1
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for nxt in sorted(adjacency[node]):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+        ready.sort()
+    return order if len(order) == len(nodes) else None

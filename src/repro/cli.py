@@ -4,13 +4,16 @@
     python -m repro simulate --preset page-force-rda --transactions 200
     python -m repro simulate --trace-out run.jsonl --metrics-out run.json
     python -m repro inspect-trace run.jsonl
+    python -m repro check [--presets all] [--crash-every 10]
     python -m repro reliability [--disks 200] [--mttr 24]
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation tables, ``simulate``
 drives the live system (optionally recording a structured event trace
 and a metrics snapshot), ``inspect-trace`` aggregates a recorded trace
-into the per-event-type cost table of the paper's model,
+into the per-event-type cost table of the paper's model, ``check``
+runs the conformance suite (online invariants, differential oracle,
+serializability analysis) across configuration presets,
 ``reliability`` prints the Section 1 motivation numbers, and ``demo``
 walks the three recovery scenarios.
 """
@@ -135,6 +138,51 @@ def _cmd_fault_sweep(args, overrides) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_check(args) -> int:
+    """Conformance suite across presets (``repro check``)."""
+    from .check import conformance_matrix
+
+    if args.presets == "all":
+        presets = None
+    else:
+        presets = [name.strip() for name in args.presets.split(",")
+                   if name.strip()]
+        unknown = [name for name in presets
+                   if name not in all_preset_names()]
+        if unknown:
+            print(f"check: unknown presets {unknown}; "
+                  f"choose from {all_preset_names()}")
+            return 2
+    runs = conformance_matrix(transactions=args.transactions,
+                              seed=args.seed,
+                              crash_every=args.crash_every,
+                              presets=presets)
+    for run in runs:
+        verdict = "clean" if run.clean else \
+            f"{len(run.violations)} violations"
+        ser = run.serializability
+        print(f"{run.preset:>18} : {verdict:>14} | "
+              f"{len(run.history)} events, {run.reads_checked} reads "
+              f"checked | serializable={ser.serializable} "
+              f"strict={ser.strict}")
+        for violation in run.violations[:5]:
+            print(f"{'':>18}   {violation.kind}: {violation.detail}")
+    if args.history_out is not None:
+        with open(args.history_out, "w", encoding="utf-8") as handle:
+            for run in runs:
+                for row in run.history.to_dicts():
+                    row["preset"] = run.preset
+                    handle.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"history       : {args.history_out}")
+    if args.report_out is not None:
+        payload = {"clean": all(run.clean for run in runs),
+                   "runs": [run.to_dict() for run in runs]}
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"verdict       : {args.report_out}")
+    return 0 if all(run.clean for run in runs) else 1
+
+
 def _cmd_inspect_trace(args) -> int:
     try:
         rows = aggregate_trace_file(args.trace)
@@ -231,6 +279,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fault-report", metavar="FILE", default=None,
                           help="write the FaultSweepReport (JSON) to FILE")
     simulate.set_defaults(func=_cmd_simulate)
+
+    check = sub.add_parser(
+        "check",
+        help="conformance suite: invariants, differential oracle, "
+             "serializability")
+    check.add_argument("--presets", default="all",
+                       help="'all' or a comma-separated preset list")
+    check.add_argument("--transactions", type=int, default=40)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--crash-every", type=int, default=None,
+                       help="crash + recover every N finished transactions")
+    check.add_argument("--history-out", metavar="FILE", default=None,
+                       help="write recorded histories (JSONL) to FILE")
+    check.add_argument("--report-out", metavar="FILE", default=None,
+                       help="write the verdict (JSON) to FILE")
+    check.set_defaults(func=_cmd_check)
 
     inspect_trace = sub.add_parser(
         "inspect-trace",

@@ -40,14 +40,18 @@ class ACCCheckpointer:
             the transfers it cost.
         stats: shared page-transfer counters to bind to checkpoint spans.
         metrics: optional registry for ``checkpoint.taken``.
+        on_checkpoint: optional callable invoked with the checkpoint
+            record's LSN after each checkpoint (the database's
+            conformance barrier).
     """
 
     def __init__(self, flush_dirty, append_and_force, active_txn_ids,
                  interval: float | None = None, tracer=None, stats=None,
-                 metrics=None) -> None:
+                 metrics=None, on_checkpoint=None) -> None:
         self._flush_dirty = flush_dirty
         self._append_and_force = append_and_force
         self._active_txn_ids = active_txn_ids
+        self._on_checkpoint = on_checkpoint
         self.interval = interval
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._stats = stats
@@ -71,6 +75,8 @@ class ACCCheckpointer:
         self.checkpoints_taken += 1
         self.last_checkpoint_lsn = lsn
         self._work_since = 0.0
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(lsn)
         return lsn
 
     def note_work(self, cost_units: float) -> None:

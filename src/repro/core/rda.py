@@ -53,6 +53,7 @@ class RDAManager:
                          if self.metrics is not None else None)
         self._headers: dict = {}       # group -> [header0, header1] cache
         self._current: dict = {}       # group -> current twin index (the bit map)
+        self.barrier_hook = None       # conformance seam (repro.check)
 
     def _note_dirty_gauge(self) -> None:
         if self._g_dirty is not None:
@@ -219,6 +220,9 @@ class RDAManager:
         for group in groups:
             entry = self.dirty_set.clean(group)
             self._current[group] = entry.working_twin
+            if self.barrier_hook is not None:
+                self.barrier_hook("flip", group=group, txn=txn_id,
+                                  twin=entry.working_twin)
             if traced:
                 # the paper's headline number: committing a stolen page
                 # costs zero page transfers (a main-memory bit flip)

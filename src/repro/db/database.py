@@ -94,11 +94,14 @@ class Database:
             shared likewise.
     """
 
-    def __init__(self, config: DBConfig, tracer=None, metrics=None) -> None:
+    def __init__(self, config: DBConfig, tracer=None, metrics=None,
+                 history=None) -> None:
         self.config = config
         self.stats = IOStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.history = history      # optional check.HistoryRecorder
+        self.invariants = None      # optional check.InvariantEngine
         geometry = Geometry(config.group_size, config.num_groups,
                             twin=config.rda, placement=config.placement)
         if config.rda:
@@ -131,7 +134,8 @@ class Database:
                 self.buffer.flush_all_dirty, self._append_and_force_redo,
                 lambda: [t.txn_id for t in self.txns.active_transactions()],
                 interval=config.checkpoint_interval,
-                tracer=self.tracer, stats=self.stats, metrics=metrics)
+                tracer=self.tracer, stats=self.stats, metrics=metrics,
+                on_checkpoint=self._on_checkpoint)
         self.recovery = RecoveryManager(self)
         self.counters = WriteCounters()
 
@@ -168,6 +172,28 @@ class Database:
         empty = SlottedPage.empty().to_bytes()
         self.load_pages({page: empty for page in pages})
 
+    # -- conformance seams (see repro.check) --------------------------------------------
+
+    def _h(self, op: str, **attrs) -> None:
+        """Record one logical operation in the attached history (and
+        mirror it onto the trace, so a JSONL trace doubles as the
+        history transport)."""
+        if self.history is None:
+            return
+        event = self.history.record(op, **attrs)
+        if self.tracer.enabled:
+            row = event.to_dict()
+            del row["op"]
+            self.tracer.emit("history." + op, **row)
+
+    def _barrier(self, name: str, **ctx) -> None:
+        if self.invariants is not None:
+            self.invariants.barrier(name, **ctx)
+
+    def _on_checkpoint(self, lsn: int) -> None:
+        self._h("checkpoint", lsn=lsn)
+        self._barrier("checkpoint", lsn=lsn)
+
     # -- buffer hooks -------------------------------------------------------------------
 
     def _fetch(self, page: int) -> bytes:
@@ -192,6 +218,9 @@ class Database:
                 self.metrics.counter("db.steals").labels(mode="unlogged").inc()
             self.txns.get(single).note_steal(page)
             self._last_stolen[(single, page)] = payload
+            self._h("steal", txn=single, page=page, logged=False)
+            self._barrier("steal", page=page, txns=frozenset({single}),
+                          logged=False)
             return
         # logged steal: WAL — undo information durable before the write
         if self.rda is not None:
@@ -222,6 +251,9 @@ class Database:
             self.txns.get(txn_id).note_steal(page)
             self._logged_stolen.add((txn_id, page))
             self._last_stolen[(txn_id, page)] = payload
+            self._h("steal", txn=txn_id, page=page, logged=True)
+        self._barrier("steal", page=page, txns=frozenset(modifiers),
+                      logged=True)
 
     def _old_disk_version(self, txn_id, page: int):
         """The page's current on-disk bytes, if this transaction knows
@@ -296,7 +328,9 @@ class Database:
 
     def begin(self) -> int:
         """Start a transaction; returns its id."""
-        return self.txns.begin().txn_id
+        txn_id = self.txns.begin().txn_id
+        self._h("begin", txn=txn_id)
+        return txn_id
 
     def _ensure_bot(self, txn_id: int) -> None:
         if txn_id not in self._bot_written:
@@ -310,6 +344,7 @@ class Database:
         self._lock(txn_id, ("page", page), LockMode.SHARED)
         payload = self.buffer.get_page(page)
         txn.note_read(page)
+        self._h("read", txn=txn_id, page=page)
         return payload
 
     def write_page(self, txn_id: int, page: int, payload: bytes) -> None:
@@ -335,6 +370,7 @@ class Database:
                 self.counters.before_images_logged += 1
         self.buffer.put_page(page, payload, txn_id)
         txn.note_write(page)
+        self._h("write", txn=txn_id, page=page)
 
     # -- record API (record-logging mode) ------------------------------------------------------------
 
@@ -352,6 +388,7 @@ class Database:
         txn = self.txns.require_active(txn_id)
         self._lock(txn_id, ("rec", page, slot), LockMode.SHARED)
         txn.note_read(page)
+        self._h("read", txn=txn_id, page=page, slot=slot)
         return self._slotted(page).read(slot)
 
     def _maybe_promote(self, page: int, txn_id: int) -> None:
@@ -393,6 +430,7 @@ class Database:
         mutate(sp)
         self.buffer.put_page(page, sp.to_bytes(), txn_id)
         txn.note_record_write(page, slot)
+        self._h("write", txn=txn_id, page=page, slot=slot)
 
     def update_record(self, txn_id: int, page: int, slot: int,
                       data: bytes) -> None:
@@ -448,7 +486,8 @@ class Database:
             self.undo_log.force()
             self.redo_log.force()
             if self.rda is not None:
-                self.rda.commit_txn(txn_id)
+                for group in self.rda.commit_txn(txn_id):
+                    self._h("flip", txn=txn_id, group=group)
             self.buffer.clear_modifier(txn_id)
             if not self.config.force:
                 for page in txn.pages_written:
@@ -458,6 +497,8 @@ class Database:
         self.txns.finish(txn_id, TxnState.COMMITTED)
         self._forget(txn_id)
         self.counters.transactions_committed += 1
+        self._h("commit", txn=txn_id)
+        self._barrier("commit", txn=txn_id)
 
     def _after_image(self, txn_id: int, page: int) -> bytes:
         if page in self.buffer:
@@ -468,6 +509,8 @@ class Database:
         """Roll the transaction back (parity twins and/or log) and
         release its locks."""
         self.recovery.abort(txn_id)
+        self._h("abort", txn=txn_id)
+        self._barrier("abort", txn=txn_id)
 
     # -- checkpoints ------------------------------------------------------------------------------------------
 
@@ -525,6 +568,7 @@ class Database:
         """Lose main memory: buffer, lock table, transaction registry,
         Dirty_Set, unforced log tails."""
         self.tracer.emit("db.crash")
+        self._h("crash")
         self.buffer.invalidate_all()
         self.locks = LockManager()
         self.txns.lose_memory()
@@ -548,7 +592,10 @@ class Database:
         ``fault_hook`` is a test seam: called before each recovery
         write; raising from it simulates a crash during recovery.
         """
-        return self.recovery.crash_recover(fault_hook=fault_hook)
+        stats = self.recovery.crash_recover(fault_hook=fault_hook)
+        self._h("restart")
+        self._barrier("restart")
+        return stats
 
     def media_failure(self, disk_id: int) -> None:
         """Fail-stop one disk of the array."""

@@ -366,6 +366,11 @@ def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
     for problem in verify_database(db):
         violations.append(Violation("verify", problem))
 
+    # every surviving restart also satisfies the online invariants
+    # (lazy import: repro.check imports this module for Violation)
+    from ..check.invariants import check_restart
+    violations.extend(check_restart(db))
+
     label_of = {txn_id: label for label, txn_id in txn_ids.items()}
     winner_labels = {label_of[txn_id] for txn_id in stats["winners"]
                      if txn_id in label_of}

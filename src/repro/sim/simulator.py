@@ -42,10 +42,14 @@ class Simulator:
             identical across configurations (the resident set evolves
             slightly differently per recovery discipline, e.g. abort
             paths re-insert pages under ¬FORCE).
+        conformance: optional observer mirroring the operation stream
+            (e.g. :class:`~repro.check.differential.DifferentialMirror`);
+            must provide ``begin/read/write/commit/abort/crash``.
     """
 
     def __init__(self, db: Database, spec: WorkloadSpec, seed: int = 0,
-                 buffer_feedback: bool = True, timed: bool = False) -> None:
+                 buffer_feedback: bool = True, timed: bool = False,
+                 conformance=None) -> None:
         self.db = db
         self.spec = spec
         self.generator = WorkloadGenerator(spec, db.num_data_pages, seed=seed)
@@ -54,6 +58,7 @@ class Simulator:
         self._started = 0
         self.record_mode = db.config.record_logging
         self.buffer_feedback = buffer_feedback
+        self.conformance = conformance
         self.observer = None
         if timed:
             from .timed import TimedObserver
@@ -103,6 +108,8 @@ class Simulator:
                         if self.buffer_feedback else ())
             script = self.generator.next_script(resident)
             txn_id = self.db.begin()
+            if self.conformance is not None:
+                self.conformance.begin(txn_id)
             self._live.append(_LiveTxn(txn_id=txn_id, script=script))
             self._started += 1
 
@@ -122,30 +129,44 @@ class Simulator:
             self._finish(live)
             return True
         access = script.accesses[live.position]
+        observed = None     # (page, slot, value, is_write) for conformance
         try:
             if self.record_mode:
                 if access.update:
                     live.version += 1
-                    self.db.update_record(
-                        live.txn_id, access.page, 0,
-                        f"p{access.page}v{live.version}t{live.txn_id}".encode())
+                    payload = (f"p{access.page}v{live.version}"
+                               f"t{live.txn_id}".encode())
+                    self.db.update_record(live.txn_id, access.page, 0,
+                                          payload)
+                    observed = (access.page, 0, payload, True)
                 else:
-                    self.db.read_record(live.txn_id, access.page, 0)
+                    value = self.db.read_record(live.txn_id, access.page, 0)
+                    observed = (access.page, 0, value, False)
             elif access.update:
                 live.version += 1
                 payload = self.generator.payload_for(access.page, live.version)
                 self.db.write_page(live.txn_id, access.page, payload)
+                observed = (access.page, None, payload, True)
             else:
-                self.db.read_page(live.txn_id, access.page)
+                value = self.db.read_page(live.txn_id, access.page)
+                observed = (access.page, None, value, False)
         except LockWait:
             live.waiting = True
             return False
         except DeadlockError:
             self.db.abort(live.txn_id)
+            if self.conformance is not None:
+                self.conformance.abort(live.txn_id)
             self._live.remove(live)
             self.report.aborted += 1
             self.report.deadlocks += 1
             return True
+        if self.conformance is not None and observed is not None:
+            page, slot, value, is_write = observed
+            if is_write:
+                self.conformance.write(live.txn_id, page, slot, value)
+            else:
+                self.conformance.read(live.txn_id, page, slot, value)
         live.position += 1
         return True
 
@@ -157,9 +178,13 @@ class Simulator:
             wants_abort = False
         if wants_abort:
             self.db.abort(live.txn_id)
+            if self.conformance is not None:
+                self.conformance.abort(live.txn_id)
             self.report.aborted += 1
         else:
             self.db.commit(live.txn_id)
+            if self.conformance is not None:
+                self.conformance.commit(live.txn_id)
             self.report.committed += 1
         self._live.remove(live)
         if self.db.checkpointer is not None:
@@ -176,6 +201,8 @@ class Simulator:
         resolver would)."""
         victim = self._live[-1]
         self.db.abort(victim.txn_id)
+        if self.conformance is not None:
+            self.conformance.abort(victim.txn_id)
         self._live.remove(victim)
         self.report.aborted += 1
         self.report.deadlocks += 1
@@ -187,6 +214,8 @@ class Simulator:
         self.db.tracer.emit("sim.crash", live_txns=len(self._live),
                             finished=self.report.transactions)
         self.db.crash()
+        if self.conformance is not None:
+            self.conformance.crash()
         before = self.db.stats.total
         stats = self.db.recover()
         self.report.crashes += 1
@@ -202,9 +231,13 @@ class Simulator:
         for live in list(self._live):
             if self.db.txns.get(live.txn_id).must_commit:
                 self.db.commit(live.txn_id)
+                if self.conformance is not None:
+                    self.conformance.commit(live.txn_id)
                 self.report.committed += 1
             else:
                 self.db.abort(live.txn_id)
+                if self.conformance is not None:
+                    self.conformance.abort(live.txn_id)
                 self.report.aborted += 1
         self._live.clear()
         self.report.page_transfers = self.db.stats.total

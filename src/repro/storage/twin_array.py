@@ -122,6 +122,7 @@ class TwinParityArray(DiskArray):
             raise ValueError("TwinParityArray requires a twin geometry")
         super().__init__(geometry, stats, tracer=tracer, metrics=metrics)
         self._clock = 0
+        self.barrier_hook = None    # conformance seam (repro.check)
 
     # -- timestamps ---------------------------------------------------------------
 
@@ -208,15 +209,17 @@ class TwinParityArray(DiskArray):
         if not self.tracer.enabled:
             self._small_write_inner(page, new_data, updates, old_data,
                                     twin_first)
-            return
-        with self.stats.window() as window:
-            self._small_write_inner(page, new_data, updates, old_data,
-                                    twin_first)
-        self.tracer.emit_costed("array.small_write", window, page=page,
-                                buffered=old_data is not None,
-                                twins=len(updates))
-        if self._xfer_hist is not None:
-            self._xfer_hist.observe(window.total)
+        else:
+            with self.stats.window() as window:
+                self._small_write_inner(page, new_data, updates, old_data,
+                                        twin_first)
+            self.tracer.emit_costed("array.small_write", window, page=page,
+                                    buffered=old_data is not None,
+                                    twins=len(updates))
+            if self._xfer_hist is not None:
+                self._xfer_hist.observe(window.total)
+        if self.barrier_hook is not None:
+            self.barrier_hook("twin_write", page=page)
 
     def _small_write_inner(self, page: int, new_data: bytes, updates: list,
                            old_data: bytes | None,

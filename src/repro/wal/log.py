@@ -332,7 +332,10 @@ class LogManager:
             # (unchanged) next position, and the base must follow it or
             # lsn-to-index arithmetic goes negative
             self._base_lsn = self._next_lsn
-        self._forced_lsn = self._next_lsn - 1
+        # the forced horizon can only cover records that still exist —
+        # a damaged log that lost its whole tail is durable up to
+        # nothing, not up to where the tail used to end
+        self._forced_lsn = best[-1].lsn if best else NULL_LSN
         return len(best)
 
     @staticmethod

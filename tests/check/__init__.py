@@ -1,0 +1,1 @@
+"""Tests for the conformance subsystem (repro.check)."""

@@ -1,0 +1,38 @@
+"""Acceptance sweep: every recovery class x RDA on/off x page/record
+locking runs clean under full conformance checking — online
+invariants, differential reads, final-state diff, structural
+verification and serializability analysis — with and without
+mid-load crashes."""
+
+import pytest
+
+from repro.check import analyze, run_conformance
+from repro.db import all_preset_names
+
+
+@pytest.mark.parametrize("name", all_preset_names())
+def test_preset_runs_clean(name):
+    run = run_conformance(name, transactions=25, seed=0)
+    assert run.violations == [], [str(v) for v in run.violations]
+    ser = run.serializability
+    assert ser.serializable and ser.recoverable
+    assert ser.avoids_cascading_aborts and ser.strict
+    assert ser.anomalies == []
+    assert run.clean
+
+
+@pytest.mark.parametrize("name", all_preset_names())
+def test_preset_runs_clean_with_crashes(name):
+    run = run_conformance(name, transactions=25, seed=4, crash_every=8)
+    assert run.violations == [], [str(v) for v in run.violations]
+    assert run.serializability.clean
+    assert run.history.of_op("restart")
+
+
+def test_strict_2pl_yields_strict_histories():
+    # the theory link: the lock manager is strict 2PL, so every
+    # recorded history must classify as ST (not merely serializable)
+    run = run_conformance("record-noforce-rda", transactions=30, seed=7)
+    report = analyze(run.history)
+    assert report.strict
+    assert report.serial_order is not None

@@ -1,0 +1,99 @@
+"""The differential oracle: reference semantics, divergence
+detection, and clean engine runs."""
+
+from repro.check import (ConformanceRun, DifferentialMirror,
+                         ReferenceDatabase, run_conformance)
+from repro.check.differential import _DEFAULT_OVERRIDES
+from repro.db import Database, preset
+from repro.sim import Simulator, WorkloadSpec
+from repro.storage import ZERO_PAGE, make_page
+
+
+class TestReferenceDatabase:
+    def test_read_your_own_writes(self):
+        ref = ReferenceDatabase()
+        ref.begin(1)
+        ref.write(1, (0, None), b"mine")
+        assert ref.read(1, (0, None)) == b"mine"
+        assert ref.read(2, (0, None)) == ZERO_PAGE
+
+    def test_commit_publishes(self):
+        ref = ReferenceDatabase()
+        ref.begin(1)
+        ref.write(1, (0, None), b"v1")
+        ref.commit(1)
+        assert ref.read(2, (0, None)) == b"v1"
+
+    def test_abort_discards(self):
+        ref = ReferenceDatabase()
+        ref.begin(1)
+        ref.write(1, (0, None), b"v1")
+        ref.abort(1)
+        assert ref.read(2, (0, None)) == ZERO_PAGE
+
+    def test_crash_kills_all_staging(self):
+        ref = ReferenceDatabase()
+        ref.begin(1)
+        ref.write(1, (0, None), b"doomed")
+        ref.begin(2)
+        ref.write(2, (1, None), b"also doomed")
+        ref.crash()
+        ref.commit(1)   # staging is gone; commit publishes nothing
+        assert ref.read(3, (0, None)) == ZERO_PAGE
+        assert ref.read(3, (1, None)) == ZERO_PAGE
+
+
+class TestDifferentialMirror:
+    def test_matching_read_is_clean(self):
+        mirror = DifferentialMirror()
+        mirror.begin(1)
+        mirror.write(1, 0, None, b"x")
+        mirror.read(1, 0, None, b"x")
+        assert mirror.violations == []
+        assert mirror.reads_checked == 1
+
+    def test_divergent_read_flagged(self):
+        mirror = DifferentialMirror()
+        mirror.begin(1)
+        mirror.read(1, 0, None, b"phantom")
+        assert len(mirror.violations) == 1
+        assert mirror.violations[0].kind == "read-divergence"
+
+    def test_final_state_diff_catches_corruption(self):
+        db = Database(preset("page-force-rda", **_DEFAULT_OVERRIDES))
+        mirror = DifferentialMirror()
+        simulator = Simulator(
+            db, WorkloadSpec(concurrency=2, pages_per_txn=3),
+            seed=3, conformance=mirror)
+        simulator.run(10)
+        assert mirror.final_state_diff(db) == []
+        # corrupt one committed page behind the engine's back
+        victim = next(page for (page, _slot) in mirror.reference.committed)
+        db.array.write_data_only(victim, make_page(b"gremlin"))
+        db.buffer.invalidate(victim)
+        diffs = mirror.final_state_diff(db)
+        assert any(v.kind == "state-divergence" for v in diffs)
+
+
+class TestRunConformance:
+    def test_returns_structured_run(self):
+        run = run_conformance("page-force-rda", transactions=15, seed=2)
+        assert isinstance(run, ConformanceRun)
+        assert run.clean
+        assert run.reads_checked > 0
+        assert run.barrier_counts.get("commit", 0) > 0
+        payload = run.to_dict()
+        assert payload["clean"] is True
+        assert payload["serializability"]["serializable"] is True
+
+    def test_record_mode_run(self):
+        run = run_conformance("record-force-rda", transactions=15, seed=2)
+        assert run.clean
+        assert run.reads_checked > 0
+
+    def test_crash_every_run(self):
+        run = run_conformance("page-noforce-rda", transactions=15, seed=2,
+                              crash_every=5)
+        assert run.clean
+        assert run.history.of_op("crash")
+        assert run.history.of_op("restart")

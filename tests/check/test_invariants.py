@@ -1,0 +1,227 @@
+"""The online invariant engine: clean runs stay clean, every mutant
+is caught by its rule, and barriers fire where the protocol says."""
+
+import pytest
+
+from repro.check import (DirtySetBoundRule, InvariantEngine,
+                         LsnMonotonicityRule, MutantError,
+                         TwinParityIdentityRule, WalBeforeDataRule,
+                         check_restart, default_rules)
+from repro.db import Database, preset
+from repro.storage import make_page
+
+
+def make_db(name="page-force-rda", engine=True, **kw):
+    defaults = dict(group_size=5, num_groups=12, buffer_capacity=8)
+    defaults.update(kw)
+    db = Database(preset(name, **defaults))
+    if engine:
+        InvariantEngine.attach(db)
+    return db
+
+
+def dirty_db(name="page-force-rda"):
+    """A database with one unlogged-stolen page (dirty group 0)."""
+    db = make_db(name)
+    txn = db.begin()
+    db.write_page(txn, 0, make_page(b"stolen"))
+    db.buffer.flush_pages_of(txn)
+    assert db.rda.dirty_set.is_dirty(0)
+    return db, txn
+
+
+class TestEngineWiring:
+    def test_attach_sets_hooks(self):
+        db = make_db()
+        assert db.invariants is not None
+        assert db.rda.barrier_hook == db.invariants.barrier
+        assert db.array.barrier_hook == db.invariants.barrier
+
+    def test_attach_without_rda(self):
+        db = make_db("page-force-log")
+        assert db.invariants is not None
+
+    def test_unknown_barrier_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.invariants.barrier("teatime")
+
+    def test_barriers_fire_through_a_transaction(self):
+        db, txn = dirty_db()
+        db.commit(txn)
+        counts = db.invariants.barrier_counts
+        assert counts["steal"] >= 1
+        assert counts["twin_write"] >= 1
+        assert counts["flip"] >= 1
+        assert counts["commit"] == 1
+        assert db.invariants.clean
+        db.invariants.assert_clean()
+
+    def test_restart_barrier_fires(self):
+        db, _txn = dirty_db()
+        db.crash()
+        db.recover()
+        assert db.invariants.barrier_counts["restart"] == 1
+        assert db.invariants.clean
+
+    def test_checkpoint_barrier_fires(self):
+        db = make_db("page-noforce-rda")
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.commit(txn)
+        db.checkpoint()
+        assert db.invariants.barrier_counts["checkpoint"] == 1
+        assert db.invariants.clean
+
+    def test_abort_barrier_fires(self):
+        db, txn = dirty_db()
+        db.abort(txn)
+        assert db.invariants.barrier_counts["abort"] == 1
+        assert db.invariants.clean
+
+    def test_assert_clean_raises_on_violation(self):
+        db, _txn = dirty_db()
+        TwinParityIdentityRule().mutate(db)
+        db.invariants.barrier("commit", txn=0)
+        with pytest.raises(AssertionError):
+            db.invariants.assert_clean()
+
+    def test_check_restart_on_recovered_db(self):
+        db, _txn = dirty_db()
+        db.crash()
+        db.recover()
+        assert check_restart(db) == []
+
+    def test_default_rules_cover_all_four(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {"twin-parity-identity", "dirty-set-bound",
+                         "wal-before-data", "lsn-monotonicity"}
+
+
+class TestTwinParityIdentityRule:
+    def test_clean_dirty_group_passes(self):
+        db, _txn = dirty_db()
+        assert TwinParityIdentityRule().check(db, "commit", {}) == []
+
+    def test_mutant_caught(self):
+        db, _txn = dirty_db()
+        rule = TwinParityIdentityRule()
+        rule.mutate(db)
+        found = rule.check(db, "commit", {})
+        assert found
+        assert all(v.kind == "twin-parity-identity" for v in found)
+
+    def test_mutant_caught_at_next_live_barrier(self):
+        # while the group is still dirty, any commit barrier re-checks
+        # the identity and catches the corruption
+        db, txn = dirty_db()
+        TwinParityIdentityRule().mutate(db)
+        other = db.begin()
+        db.write_page(other, 30, make_page(b"elsewhere"))
+        db.commit(other)
+        assert not db.invariants.clean
+        assert db.rda.dirty_set.is_dirty(0)     # victim group untouched
+
+    def test_mutant_needs_a_dirty_group(self):
+        db = make_db()
+        with pytest.raises(MutantError):
+            TwinParityIdentityRule().mutate(db)
+
+    def test_header_disagreement_caught(self):
+        db, _txn = dirty_db()
+        entry = db.rda.dirty_set.entries()[0]
+        _p, header = db.array.peek_twin(entry.group, entry.working_twin)
+        db.array.rewrite_twin_header(entry.group, entry.working_twin,
+                                     header.with_(txn_id=999))
+        found = TwinParityIdentityRule().check(db, "commit", {})
+        assert any("header" in v.detail for v in found)
+
+
+class TestDirtySetBoundRule:
+    def test_clean_dirty_group_passes(self):
+        db, _txn = dirty_db()
+        assert DirtySetBoundRule().check(db, "commit", {}) == []
+
+    def test_mutant_caught(self):
+        db, _txn = dirty_db()
+        rule = DirtySetBoundRule()
+        rule.mutate(db)
+        found = rule.check(db, "commit", {})
+        assert found
+        assert all(v.kind == "dirty-set-bound" for v in found)
+
+    def test_mutant_needs_a_dirty_group(self):
+        db = make_db()
+        with pytest.raises(MutantError):
+            DirtySetBoundRule().mutate(db)
+
+    def test_no_rda_is_vacuously_clean(self):
+        db = make_db("page-force-log")
+        assert DirtySetBoundRule().check(db, "commit", {}) == []
+
+
+class TestWalBeforeDataRule:
+    def test_logged_steal_passes(self):
+        db = make_db("page-force-log")
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.buffer.flush_pages_of(txn)   # logged steal, force intact
+        assert db.invariants.clean
+        assert db.invariants.barrier_counts["steal"] >= 1
+
+    def test_mutant_caught(self):
+        db = make_db("page-force-log")
+        WalBeforeDataRule().mutate(db)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.buffer.flush_pages_of(txn)
+        assert any(v.kind == "wal-before-data"
+                   for v in db.invariants.violations)
+
+    def test_mutant_caught_in_record_mode(self):
+        db = make_db("record-noforce-log")
+        db.format_record_pages(range(4))
+        WalBeforeDataRule().mutate(db)
+        txn = db.begin()
+        db.insert_record(txn, 0, b"x")
+        db.buffer.flush_pages_of(txn)
+        assert any(v.kind == "wal-before-data"
+                   for v in db.invariants.violations)
+
+    def test_unlogged_steal_covered_by_dirty_set(self):
+        db, _txn = dirty_db()
+        assert not [v for v in db.invariants.violations
+                    if v.kind == "wal-before-data"]
+
+
+class TestLsnMonotonicityRule:
+    def test_clean_log_passes(self):
+        db, txn = dirty_db()
+        db.commit(txn)
+        assert LsnMonotonicityRule().check(db, "commit", {}) == []
+
+    def test_mutant_caught(self):
+        db = make_db("page-force-log")
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.write_page(txn, 1, make_page(b"b"))
+        db.buffer.flush_pages_of(txn)
+        rule = LsnMonotonicityRule()
+        rule.mutate(db)
+        found = rule.check(db, "commit", {})
+        assert found
+        assert all(v.kind == "lsn-monotonicity" for v in found)
+
+    def test_mutant_needs_records(self):
+        db = make_db()
+        with pytest.raises(MutantError):
+            LsnMonotonicityRule().mutate(db)
+
+    def test_survives_crash_reconciliation(self):
+        db = make_db("page-noforce-log")
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.commit(txn)
+        db.crash()
+        db.recover()
+        assert db.invariants.clean

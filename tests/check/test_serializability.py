@@ -1,0 +1,136 @@
+"""The serializability/strictness oracle against hand-built histories."""
+
+from repro.check import History, HistoryRecorder, analyze
+
+
+def build(*ops):
+    """ops: tuples (op, txn, page[, slot]) or (op,) / (op, txn)."""
+    recorder = HistoryRecorder()
+    for op in ops:
+        name = op[0]
+        if name in ("begin", "commit", "abort"):
+            recorder.record(name, txn=op[1])
+        elif name in ("crash", "restart"):
+            recorder.record(name)
+        else:
+            recorder.record(name, txn=op[1], page=op[2],
+                            slot=op[3] if len(op) > 3 else None)
+    return recorder.history
+
+
+class TestSerializable:
+    def test_empty_history(self):
+        report = analyze(History())
+        assert report.serializable and report.strict and report.clean
+        assert report.serial_order == []
+
+    def test_serial_execution(self):
+        history = build(("begin", 1), ("write", 1, 0), ("commit", 1),
+                        ("begin", 2), ("read", 2, 0), ("write", 2, 0),
+                        ("commit", 2))
+        report = analyze(history)
+        assert report.serializable
+        assert report.serial_order == [1, 2]
+        assert report.recoverable and report.avoids_cascading_aborts
+        assert report.strict
+        assert (1, 2) in report.edges
+
+    def test_write_write_cycle_detected(self):
+        # T1 and T2 each overwrite a page the other wrote first
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0), ("write", 2, 1),
+                        ("write", 1, 1), ("write", 2, 0),
+                        ("commit", 1), ("commit", 2))
+        report = analyze(history)
+        assert not report.serializable
+        assert report.cycle is not None
+        assert set(report.cycle) >= {1, 2}
+        assert report.serial_order is None
+        assert any("cycle" in a for a in report.anomalies)
+
+    def test_read_write_cycle_detected(self):
+        # classic lost update: both read page 0, then both write it
+        history = build(("begin", 1), ("begin", 2),
+                        ("read", 1, 0), ("read", 2, 0),
+                        ("write", 1, 0), ("write", 2, 0),
+                        ("commit", 1), ("commit", 2))
+        assert not analyze(history).serializable
+
+    def test_aborted_txn_excluded_from_graph(self):
+        # the cycle partner aborts, so the graph stays acyclic
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0), ("write", 2, 1),
+                        ("write", 1, 1), ("write", 2, 0),
+                        ("commit", 1), ("abort", 2))
+        report = analyze(history)
+        assert report.serializable
+
+    def test_slots_are_distinct_resources(self):
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0, 0), ("write", 2, 0, 1),
+                        ("write", 1, 0, 1), ("write", 2, 0, 0),
+                        ("commit", 1), ("commit", 2))
+        assert not analyze(history).serializable
+        disjoint = build(("begin", 1), ("begin", 2),
+                         ("write", 1, 0, 0), ("write", 2, 0, 1),
+                         ("commit", 1), ("commit", 2))
+        assert analyze(disjoint).serializable
+
+
+class TestRecoverabilityLadder:
+    def test_dirty_read_flagged(self):
+        # T2 reads T1's uncommitted write; T1 later aborts
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0), ("read", 2, 0),
+                        ("abort", 1), ("commit", 2))
+        report = analyze(history)
+        assert not report.avoids_cascading_aborts
+        assert any("dirty read" in a for a in report.anomalies)
+        assert not report.clean
+
+    def test_unrecoverable_commit_order(self):
+        # T2 reads from T1 but commits first
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0), ("read", 2, 0),
+                        ("commit", 2), ("commit", 1))
+        report = analyze(history)
+        assert not report.recoverable
+        assert not report.avoids_cascading_aborts
+        assert not report.strict
+
+    def test_read_after_commit_is_strict(self):
+        history = build(("begin", 1), ("write", 1, 0), ("commit", 1),
+                        ("begin", 2), ("read", 2, 0), ("commit", 2))
+        report = analyze(history)
+        assert report.recoverable and report.avoids_cascading_aborts
+        assert report.strict
+
+    def test_overwrite_before_eot_not_strict(self):
+        # serializable (no cycle) but T2 overwrites T1's page before
+        # T1 ends — not strict
+        history = build(("begin", 1), ("begin", 2),
+                        ("write", 1, 0), ("write", 2, 0),
+                        ("commit", 1), ("commit", 2))
+        report = analyze(history)
+        assert report.serializable
+        assert not report.strict
+
+
+class TestCrashSemantics:
+    def test_crash_aborts_in_flight(self):
+        # T1 wrote page 0 but the crash killed it; T2 reads afterwards
+        # and must be reading the restored (unwritten) value
+        history = build(("begin", 1), ("write", 1, 0),
+                        ("crash",), ("restart",),
+                        ("begin", 2), ("read", 2, 0), ("commit", 2))
+        report = analyze(history)
+        assert report.serializable and report.strict
+        assert report.clean
+
+    def test_committed_before_crash_still_counts(self):
+        history = build(("begin", 1), ("write", 1, 0), ("commit", 1),
+                        ("crash",), ("restart",),
+                        ("begin", 2), ("read", 2, 0), ("commit", 2))
+        report = analyze(history)
+        assert (1, 2) in report.edges
+        assert report.serial_order == [1, 2]

@@ -1,0 +1,16 @@
+"""Shared test configuration: hypothesis profiles.
+
+The ``ci`` profile (selected via ``HYPOTHESIS_PROFILE=ci``) is
+derandomized so CI failures reproduce exactly; ``dev`` is the local
+default.  ``soak`` raises the example budget for the nightly tier.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=100)
+settings.register_profile("ci", max_examples=100, derandomize=True,
+                          print_blob=True)
+settings.register_profile("soak", max_examples=1000)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,103 @@
+"""Driver corner paths: stall breaking and end-of-script fates.
+
+These exercise :meth:`Simulator._break_stall` (every live transaction
+parked behind a suspended lock holder) and both `_finish` outcomes —
+the voluntary abort draw, and the ``must_commit`` pin that overrides
+it after a media failure adopted the working twin.
+"""
+
+from repro.db import Database, preset
+from repro.sim import Simulator, WorkloadSpec
+from repro.sim.simulator import _LiveTxn
+from repro.sim.workload import Access, TransactionScript
+from repro.storage import make_page
+
+
+def make_db(name="page-noforce-rda"):
+    return Database(preset(name, group_size=5, num_groups=12,
+                           buffer_capacity=16))
+
+
+class ScriptedGenerator:
+    """Stand-in for WorkloadGenerator: hands out canned scripts."""
+
+    def __init__(self, scripts, payload=b"scripted"):
+        self.scripts = list(scripts)
+        self.payload = make_page(payload)
+
+    def next_script(self, buffered_pages=()):
+        return self.scripts.pop(0)
+
+    def payload_for(self, page, version):
+        return self.payload
+
+
+def hot_page_script(page=0):
+    return TransactionScript(accesses=[Access(page=page, update=True)],
+                             is_update=True, wants_abort=False)
+
+
+class TestBreakStall:
+    def test_all_waiters_starved_behind_external_holder(self):
+        db = make_db()
+        # an out-of-band transaction takes X on page 0 and never moves
+        holder = db.begin()
+        db.write_page(holder, 0, make_page(b"held"))
+        simulator = Simulator(db, WorkloadSpec(concurrency=3,
+                                               pages_per_txn=1), seed=0)
+        simulator.generator = ScriptedGenerator(
+            [hot_page_script() for _ in range(3)])
+        report = simulator.run(3)
+        # every driven transaction stalled on page 0 and was broken
+        assert report.aborted == 3
+        assert report.deadlocks == 3
+        assert report.committed == 0
+        # the external holder is untouched and can still finish
+        db.commit(holder)
+
+    def test_break_stall_removes_youngest(self):
+        db = make_db()
+        holder = db.begin()
+        db.write_page(holder, 0, make_page(b"held"))
+        simulator = Simulator(db, WorkloadSpec(concurrency=2,
+                                               pages_per_txn=1), seed=0)
+        simulator.generator = ScriptedGenerator(
+            [hot_page_script() for _ in range(2)])
+        simulator._fill_slots(2)
+        assert not simulator._step_round()      # both now waiting
+        oldest, youngest = simulator._live
+        simulator._break_stall()
+        assert simulator._live == [oldest]
+        assert db.txns.get(youngest.txn_id).state.value == "aborted"
+
+
+class TestFinishFates:
+    def test_wants_abort_rolls_back(self):
+        db = make_db()
+        simulator = Simulator(db, WorkloadSpec(concurrency=1,
+                                               pages_per_txn=1), seed=0)
+        simulator.generator = ScriptedGenerator([TransactionScript(
+            accesses=[Access(page=0, update=True)],
+            is_update=True, wants_abort=True)])
+        report = simulator.run(1)
+        assert report.aborted == 1
+        assert report.committed == 0
+        # the write was rolled back
+        reader = db.begin()
+        assert db.read_page(reader, 0) != simulator.generator.payload
+
+    def test_must_commit_overrides_abort_draw(self):
+        db = make_db()
+        simulator = Simulator(db, WorkloadSpec(concurrency=1,
+                                               pages_per_txn=1), seed=0)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"pinned"))
+        db.txns.get(txn).must_commit = True
+        live = _LiveTxn(txn_id=txn, script=TransactionScript(
+            accesses=[], is_update=True, wants_abort=True))
+        simulator._live.append(live)
+        simulator._finish(live)
+        assert simulator.report.committed == 1
+        assert simulator.report.aborted == 0
+        reader = db.begin()
+        assert db.read_page(reader, 0) == make_page(b"pinned")

@@ -111,3 +111,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "abort via parity twins" in out
         assert "clean" in out
+
+    def test_check_single_preset(self, capsys):
+        assert main(["check", "--presets", "page-force-rda",
+                     "--transactions", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "page-force-rda" in out
+        assert "clean" in out
+        assert "serializable=True" in out
+
+    def test_check_writes_artifacts(self, capsys, tmp_path):
+        history = tmp_path / "history.jsonl"
+        report = tmp_path / "verdict.json"
+        code = main(["check", "--presets", "page-force-rda,page-force-log",
+                     "--transactions", "10", "--crash-every", "4",
+                     "--history-out", str(history),
+                     "--report-out", str(report)])
+        assert code == 0
+        rows = [json.loads(line) for line in
+                history.read_text().splitlines()]
+        assert {row["preset"] for row in rows} == {"page-force-rda",
+                                                   "page-force-log"}
+        assert any(row["op"] == "crash" for row in rows)
+        verdict = json.loads(report.read_text())
+        assert verdict["clean"] is True
+        assert len(verdict["runs"]) == 2
+
+    def test_check_rejects_unknown_preset(self, capsys):
+        assert main(["check", "--presets", "page-force-warp"]) == 2
+        assert "unknown presets" in capsys.readouterr().out

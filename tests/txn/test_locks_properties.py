@@ -1,0 +1,209 @@
+"""Property tests for the lock manager.
+
+A model-based mirror tracks holders and queues using only the public
+API's observable results (True returns, :class:`Grant` lists,
+:class:`DeadlockError`), then asserts after every step:
+
+* granted locks are pairwise compatible (never S+X or X+X);
+* promotions after a release form a FIFO queue *prefix* — no waiter
+  is granted while an earlier incompatible waiter still queues;
+* deadlock detection is complete and sound against a brute-force
+  reachability check of the wait-for graph.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlockError, LockError
+from repro.txn import LockManager, LockMode
+
+TXNS = st.integers(min_value=1, max_value=5)
+RESOURCES = st.sampled_from(["a", "b", "c"])
+MODES = st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])
+
+STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), TXNS, RESOURCES, MODES),
+        st.tuples(st.just("release_all"), TXNS),
+    ),
+    min_size=1, max_size=40)
+
+
+def _compatible(a: LockMode, b: LockMode) -> bool:
+    return a is LockMode.SHARED and b is LockMode.SHARED
+
+
+class Mirror:
+    """Holder/queue bookkeeping rebuilt from observable outcomes."""
+
+    def __init__(self):
+        self.holders = {}   # resource -> {txn: mode}
+        self.queues = {}    # resource -> [(txn, mode)]
+
+    def note_grant(self, txn, resource, mode):
+        self.holders.setdefault(resource, {})[txn] = mode
+
+    def note_enqueue(self, txn, resource, mode):
+        self.queues.setdefault(resource, []).append((txn, mode))
+
+    def note_release_all(self, txn, grants):
+        for resource, held in self.holders.items():
+            held.pop(txn, None)
+        for resource, queue in self.queues.items():
+            self.queues[resource] = [(t, m) for t, m in queue if t != txn]
+        for grant in grants:
+            queue = self.queues.get(grant.resource, [])
+            assert (grant.txn_id, grant.mode) in queue or any(
+                t == grant.txn_id for t, _ in queue), \
+                f"grant {grant} was never enqueued"
+            self.queues[grant.resource] = [
+                (t, m) for t, m in queue if t != grant.txn_id]
+            self.holders.setdefault(grant.resource, {})[grant.txn_id] = \
+                grant.mode
+
+    def check_compatibility(self):
+        for resource, held in self.holders.items():
+            modes = list(held.values())
+            if len(modes) > 1:
+                assert all(m is LockMode.SHARED for m in modes), \
+                    f"incompatible holders on {resource!r}: {held}"
+
+    def check_fifo_prefix(self, resource):
+        """No queued waiter compatible with the holders may sit *ahead*
+        of the queue head — promotion always drains a prefix."""
+        queue = self.queues.get(resource, [])
+        held = self.holders.get(resource, {})
+        if not queue:
+            return
+        head_txn, head_mode = queue[0]
+        if head_txn not in held:
+            compatible = all(_compatible(h, head_mode)
+                             for h in held.values())
+            assert not compatible, (
+                f"head waiter {head_txn} on {resource!r} is compatible "
+                f"with holders {held} but was not promoted")
+
+
+def brute_force_cycle(graph, start):
+    """Is ``start`` on a cycle in the wait-for graph? (DFS reachability
+    back to start.)"""
+    stack, seen = [start], set()
+    while stack:
+        node = stack.pop()
+        for succ in graph.get(node, ()):
+            if succ == start:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+@given(STEPS)
+@settings(max_examples=200)
+def test_lock_manager_properties(steps):
+    manager = LockManager()
+    mirror = Mirror()
+    for step in steps:
+        if step[0] == "acquire":
+            _, txn, resource, mode = step
+            if manager.waiting(txn):
+                continue    # a real caller is suspended while queued
+            before_graph = manager.wait_for_graph()
+            try:
+                granted = manager.acquire(txn, resource, mode)
+            except DeadlockError:
+                # completeness: enqueueing this request must close a
+                # cycle through txn in the brute-force graph
+                graph = dict(before_graph)
+                entry = manager._entries.get(resource)
+                blockers = set(entry.holders) if entry else set()
+                if entry:
+                    for waiter, _m in entry.waiters:
+                        blockers.add(waiter)
+                graph.setdefault(txn, set()).update(
+                    b for b in blockers if b != txn)
+                assert brute_force_cycle(graph, txn), \
+                    "DeadlockError raised without a wait-for cycle"
+                grants = manager.release_all(txn)
+                mirror.note_release_all(txn, grants)
+                continue
+            if granted:
+                # upgrades overwrite the mirrored mode; plain re-grants
+                # keep the stronger of the two
+                held = mirror.holders.get(resource, {}).get(txn)
+                effective = (LockMode.EXCLUSIVE
+                             if LockMode.EXCLUSIVE in (held, mode)
+                             else mode)
+                mirror.note_grant(txn, resource, effective)
+            else:
+                # soundness: an enqueued (non-victim) request must NOT
+                # have closed a cycle
+                assert not brute_force_cycle(manager.wait_for_graph(),
+                                             txn), \
+                    "wait-for cycle left standing without DeadlockError"
+                mirror.note_enqueue(txn, resource, mode)
+        else:
+            _, txn = step
+            grants = manager.release_all(txn)
+            mirror.note_release_all(txn, grants)
+        mirror.check_compatibility()
+        for resource in ("a", "b", "c"):
+            mirror.check_fifo_prefix(resource)
+
+
+@given(STEPS)
+@settings(max_examples=100)
+def test_mirror_agrees_with_manager_state(steps):
+    """The mirror's holder view matches ``holds``/``waiting``."""
+    manager = LockManager()
+    mirror = Mirror()
+    for step in steps:
+        if step[0] == "acquire":
+            _, txn, resource, mode = step
+            if manager.waiting(txn):
+                continue
+            try:
+                if manager.acquire(txn, resource, mode):
+                    mirror.note_grant(txn, resource, mode)
+                else:
+                    mirror.note_enqueue(txn, resource, mode)
+            except DeadlockError:
+                mirror.note_release_all(txn, manager.release_all(txn))
+        else:
+            _, txn = step
+            mirror.note_release_all(txn, manager.release_all(txn))
+        for resource, held in mirror.holders.items():
+            for txn_id in held:
+                assert manager.holds(txn_id, resource), \
+                    f"mirror thinks {txn_id} holds {resource!r}"
+        for resource, queue in mirror.queues.items():
+            for txn_id, _mode in queue:
+                assert manager.waiting(txn_id), \
+                    f"mirror thinks {txn_id} queues on {resource!r}"
+
+
+def test_deadlock_error_names_a_real_cycle():
+    """Deterministic two-txn deadlock: the reported cycle is genuine."""
+    manager = LockManager()
+    assert manager.acquire(1, "a", LockMode.EXCLUSIVE)
+    assert manager.acquire(2, "b", LockMode.EXCLUSIVE)
+    assert not manager.acquire(1, "b", LockMode.EXCLUSIVE)
+    try:
+        manager.acquire(2, "a", LockMode.EXCLUSIVE)
+    except DeadlockError as err:
+        assert set(err.cycle) == {1, 2}
+        graph = manager.wait_for_graph()
+        graph.setdefault(2, set()).add(1)
+        assert brute_force_cycle(graph, 2)
+        return
+    raise AssertionError("expected DeadlockError")
+
+
+def test_release_unheld_lock_raises():
+    manager = LockManager()
+    try:
+        manager.release(1, "a")
+    except LockError:
+        return
+    raise AssertionError("expected LockError")
