@@ -1,0 +1,145 @@
+"""Sharded-engine benchmark: throughput and log transfers vs K and H.
+
+Runs the same seeded workload over a K-way
+:class:`~repro.db.sharded.ShardedDatabase` for every combination of
+shard count K and group-commit flush horizon H, and measures the
+quantity group commit exists to amortize: **log transfers per
+committed transaction** (transfers on the negative-id log devices —
+the shards' duplexed WALs plus the global commit log).
+
+With per-commit forcing (H=1) every commit flushes a partial log page
+to both mirrors of every log it touched; at H>1 the shared
+:class:`~repro.wal.group_commit.GroupCommitCoordinator` batches those
+forces so H commits' records ride the same page flushes.  The
+acceptance criterion is the PR's headline: **at every K >= 2, H=8
+spends fewer log transfers per committed transaction than H=1.**
+
+Results go to ``benchmarks/results/shards_perf.json`` and are mirrored
+to ``BENCH_shards.json`` at the repository root so later PRs have a
+trajectory to regress against.
+
+Run standalone (``python benchmarks/bench_shards.py [--quick]``) or
+via pytest (``pytest benchmarks/bench_shards.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.db import ShardedDatabase, preset                   # noqa: E402
+from repro.sim import Simulator, WorkloadSpec                  # noqa: E402
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "shards_perf.json"
+ROOT_TRAJECTORY_PATH = (pathlib.Path(__file__).parent.parent
+                        / "BENCH_shards.json")
+
+PRESET = "page-force-rda"
+SHARD_COUNTS = (1, 2, 4)
+FLUSH_HORIZONS = (1, 8)
+TRANSACTIONS = 400
+QUICK_TRANSACTIONS = 150
+
+# 24 groups x (5-1) data pages = 96 data pages, divisible by every K
+OVERRIDES = dict(group_size=5, num_groups=24, buffer_capacity=32)
+
+SPEC = WorkloadSpec(concurrency=4, pages_per_txn=4,
+                    update_txn_fraction=0.9, update_probability=0.9,
+                    abort_probability=0.02, communality=0.4)
+
+
+def run_cell(shards: int, horizon: int, transactions: int) -> dict:
+    """One (K, H) cell: drive the workload, return the measurements."""
+    db = ShardedDatabase(preset(PRESET, **OVERRIDES), shards=shards,
+                         flush_horizon=horizon)
+    simulator = Simulator(db, SPEC, seed=7)
+    started = time.perf_counter()
+    report = simulator.run(transactions)
+    elapsed = time.perf_counter() - started
+    stats = db.statistics()
+    committed = max(1, report.committed)
+    log_transfers = db.stats.log_transfers
+    return {
+        "shards": shards,
+        "flush_horizon": horizon,
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "page_transfers": db.stats.total,
+        "log_transfers": log_transfers,
+        "log_transfers_per_commit": round(log_transfers / committed, 3),
+        "transfers_per_commit": round(db.stats.total / committed, 3),
+        "deferred_forces": stats["deferred_forces"],
+        "batched_flushes": stats["batched_flushes"],
+        "unlogged_steal_fraction": round(
+            stats["unlogged_steals"]
+            / max(1, stats["unlogged_steals"] + stats["logged_steals"]), 3),
+        "wall_seconds": round(elapsed, 4),
+        "txns_per_second": round(report.committed / max(elapsed, 1e-9), 1),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    transactions = QUICK_TRANSACTIONS if quick else TRANSACTIONS
+    cells = [run_cell(shards, horizon, transactions)
+             for shards in SHARD_COUNTS
+             for horizon in FLUSH_HORIZONS]
+    by_key = {(c["shards"], c["flush_horizon"]): c for c in cells}
+    # headline: at K>=2 the batched horizon must beat per-commit forcing
+    group_commit_wins = {
+        f"k{shards}": (by_key[(shards, 8)]["log_transfers_per_commit"]
+                       < by_key[(shards, 1)]["log_transfers_per_commit"])
+        for shards in SHARD_COUNTS if shards >= 2
+    }
+    return {
+        "benchmark": "sharded engine: throughput and log transfers vs K, H",
+        "preset": PRESET,
+        "overrides": OVERRIDES,
+        "transactions": transactions,
+        "seed": 7,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "acceptance": {
+            "criterion": "log transfers per committed txn: H=8 < H=1 "
+                         "at every K >= 2",
+            "group_commit_reduces_log_transfers": group_commit_wins,
+            "ok": all(group_commit_wins.values()),
+        },
+    }
+
+
+def write_results(doc: dict) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    for path in (RESULTS_PATH, ROOT_TRAJECTORY_PATH):
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def test_group_commit_amortizes_log_forces():
+    """pytest entry: quick run, still enforcing the amortization win."""
+    doc = run(quick=True)
+    write_results(doc)
+    assert doc["acceptance"]["ok"], (
+        "group commit (H=8) did not reduce log transfers per committed "
+        f"transaction at every K>=2: {doc['acceptance']}")
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv[1:]
+    doc = run(quick=quick)
+    write_results(doc)
+    print(json.dumps(doc, indent=2))
+    print(f"\n[written to {RESULTS_PATH} and {ROOT_TRAJECTORY_PATH}]")
+    if not doc["acceptance"]["ok"]:
+        print("FAIL: group commit did not reduce log transfers per commit",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

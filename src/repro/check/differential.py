@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..db import Database, all_preset_names, preset
+from ..db import (Database, ShardedDatabase, all_preset_names,
+                  extended_preset_names, preset)
 from ..db.slotted_page import SlottedPage
 from ..db.verify import verify_database
 from ..sim import Simulator, WorkloadSpec
@@ -158,7 +159,15 @@ class ConformanceRun:
     barrier_counts: Dict[str, int]
     reads_checked: int
     report_summary: str
+    shards: int = 1
     extra: dict = field(default_factory=dict)
+
+    @property
+    def cell(self) -> str:
+        """Matrix cell label: the preset, suffixed ``@kK`` when sharded."""
+        if self.shards > 1:
+            return f"{self.preset}@k{self.shards}"
+        return self.preset
 
     @property
     def clean(self) -> bool:
@@ -168,6 +177,8 @@ class ConformanceRun:
         """JSON-ready verdict (the history travels separately)."""
         return {
             "preset": self.preset,
+            "cell": self.cell,
+            "shards": self.shards,
             "transactions": self.transactions,
             "seed": self.seed,
             "crash_every": self.crash_every,
@@ -194,20 +205,29 @@ _DEFAULT_OVERRIDES = dict(group_size=5, num_groups=12, buffer_capacity=20)
 def run_conformance(preset_name: str, transactions: int = 40, seed: int = 0,
                     spec: Optional[WorkloadSpec] = None,
                     crash_every: Optional[int] = None,
-                    overrides: Optional[dict] = None) -> ConformanceRun:
+                    overrides: Optional[dict] = None,
+                    shards: int = 1,
+                    flush_horizon: int = 1) -> ConformanceRun:
     """Run one seeded workload under full conformance checking.
 
-    Builds a :class:`Database` with a history recorder and an attached
-    :class:`InvariantEngine`, drives it through a :class:`Simulator`
-    with a :class:`DifferentialMirror`, then aggregates: online
-    invariant violations, read divergences, final-state divergences,
-    structural verification (:func:`verify_database`) and the
-    serializability analysis of the recorded history.
+    Builds a :class:`Database` (or, with ``shards > 1``, a
+    :class:`~repro.db.sharded.ShardedDatabase` with the given
+    group-commit ``flush_horizon``) with a history recorder and an
+    attached :class:`InvariantEngine`, drives it through a
+    :class:`Simulator` with a :class:`DifferentialMirror`, then
+    aggregates: online invariant violations, read divergences,
+    final-state divergences, structural verification
+    (:func:`verify_database`) and the serializability analysis of the
+    recorded history.
     """
     config = preset(preset_name,
                     **(_DEFAULT_OVERRIDES if overrides is None else overrides))
     recorder = HistoryRecorder()
-    db = Database(config, history=recorder)
+    if shards > 1:
+        db = ShardedDatabase(config, shards=shards,
+                             flush_horizon=flush_horizon, history=recorder)
+    else:
+        db = Database(config, history=recorder)
     engine = InvariantEngine.attach(db)
     simulator = Simulator(db, spec if spec is not None else _DEFAULT_SPEC,
                           seed=seed)
@@ -235,16 +255,46 @@ def run_conformance(preset_name: str, transactions: int = 40, seed: int = 0,
         barrier_counts=engine.barrier_counts,
         reads_checked=mirror.reads_checked,
         report_summary=report.summary(),
+        shards=shards,
     )
+
+
+def extended_matrix_cells() -> List[Tuple[str, int]]:
+    """The extended conformance matrix: ``(preset, shards)`` cells.
+
+    The paper's eight single-engine cells, the four RAID-6 cells, and a
+    sharded slice — representative presets at K=2 plus one K=4 cell —
+    exercising routing, group commit, and per-shard recovery.
+    """
+    cells: List[Tuple[str, int]] = [(name, 1)
+                                    for name in extended_preset_names()]
+    cells += [("page-force-rda", 2), ("page-noforce-log", 2),
+              ("record-noforce-rda", 2), ("page-force-rda", 4)]
+    return cells
 
 
 def conformance_matrix(transactions: int = 40, seed: int = 0,
                        crash_every: Optional[int] = None,
                        presets: Optional[List[str]] = None,
-                       spec: Optional[WorkloadSpec] = None) -> List[ConformanceRun]:
+                       spec: Optional[WorkloadSpec] = None,
+                       extended: bool = False,
+                       shards: int = 1) -> List[ConformanceRun]:
     """Run :func:`run_conformance` over every preset (all four recovery
-    classes x RDA on/off x page/record locking)."""
-    names = all_preset_names() if presets is None else presets
+    classes x RDA on/off x page/record locking).
+
+    With ``extended=True`` the sweep covers
+    :func:`extended_matrix_cells` instead: RAID-6 presets and sharded
+    cells (group-commit flush horizon 4) on top of the paper's eight.
+    Otherwise ``shards`` applies to every cell (K-way
+    :class:`~repro.db.sharded.ShardedDatabase` engines when > 1).
+    """
+    if extended:
+        cells = extended_matrix_cells()
+    else:
+        names = all_preset_names() if presets is None else presets
+        cells = [(name, shards) for name in names]
     return [run_conformance(name, transactions=transactions, seed=seed,
-                            crash_every=crash_every, spec=spec)
-            for name in names]
+                            crash_every=crash_every, spec=spec,
+                            shards=shards,
+                            flush_horizon=4 if shards > 1 else 1)
+            for name, shards in cells]

@@ -232,7 +232,9 @@ class WalBeforeDataRule(InvariantRule):
                     f"left no Dirty_Set cover")]
             return []
         violations: List[Violation] = []
-        forced = db.undo_log.forced_lsn
+        # durable_lsn, not forced_lsn: a group-commit log with a
+        # batched force pending drains at crash, covering its tail
+        forced = db.undo_log.durable_lsn
         for txn_id in sorted(txns):
             pending = [e for e in db._pending_undo.get(txn_id, [])
                        if e.page_id == page]
@@ -323,9 +325,26 @@ class InvariantEngine:
                ) -> "InvariantEngine":
         """Create an engine and wire it into the database's barrier
         seams (``db.invariants``, the RDA flip hook and the twin-array
-        write hook)."""
+        write hook).
+
+        On a :class:`~repro.db.sharded.ShardedDatabase` one child
+        engine is wired per shard; they share the returned engine's
+        violation list and barrier counts, so ``clean`` and
+        ``assert_clean`` judge the whole facade.
+        """
         engine = cls(db, rules)
         db.invariants = engine
+        shards = getattr(db, "shards", None)
+        if shards is not None:
+            for shard in shards:
+                child = cls(shard, engine.rules)
+                child.violations = engine.violations
+                child.barrier_counts = engine.barrier_counts
+                shard.invariants = child
+                if shard.rda is not None:
+                    shard.rda.barrier_hook = child.barrier
+                    shard.array.barrier_hook = child.barrier
+            return engine
         if db.rda is not None:
             db.rda.barrier_hook = engine.barrier
             db.array.barrier_hook = engine.barrier
@@ -358,6 +377,13 @@ class InvariantEngine:
 def check_restart(db) -> List[Violation]:
     """One-shot restart-barrier evaluation on a freshly recovered
     database (used by the fault-injection harness after every
-    surviving replayed restart)."""
+    surviving replayed restart).  A sharded facade is checked shard by
+    shard."""
+    shards = getattr(db, "shards", None)
+    if shards is not None:
+        found: List[Violation] = []
+        for shard in shards:
+            found.extend(check_restart(shard))
+        return found
     engine = InvariantEngine(db)
     return engine.barrier("restart")

@@ -2,9 +2,11 @@
 
     python -m repro figures [--figure 9..13]
     python -m repro simulate --preset page-force-rda --transactions 200
+    python -m repro simulate --preset page-force-log --backend raid6
+    python -m repro simulate --shards 4 --group-commit 8
     python -m repro simulate --trace-out run.jsonl --metrics-out run.json
     python -m repro inspect-trace run.jsonl
-    python -m repro check [--presets all] [--crash-every 10]
+    python -m repro check [--presets all] [--extended] [--crash-every 10]
     python -m repro reliability [--disks 200] [--mttr 24]
     python -m repro demo
 
@@ -23,14 +25,25 @@ from __future__ import annotations
 import argparse
 import json
 
-from .db import Database, all_preset_names, preset
+from .db import (Database, ShardedDatabase, all_preset_names,
+                 extended_preset_names, preset)
 from .errors import ModelError
 from .model import figures as figure_module
 from .model.reliability import paper_motivation_table
 from .obs import (JsonlSink, MetricsRegistry, Tracer, aggregate_trace_file,
                   format_cost_table)
 from .sim import Simulator, WorkloadSpec
-from .storage import make_page
+from .storage import backend_names, make_page
+
+
+def _build_engine(config, args, tracer=None, metrics=None):
+    """One engine for the CLI: a :class:`Database`, or a K-way
+    :class:`ShardedDatabase` when ``--shards`` asks for more than one."""
+    if args.shards > 1:
+        return ShardedDatabase(config, shards=args.shards,
+                               flush_horizon=args.group_commit,
+                               tracer=tracer, metrics=metrics)
+    return Database(config, tracer=tracer, metrics=metrics)
 
 
 def _cmd_figures(args) -> int:
@@ -49,6 +62,8 @@ def _cmd_simulate(args) -> int:
                      buffer_capacity=args.buffer)
     if "noforce" in args.preset:
         overrides["checkpoint_interval"] = args.checkpoint_interval
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if args.fault_sweep:
         return _cmd_fault_sweep(args, overrides)
     tracer = (Tracer(JsonlSink(args.trace_out))
@@ -56,8 +71,12 @@ def _cmd_simulate(args) -> int:
     metrics = (MetricsRegistry()
                if args.metrics_out is not None or args.trace_out is not None
                else None)
-    db = Database(preset(args.preset, **overrides), tracer=tracer,
-                  metrics=metrics)
+    try:
+        db = _build_engine(preset(args.preset, **overrides), args,
+                           tracer=tracer, metrics=metrics)
+    except ModelError as error:
+        print(f"simulate: {error}")
+        return 2
     spec = WorkloadSpec(concurrency=args.concurrency,
                         pages_per_txn=args.pages_per_txn,
                         update_txn_fraction=args.update_fraction,
@@ -70,6 +89,12 @@ def _cmd_simulate(args) -> int:
     report = simulator.run(args.transactions,
                            crash_every=args.crash_every)
     print(f"configuration : {db.config.algorithm_name}")
+    if args.shards > 1:
+        stats = db.statistics()
+        print(f"shards        : {args.shards} "
+              f"(group commit H={args.group_commit}, "
+              f"{stats['deferred_forces']} forces deferred, "
+              f"{stats['batched_flushes']} batched flushes)")
     print(f"result        : {report.summary()}")
     print(f"throughput    : {report.throughput():.0f} txns per 5e6 transfers")
     if report.crashes:
@@ -91,6 +116,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_fault_sweep(args, overrides) -> int:
     """Exhaustive crash-point enumeration (``simulate --fault-sweep``)."""
     from .sim import default_fault_workload, run_sweep
+    from .sim.faultplan import shard_aligned_fault_workload
 
     config = preset(args.preset, **overrides)
     if config.record_logging:
@@ -98,22 +124,36 @@ def _cmd_fault_sweep(args, overrides) -> int:
               "(the sweep script drives write_page)")
         return 2
     modes = tuple(m.strip() for m in args.fault_modes.split(",") if m.strip())
-    ops = default_fault_workload(transactions=args.fault_transactions,
-                                 group_size=config.group_size)
-    needed = max(op[2] for op in ops if op[0] == "write") + 1
-    if needed > config.num_data_pages:
-        print(f"fault-sweep: workload needs {needed} pages; raise "
-              f"--num-groups (have {config.num_data_pages})")
-        return 2
+    if args.shards > 1:
+        ops = shard_aligned_fault_workload(
+            args.shards, transactions=args.fault_transactions,
+            group_size=config.group_size)
+    else:
+        ops = default_fault_workload(transactions=args.fault_transactions,
+                                     group_size=config.group_size)
     tracer = (Tracer(JsonlSink(args.trace_out))
               if args.trace_out is not None else None)
 
     def make_db():
-        return Database(preset(args.preset, **overrides))
+        return _build_engine(preset(args.preset, **overrides), args)
+
+    try:
+        probe = make_db()
+    except ModelError as error:
+        print(f"fault-sweep: {error}")
+        return 2
+    needed = max(op[2] for op in ops if op[0] == "write") + 1
+    if needed > probe.num_data_pages:
+        print(f"fault-sweep: workload needs {needed} pages; raise "
+              f"--num-groups (have {probe.num_data_pages})")
+        return 2
 
     report = run_sweep(make_db, ops, modes=modes, tracer=tracer)
     counts = report.counts
     print(f"configuration : {config.algorithm_name}")
+    if args.shards > 1:
+        print(f"shards        : {args.shards} "
+              f"(group commit H={args.group_commit})")
     print(f"fault sweep   : {len(report.schedule)} crash points "
           f"x {len(modes)} modes = {len(report.results)} schedules")
     print(f"outcomes      : {counts['recovered']} recovered, "
@@ -148,30 +188,32 @@ def _cmd_check(args) -> int:
         presets = [name.strip() for name in args.presets.split(",")
                    if name.strip()]
         unknown = [name for name in presets
-                   if name not in all_preset_names()]
+                   if name not in extended_preset_names()]
         if unknown:
             print(f"check: unknown presets {unknown}; "
-                  f"choose from {all_preset_names()}")
+                  f"choose from {extended_preset_names()}")
             return 2
     runs = conformance_matrix(transactions=args.transactions,
                               seed=args.seed,
                               crash_every=args.crash_every,
-                              presets=presets)
+                              presets=presets,
+                              extended=args.extended,
+                              shards=args.shards)
     for run in runs:
         verdict = "clean" if run.clean else \
             f"{len(run.violations)} violations"
         ser = run.serializability
-        print(f"{run.preset:>18} : {verdict:>14} | "
+        print(f"{run.cell:>22} : {verdict:>14} | "
               f"{len(run.history)} events, {run.reads_checked} reads "
               f"checked | serializable={ser.serializable} "
               f"strict={ser.strict}")
         for violation in run.violations[:5]:
-            print(f"{'':>18}   {violation.kind}: {violation.detail}")
+            print(f"{'':>22}   {violation.kind}: {violation.detail}")
     if args.history_out is not None:
         with open(args.history_out, "w", encoding="utf-8") as handle:
             for run in runs:
                 for row in run.history.to_dicts():
-                    row["preset"] = run.preset
+                    row["preset"] = run.cell
                     handle.write(json.dumps(row, sort_keys=True) + "\n")
         print(f"history       : {args.history_out}")
     if args.report_out is not None:
@@ -250,8 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
     figures.set_defaults(func=_cmd_figures)
 
     simulate = sub.add_parser("simulate", help="drive the live system")
-    simulate.add_argument("--preset", choices=all_preset_names(),
+    simulate.add_argument("--preset", choices=extended_preset_names(),
                           default="page-force-rda")
+    simulate.add_argument("--backend", choices=backend_names(), default=None,
+                          help="override the preset's storage backend")
+    simulate.add_argument("--shards", type=int, default=1,
+                          help="K-way sharded engine (1 = single engine)")
+    simulate.add_argument("--group-commit", type=int, default=1,
+                          metavar="H",
+                          help="group-commit flush horizon (commits per "
+                               "batched log force; needs --shards > 1)")
     simulate.add_argument("--transactions", type=int, default=200)
     simulate.add_argument("--concurrency", type=int, default=4)
     simulate.add_argument("--pages-per-txn", type=int, default=6)
@@ -286,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
              "serializability")
     check.add_argument("--presets", default="all",
                        help="'all' or a comma-separated preset list")
+    check.add_argument("--extended", action="store_true",
+                       help="run the extended matrix: RAID-6 presets plus "
+                            "sharded cells at K=2 and K=4")
+    check.add_argument("--shards", type=int, default=1,
+                       help="run every (non-extended) cell on a K-way "
+                            "sharded engine")
     check.add_argument("--transactions", type=int, default=40)
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--crash-every", type=int, default=None,

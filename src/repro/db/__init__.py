@@ -3,10 +3,13 @@
 from .archive import ArchiveCopy, ArchiveManager
 from .btree import BTree, BTreeError
 from .catalog import Catalog, CatalogError
-from .config import DBConfig, all_preset_names, preset
+from .config import (DBConfig, all_preset_names, extended_preset_names,
+                     preset)
 from .database import Database, LockWait, WriteCounters
 from .heap import HeapFile
+from .policy import RecoveryPolicy
 from .recovery import RecoveryManager
+from .sharded import ShardedDatabase, ShardScheduler, shard_config
 from .slotted_page import PageFullError, SlottedPage
 from .verify import verify_database
 
@@ -19,12 +22,17 @@ __all__ = [
     "CatalogError",
     "DBConfig",
     "all_preset_names",
+    "extended_preset_names",
     "preset",
     "Database",
     "LockWait",
     "WriteCounters",
     "HeapFile",
+    "RecoveryPolicy",
     "RecoveryManager",
+    "ShardedDatabase",
+    "ShardScheduler",
+    "shard_config",
     "PageFullError",
     "SlottedPage",
     "verify_database",

@@ -48,6 +48,9 @@ class DBConfig:
         log_page_size: bytes per log page (model constant l_p).
         log_transfers_per_page: page transfers charged per filled log
             page per mirror copy.
+        backend: storage-backend registry name
+            (:func:`repro.storage.backend_names`); None selects the
+            legacy default implied by ``rda`` ("twin" / "single").
     """
 
     group_size: int = 4
@@ -62,6 +65,7 @@ class DBConfig:
     checkpoint_interval: float | None = None
     log_page_size: int = 2020
     log_transfers_per_page: int = 1
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.group_size < 2:
@@ -77,12 +81,22 @@ class DBConfig:
         return self.group_size * self.num_groups
 
     @property
+    def resolved_backend(self) -> str:
+        """The storage-backend name this configuration runs on."""
+        if self.backend is not None:
+            return self.backend
+        return "twin" if self.rda else "single"
+
+    @property
     def algorithm_name(self) -> str:
         """Human-readable name matching the paper's terminology."""
         logging = "record" if self.record_logging else "page"
         discipline = "FORCE/TOC" if self.force else "¬FORCE/ACC"
         recovery = "RDA" if self.rda else "¬RDA"
-        return f"{logging} logging, {discipline}, {recovery}"
+        name = f"{logging} logging, {discipline}, {recovery}"
+        if self.backend is not None:
+            name += f", backend={self.backend}"
+        return name
 
 
 _PRESETS = {
@@ -96,23 +110,42 @@ _PRESETS = {
     "record-noforce-log": dict(record_logging=True, force=False, rda=False),
 }
 
+# beyond-paper presets: the WAL configurations over the double-parity
+# RAID-6 tier (RDA needs twins, so there is no "-rda" raid6 cell)
+_EXTENDED_PRESETS = {
+    "page-force-raid6": dict(record_logging=False, force=True, rda=False,
+                             backend="raid6"),
+    "page-noforce-raid6": dict(record_logging=False, force=False, rda=False,
+                               backend="raid6"),
+    "record-force-raid6": dict(record_logging=True, force=True, rda=False,
+                               backend="raid6"),
+    "record-noforce-raid6": dict(record_logging=True, force=False, rda=False,
+                                 backend="raid6"),
+}
+
 
 def preset(name: str, **overrides) -> DBConfig:
-    """Build one of the eight paper configurations by name.
-
-    Names are ``{page|record}-{force|noforce}-{rda|log}``; keyword
-    overrides adjust sizes etc.
+    """Build a configuration by name: one of the eight paper cells
+    (``{page|record}-{force|noforce}-{rda|log}``) or an extended
+    ``…-raid6`` cell; keyword overrides adjust sizes etc.
     """
-    try:
-        base = _PRESETS[name]
-    except KeyError:
+    base = _PRESETS.get(name)
+    if base is None:
+        base = _EXTENDED_PRESETS.get(name)
+    if base is None:
         raise ModelError(
-            f"unknown preset {name!r}; choose from {sorted(_PRESETS)}") from None
+            f"unknown preset {name!r}; choose from "
+            f"{extended_preset_names()}") from None
     merged = dict(base)
     merged.update(overrides)
     return DBConfig(**merged)
 
 
 def all_preset_names() -> list:
-    """The eight configuration names, sorted."""
+    """The eight paper configuration names, sorted."""
     return sorted(_PRESETS)
+
+
+def extended_preset_names() -> list:
+    """All preset names — the paper's eight plus the raid6 cells."""
+    return sorted({**_PRESETS, **_EXTENDED_PRESETS})

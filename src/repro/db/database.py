@@ -1,9 +1,11 @@
 """The database facade: the paper's eight recovery configurations, live.
 
-A :class:`Database` wires together the disk array (twin-parity for RDA,
-single-parity otherwise), the buffer pool, the lock and transaction
-managers, the duplexed log(s), the RDA manager, and the recovery
-manager, according to a :class:`~repro.db.config.DBConfig`:
+A :class:`Database` wires together a storage backend (constructed via
+the :mod:`repro.storage.backend` registry from ``DBConfig.backend``),
+the buffer pool, the lock and transaction managers, the duplexed
+log(s), the RDA manager, and the recovery manager.  All configuration
+branching lives in the composed :class:`~repro.db.policy.
+RecoveryPolicy`; the facade just routes.  The axes:
 
 * **page logging / record logging** — what the log carries and the lock
   granularity (page locks vs record locks);
@@ -16,7 +18,8 @@ manager, according to a :class:`~repro.db.config.DBConfig`:
 
 The write-back hook (:meth:`Database._writeback`) is the paper's
 decision point: every steal either rides the parity twins or pays for a
-durable before-image first (the WAL rule is enforced here).
+durable before-image first (the WAL rule is enforced in
+:meth:`~repro.db.policy.RecoveryPolicy.writeback`).
 """
 
 from __future__ import annotations
@@ -24,17 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..buffer import BufferPool
-from ..core import ACCCheckpointer, RDAManager
-from ..errors import RecoveryError, TransactionError
+from ..errors import TransactionError
 from ..obs.tracer import NULL_TRACER
-from ..storage import IOStats, SingleParityArray, TwinParityArray
-from ..storage.geometry import Geometry
+from ..storage import IOStats, create_backend
 from ..storage.page import PAGE_SIZE, ZERO_PAGE
 from ..txn import LockManager, LockMode, TransactionManager, TxnState
-from ..wal import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
-                   LogManager, PageAfterImage, PageBeforeImage,
+from ..wal import (BOTRecord, CommitRecord, LogManager, PageBeforeImage,
                    RecordAfterEntry, RecordBeforeEntry)
 from .config import DBConfig
+from .policy import RecoveryPolicy
 from .recovery import RecoveryManager
 from .slotted_page import SlottedPage
 
@@ -42,9 +43,11 @@ from .slotted_page import SlottedPage
 class LockWait(TransactionError):
     """The operation must wait for a lock (re-issue it after the grant).
 
-    Raised instead of blocking: the library is single-threaded, so a
-    driver (e.g. :mod:`repro.sim`) suspends the transaction and retries
-    the operation when :meth:`Database.grants_for` reports the grant.
+    Raised instead of blocking: no engine ever blocks in place — a
+    driver (the :mod:`repro.sim` shard scheduler, which multiplexes
+    transactions over one or more shard engines round-robin) suspends
+    the transaction and retries the operation when
+    :meth:`Database.grants_for` reports the grant.
     """
 
     def __init__(self, txn_id: int, resource) -> None:
@@ -95,23 +98,17 @@ class Database:
     """
 
     def __init__(self, config: DBConfig, tracer=None, metrics=None,
-                 history=None) -> None:
+                 history=None, log_factory=None) -> None:
         self.config = config
+        self.policy = RecoveryPolicy.for_config(config)
         self.stats = IOStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.history = history      # optional check.HistoryRecorder
         self.invariants = None      # optional check.InvariantEngine
-        geometry = Geometry(config.group_size, config.num_groups,
-                            twin=config.rda, placement=config.placement)
-        if config.rda:
-            self.array = TwinParityArray(geometry, stats=self.stats,
-                                         tracer=self.tracer, metrics=metrics)
-            self.rda = RDAManager(self.array)
-        else:
-            self.array = SingleParityArray(geometry, stats=self.stats,
-                                           tracer=self.tracer, metrics=metrics)
-            self.rda = None
+        self.array = create_backend(config, stats=self.stats,
+                                    tracer=self.tracer, metrics=metrics)
+        self.rda = self.policy.protection.make_rda(self)
         self.buffer = BufferPool(config.buffer_capacity, self._fetch,
                                  self._writeback, policy=config.replacement,
                                  steal=config.steal, tracer=self.tracer,
@@ -119,23 +116,10 @@ class Database:
         self.locks = LockManager()
         self.txns = TransactionManager(tracer=self.tracer, stats=self.stats,
                                        metrics=metrics)
-        log_kwargs = dict(page_size=config.log_page_size,
-                          transfers_per_log_page=config.log_transfers_per_page,
-                          stats=self.stats, metrics=metrics)
-        if config.force:
-            self.undo_log = LogManager(name="undo", **log_kwargs)
-            self.redo_log = LogManager(name="redo", **log_kwargs)
-            self.checkpointer = None
-        else:
-            combined = LogManager(name="log", **log_kwargs)
-            self.undo_log = combined
-            self.redo_log = combined
-            self.checkpointer = ACCCheckpointer(
-                self.buffer.flush_all_dirty, self._append_and_force_redo,
-                lambda: [t.txn_id for t in self.txns.active_transactions()],
-                interval=config.checkpoint_interval,
-                tracer=self.tracer, stats=self.stats, metrics=metrics,
-                on_checkpoint=self._on_checkpoint)
+        if log_factory is None:
+            log_factory = self._default_log_factory
+        self.undo_log, self.redo_log, self.checkpointer = \
+            self.policy.discipline.build_logs(self, log_factory)
         self.recovery = RecoveryManager(self)
         self.counters = WriteCounters()
 
@@ -150,6 +134,21 @@ class Database:
         self._residue: set = set()       # pages with committed-unflushed data
 
     # -- construction helpers --------------------------------------------------------
+
+    @staticmethod
+    def _default_log_factory(db: "Database", name: str) -> LogManager:
+        """Build one duplexed log charged against the engine's stats.
+
+        The ``log_factory`` constructor argument overrides this — the
+        seam :class:`~repro.db.sharded.ShardedDatabase` uses to hand its
+        shards group-commit-aware logs.  A factory is called as
+        ``factory(db, name)`` while ``db`` is mid-construction (config,
+        stats, tracer, and metrics are already set).
+        """
+        return LogManager(name=name, page_size=db.config.log_page_size,
+                          transfers_per_log_page=db.config.
+                          log_transfers_per_page,
+                          stats=db.stats, metrics=db.metrics)
 
     @property
     def num_data_pages(self) -> int:
@@ -200,60 +199,9 @@ class Database:
         return self.array.read_page(page)
 
     def _writeback(self, page: int, payload: bytes, modifiers: frozenset) -> None:
-        """The decision point: steal via parity twins or via the log."""
-        if not modifiers:
-            self._residue.discard(page)
-            self.counters.committed_writebacks += 1
-            self._write_committed(page, payload)
-            return
-        single = next(iter(modifiers)) if len(modifiers) == 1 else None
-        old = self._old_disk_version(single, page)
-        was_residue = page in self._residue
-        self._residue.discard(page)
-        if (self.rda is not None and single is not None and not was_residue
-                and not self.rda.needs_undo_log(page, single)):
-            self.rda.write_uncommitted(page, payload, single, old_data=old)
-            self.counters.unlogged_steals += 1
-            if self.metrics is not None:
-                self.metrics.counter("db.steals").labels(mode="unlogged").inc()
-            self.txns.get(single).note_steal(page)
-            self._last_stolen[(single, page)] = payload
-            self._h("steal", txn=single, page=page, logged=False)
-            self._barrier("steal", page=page, txns=frozenset({single}),
-                          logged=False)
-            return
-        # logged steal: WAL — undo information durable before the write
-        if self.rda is not None:
-            # why the twins could not cover this steal (the complement
-            # of the model's 1 - p_l)
-            if single is None:
-                reason = "multi_modifier"
-            elif was_residue:
-                reason = "residue"
-            else:
-                reason = "dirty_group"
-            if self.tracer.enabled:
-                self.tracer.emit("wal.forced_undo", page=page, reason=reason)
-            if self.metrics is not None:
-                self.metrics.counter("rda.forced_undo").labels(
-                    reason=reason).inc()
-        if self.metrics is not None:
-            self.metrics.counter("db.steals").labels(mode="logged").inc()
-        self._ensure_undo_durable(page, modifiers)
-        if self.rda is not None:
-            owner = single if single is not None else next(iter(modifiers))
-            self.rda.write_uncommitted(page, payload, owner, old_data=old,
-                                       logged=True)
-        else:
-            self.array.write_page(page, payload, old_data=old)
-        self.counters.logged_steals += 1
-        for txn_id in modifiers:
-            self.txns.get(txn_id).note_steal(page)
-            self._logged_stolen.add((txn_id, page))
-            self._last_stolen[(txn_id, page)] = payload
-            self._h("steal", txn=txn_id, page=page, logged=True)
-        self._barrier("steal", page=page, txns=frozenset(modifiers),
-                      logged=True)
+        """The decision point: steal via parity twins or via the log
+        (the tree itself lives in :meth:`RecoveryPolicy.writeback`)."""
+        self.policy.writeback(self, page, payload, modifiers)
 
     def _old_disk_version(self, txn_id, page: int):
         """The page's current on-disk bytes, if this transaction knows
@@ -276,37 +224,16 @@ class Database:
         every uncommitted modifier of this page."""
         appended = False
         for txn_id in sorted(modifiers):
-            key = (txn_id, page)
-            if self.config.record_logging:
-                pending = self._pending_undo.get(txn_id, [])
-                keep, flush = [], []
-                for entry in pending:
-                    (flush if entry.page_id == page else keep).append(entry)
-                if flush:
-                    for entry in flush:
-                        self.undo_log.append(entry)
-                        self.counters.before_images_logged += 1
-                    self._pending_undo[txn_id] = keep
-                    appended = True
-            else:
-                if key not in self._undo_logged:
-                    image = self._before_images.get(key)
-                    if image is not None:
-                        self.undo_log.append(PageBeforeImage(
-                            txn_id=txn_id, page_id=page, image=image))
-                        self._undo_logged.add(key)
-                        self.counters.before_images_logged += 1
-                        appended = True
+            if self.policy.logging.append_steal_undo(self, txn_id, page):
+                appended = True
         if appended or self.undo_log.forced_lsn < self.undo_log.last_lsn:
             self.undo_log.force()
 
     def _write_committed(self, page: int, payload: bytes,
                          old_data=None) -> None:
         """Parity-tracking write of committed (or log-protected) data."""
-        if self.rda is not None:
-            self.rda.write_committed(page, payload, old_data=old_data)
-        else:
-            self.array.write_page(page, payload, old_data=old_data)
+        self.policy.protection.write_committed(self, page, payload,
+                                               old_data=old_data)
 
     def _append_and_force_redo(self, record) -> int:
         lsn = self.redo_log.append(record)
@@ -326,9 +253,14 @@ class Database:
 
     # -- transaction API -----------------------------------------------------------------------
 
-    def begin(self) -> int:
-        """Start a transaction; returns its id."""
-        txn_id = self.txns.begin().txn_id
+    def begin(self, txn_id: int | None = None) -> int:
+        """Start a transaction; returns its id.
+
+        ``txn_id`` pins a caller-assigned id — the sharded engine uses
+        this so a global transaction carries one id across every shard
+        it touches.
+        """
+        txn_id = self.txns.begin(txn_id=txn_id).txn_id
         self._h("begin", txn=txn_id)
         return txn_id
 
@@ -362,7 +294,7 @@ class Database:
         key = (txn_id, page)
         if key not in self._before_images:
             self._before_images[key] = current
-            if self.rda is None and not self.config.force:
+            if self.policy.log_page_undo_at_first_write:
                 # classical WAL: before-image logged at first modification
                 self.undo_log.append(PageBeforeImage(
                     txn_id=txn_id, page_id=page, image=current))
@@ -391,39 +323,15 @@ class Database:
         self._h("read", txn=txn_id, page=page, slot=slot)
         return self._slotted(page).read(slot)
 
-    def _maybe_promote(self, page: int, txn_id: int) -> None:
-        """If another transaction's unlogged stolen page is about to be
-        shared, materialize its before-image into the log first."""
-        if self.rda is None:
-            return
-        group = self.array.geometry.group_of(page)
-        entry = self.rda.dirty_set.get(group)
-        if entry is None or entry.page_id != page or entry.txn_id == txn_id:
-            return
-
-        def log_fn(owner, page_id, image):
-            self.undo_log.append(PageBeforeImage(
-                txn_id=owner, page_id=page_id, image=image))
-            self.undo_log.force()
-            self._undo_logged.add((owner, page_id))
-            self._logged_stolen.add((owner, page_id))
-
-        self.rda.promote_to_logged(group, log_fn)
-        self.counters.promotions += 1
-
     def _record_modify(self, txn_id: int, page: int, slot: int,
                        before: bytes, after: bytes, mutate) -> None:
         """Shared tail of update/insert/delete: log, mutate, buffer."""
         txn = self.txns.require_active(txn_id)
         self._ensure_bot(txn_id)
-        self._maybe_promote(page, txn_id)
+        self.policy.protection.maybe_promote(self, page, txn_id)
         undo = RecordBeforeEntry(txn_id=txn_id, page_id=page, slot=slot,
                                  image=before)
-        if self.rda is not None:
-            self._pending_undo.setdefault(txn_id, []).append(undo)
-        else:
-            self.undo_log.append(undo)
-            self.counters.before_images_logged += 1
+        self.policy.protection.stage_record_undo(self, txn_id, undo)
         self.redo_log.append(RecordAfterEntry(txn_id=txn_id, page_id=page,
                                               slot=slot, image=after))
         sp = self._slotted(page)
@@ -475,24 +383,15 @@ class Database:
         txn = self.txns.require_active(txn_id)
         if txn.is_update_transaction:
             self._ensure_bot(txn_id)
-            if self.config.force:
-                self.buffer.flush_pages_of(txn_id)
-            if not self.config.record_logging:
-                for page in sorted(txn.pages_written):
-                    self.redo_log.append(PageAfterImage(
-                        txn_id=txn_id, page_id=page,
-                        image=self._after_image(txn_id, page)))
+            self.policy.discipline.flush_at_commit(self, txn_id)
+            self.policy.logging.append_commit_images(self, txn)
             self.redo_log.append(CommitRecord(txn_id=txn_id))
             self.undo_log.force()
             self.redo_log.force()
-            if self.rda is not None:
-                for group in self.rda.commit_txn(txn_id):
-                    self._h("flip", txn=txn_id, group=group)
+            for group in self.policy.protection.commit_flips(self, txn_id):
+                self._h("flip", txn=txn_id, group=group)
             self.buffer.clear_modifier(txn_id)
-            if not self.config.force:
-                for page in txn.pages_written:
-                    if self.buffer.is_dirty(page):
-                        self._residue.add(page)
+            self.policy.discipline.note_commit_residue(self, txn)
         self.locks.release_all(txn_id)
         self.txns.finish(txn_id, TxnState.COMMITTED)
         self._forget(txn_id)
@@ -541,26 +440,8 @@ class Database:
                 candidates.append(lsn)
         if archive_floor is not None:
             candidates.append(archive_floor + 1)
-        if not self.config.force:
-            checkpoint_lsn = None
-            for record in self.redo_log.scan(CheckpointRecord):
-                checkpoint_lsn = record.lsn
-            if checkpoint_lsn is None:
-                return 0        # committed data may exist only in the log
-            candidates.append(checkpoint_lsn)
-            return self.undo_log.truncate_before(min(candidates))
-        # FORCE/TOC: the undo log only needs active transactions'
-        # records.  Dropping a finished transaction's BOT is always safe
-        # (it simply stops being a loser *candidate*).
-        dropped = self.undo_log.truncate_before(min(candidates))
-        # The redo log is cross-referenced by restart analysis: a BOT
-        # surviving in the undo log whose commit record was trimmed here
-        # would be misclassified as a loser.  Only a *quiescent* trim
-        # (no active transactions, hence no surviving BOTs) avoids the
-        # coupling; it is bounded by the archive roll-forward floor.
-        if archive_floor is not None and not self.txns.active_transactions():
-            dropped += self.redo_log.truncate_before(archive_floor + 1)
-        return dropped
+        return self.policy.discipline.trim_log(self, candidates,
+                                               archive_floor)
 
     # -- failures ----------------------------------------------------------------------------------------------
 
@@ -572,8 +453,7 @@ class Database:
         self.buffer.invalidate_all()
         self.locks = LockManager()
         self.txns.lose_memory()
-        if self.rda is not None:
-            self.rda.lose_memory()
+        self.policy.protection.lose_memory(self)
         self.undo_log.crash()
         if self.redo_log is not self.undo_log:
             self.redo_log.crash()

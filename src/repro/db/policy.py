@@ -1,0 +1,539 @@
+"""Recovery policies: the paper's three configuration axes as strategies.
+
+Each of the eight configurations of Section 5 is the composition of
+three independent choices, and each choice is one strategy object here:
+
+* :class:`LoggingPolicy` — **page vs record** logging: what undo/redo
+  records carry, how a steal's undo information is made durable, what
+  commit appends, and how an abort rolls the transaction back.
+* :class:`CommitDiscipline` — **FORCE+TOC vs ¬FORCE+ACC**: how the
+  log(s) are arranged, what commit flushes, whether restart needs a
+  REDO pass, and what log trimming may discard.
+* :class:`StealProtection` — **RDA vs classical WAL**: how a stolen
+  uncommitted page is protected (parity twins vs durable before-image),
+  plus the matching restart phase (parity undo vs write-hole resync)
+  and media recovery.
+
+A composed :class:`RecoveryPolicy` is what :class:`~repro.db.database.
+Database` and :class:`~repro.db.recovery.RecoveryManager` consult —
+they contain no ``if config.force`` / ``if config.rda`` branching of
+their own.  The strategies are stateless singletons (all state lives on
+the database), so one policy instance is safely shared by every shard
+of a :class:`~repro.db.sharded.ShardedDatabase`.
+"""
+
+from __future__ import annotations
+
+from ..core import ACCCheckpointer, RDAManager
+from ..errors import RecoveryError
+from ..wal import (CheckpointRecord, PageAfterImage, PageBeforeImage,
+                   RecordAfterEntry, RecordBeforeEntry)
+from .slotted_page import SlottedPage
+
+
+def apply_record_image(page_bytes: bytes, slot: int, image: bytes) -> bytes:
+    """Set ``slot`` of a slotted page to ``image`` (empty = delete)."""
+    sp = SlottedPage.from_bytes(page_bytes)
+    if image == b"":
+        try:
+            sp.delete(slot)
+        except KeyError:
+            pass                      # undoing an insert that never landed
+    else:
+        sp.place(slot, image)
+    return sp.to_bytes()
+
+
+# ==================== axis 1: logging granularity ====================
+
+
+class PageLogging:
+    """Page-granularity logging: before/after images of whole pages."""
+
+    name = "page"
+    record_granularity = False
+
+    def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
+        """Log the before-image covering one modifier of a stolen page
+        (once per (txn, page)); returns True if anything was appended."""
+        key = (txn_id, page)
+        if key in db._undo_logged:
+            return False
+        image = db._before_images.get(key)
+        if image is None:
+            return False
+        db.undo_log.append(PageBeforeImage(txn_id=txn_id, page_id=page,
+                                           image=image))
+        db._undo_logged.add(key)
+        db.counters.before_images_logged += 1
+        return True
+
+    def append_commit_images(self, db, txn) -> None:
+        """Page-mode REDO: append each written page's after-image."""
+        txn_id = txn.txn_id
+        for page in sorted(txn.pages_written):
+            db.redo_log.append(PageAfterImage(
+                txn_id=txn_id, page_id=page,
+                image=db._after_image(txn_id, page)))
+
+    def rollback(self, db, txn) -> None:
+        """Abort: parity undo, then restore logged steals from
+        before-images, then discard the transaction's buffered frames."""
+        txn_id = txn.txn_id
+        restored = db.policy.protection.parity_undo_for_abort(db, txn_id)
+
+        logged_pages = sorted(page for (t, page) in db._logged_stolen
+                              if t == txn_id and page not in restored)
+        if logged_pages:
+            chain = db.undo_log.records_of(txn_id)
+            db.undo_log.charge_read(chain)
+            images = {r.page_id: r.image for r in chain
+                      if isinstance(r, PageBeforeImage)}
+            for page in logged_pages:
+                if page not in images:
+                    raise RecoveryError(
+                        f"no before-image for stolen page {page} of "
+                        f"transaction {txn_id}")
+                db._write_committed(page, images[page],
+                                    old_data=db._last_stolen.get((txn_id, page)))
+
+        for page in sorted(txn.pages_written):
+            if page not in db.buffer:
+                continue
+            keep_residue = page in db._residue
+            before = db._before_images.get((txn_id, page))
+            db.buffer.invalidate(page)
+            if keep_residue and before is not None:
+                # the frame held committed-but-unflushed data under the
+                # transaction's changes; disk lacks it, so rebuild the
+                # frame from the captured pre-transaction image
+                db.buffer.put_page(page, before, None)
+                db._residue.add(page)
+
+
+class RecordLogging:
+    """Record-granularity logging: per-slot before/after entries."""
+
+    name = "record"
+    record_granularity = True
+
+    def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
+        """Flush this modifier's deferred record before-entries for the
+        stolen page; returns True if anything was appended."""
+        pending = db._pending_undo.get(txn_id, [])
+        keep, flush = [], []
+        for entry in pending:
+            (flush if entry.page_id == page else keep).append(entry)
+        if not flush:
+            return False
+        for entry in flush:
+            db.undo_log.append(entry)
+            db.counters.before_images_logged += 1
+        db._pending_undo[txn_id] = keep
+        return True
+
+    def append_commit_images(self, db, txn) -> None:
+        """Record-mode REDO entries were appended at modification time."""
+
+    def rollback(self, db, txn) -> None:
+        """Abort: parity undo, then re-apply record before-entries
+        (logged + still-pending) backward, flushing corrected pages."""
+        txn_id = txn.txn_id
+        restored = db.policy.protection.parity_undo_for_abort(db, txn_id)
+        for page in restored:
+            if page in db.buffer:
+                # single-modifier invariant: only this transaction's
+                # changes were buffered for an unlogged stolen page
+                db.buffer.invalidate(page)
+
+        chain = db.undo_log.records_of(txn_id)
+        db.undo_log.charge_read(chain)
+        logged = [r for r in reversed(chain)
+                  if isinstance(r, (RecordBeforeEntry, PageBeforeImage))]
+        pending = list(db._pending_undo.get(txn_id, ()))
+        ordered = logged + pending      # forward order; pending is newest
+
+        touched = {}
+        for entry in reversed(ordered):
+            page = entry.page_id
+            if isinstance(entry, PageBeforeImage):
+                touched[page] = entry.image
+                continue
+            payload = touched.get(page)
+            if payload is None:
+                payload = db.buffer.get_page(page)
+            touched[page] = apply_record_image(payload, entry.slot, entry.image)
+
+        # The abort record that follows asserts "undo is durable", so the
+        # corrected pages must reach disk now even under ¬FORCE —
+        # otherwise a crash after the abort would resurrect the aborted
+        # values (aborted transactions are excluded from restart undo).
+        for page in sorted(touched):
+            db.buffer.invalidate(page)
+            db.buffer.put_page(page, touched[page], None)
+            db.buffer.flush_page(page)
+
+
+# ==================== axis 2: commit discipline ====================
+
+
+class ForceToc:
+    """FORCE + TOC: commit flushes the transaction's pages; no
+    checkpoints, no restart REDO."""
+
+    name = "force-toc"
+    forces_at_commit = True
+
+    def build_logs(self, db, log_factory) -> tuple:
+        """Separate undo and redo logs, no checkpointer."""
+        return log_factory(db, "undo"), log_factory(db, "redo"), None
+
+    def flush_at_commit(self, db, txn_id: int) -> None:
+        db.buffer.flush_pages_of(txn_id)
+
+    def note_commit_residue(self, db, txn) -> None:
+        """FORCE leaves nothing dirty behind a commit."""
+
+    def restart_redo(self, db, winners, cache, page_base, fault) -> int:
+        """TOC: committed work is on disk already; nothing to redo."""
+        return 0
+
+    def trim_log(self, db, candidates: list, archive_floor) -> int:
+        # FORCE/TOC: the undo log only needs active transactions'
+        # records.  Dropping a finished transaction's BOT is always safe
+        # (it simply stops being a loser *candidate*).
+        dropped = db.undo_log.truncate_before(min(candidates))
+        # The redo log is cross-referenced by restart analysis: a BOT
+        # surviving in the undo log whose commit record was trimmed here
+        # would be misclassified as a loser.  Only a *quiescent* trim
+        # (no active transactions, hence no surviving BOTs) avoids the
+        # coupling; it is bounded by the archive roll-forward floor.
+        if archive_floor is not None and not db.txns.active_transactions():
+            dropped += db.redo_log.truncate_before(archive_floor + 1)
+        return dropped
+
+
+class NoForceAcc:
+    """¬FORCE + ACC: commit forces only the log; ACC checkpoints bound
+    the restart REDO pass."""
+
+    name = "noforce-acc"
+    forces_at_commit = False
+
+    def build_logs(self, db, log_factory) -> tuple:
+        """One combined log plus the ACC checkpointer."""
+        combined = log_factory(db, "log")
+        checkpointer = ACCCheckpointer(
+            db.buffer.flush_all_dirty, db._append_and_force_redo,
+            lambda: [t.txn_id for t in db.txns.active_transactions()],
+            interval=db.config.checkpoint_interval,
+            tracer=db.tracer, stats=db.stats, metrics=db.metrics,
+            on_checkpoint=db._on_checkpoint)
+        return combined, combined, checkpointer
+
+    def flush_at_commit(self, db, txn_id: int) -> None:
+        """¬FORCE: the transaction's pages stay dirty in the buffer."""
+
+    def note_commit_residue(self, db, txn) -> None:
+        for page in txn.pages_written:
+            if db.buffer.is_dirty(page):
+                db._residue.add(page)
+
+    def restart_redo(self, db, winners, cache, page_base, fault) -> int:
+        """Replay committed after-images since the last ACC checkpoint."""
+        redone = 0
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            phase="redo") as span:
+            start = 0
+            for record in db.redo_log.scan(CheckpointRecord):
+                start = record.lsn
+            replay = [r for r in db.redo_log.records() if r.lsn > start]
+            db.redo_log.charge_read(replay)
+            for record in replay:
+                if record.txn_id not in winners:
+                    continue
+                if isinstance(record, PageAfterImage):
+                    cache[record.page_id] = record.image
+                    redone += 1
+                elif isinstance(record, RecordAfterEntry):
+                    cache[record.page_id] = apply_record_image(
+                        page_base(record.page_id), record.slot,
+                        record.image)
+                    redone += 1
+            span.set(applied=redone)
+        return redone
+
+    def trim_log(self, db, candidates: list, archive_floor) -> int:
+        checkpoint_lsn = None
+        for record in db.redo_log.scan(CheckpointRecord):
+            checkpoint_lsn = record.lsn
+        if checkpoint_lsn is None:
+            return 0        # committed data may exist only in the log
+        candidates.append(checkpoint_lsn)
+        return db.undo_log.truncate_before(min(candidates))
+
+
+# ==================== axis 3: steal protection ====================
+
+
+class RdaProtection:
+    """RDA: steals ride the parity twins whenever the Figure 3 rule
+    allows; undo comes from ``P_w ⊕ P_c ⊕ D_new``."""
+
+    name = "rda"
+    uses_twins = True
+
+    def make_rda(self, db):
+        return RDAManager(db.array)
+
+    def covers_unlogged_steal(self, db, page: int, single,
+                              was_residue: bool) -> bool:
+        return (single is not None and not was_residue
+                and not db.rda.needs_undo_log(page, single))
+
+    def write_stolen_unlogged(self, db, page: int, payload: bytes, single,
+                              old) -> None:
+        db.rda.write_uncommitted(page, payload, single, old_data=old)
+
+    def note_forced_undo(self, db, page: int, single,
+                         was_residue: bool) -> None:
+        # why the twins could not cover this steal (the complement of
+        # the model's 1 - p_l)
+        if single is None:
+            reason = "multi_modifier"
+        elif was_residue:
+            reason = "residue"
+        else:
+            reason = "dirty_group"
+        if db.tracer.enabled:
+            db.tracer.emit("wal.forced_undo", page=page, reason=reason)
+        if db.metrics is not None:
+            db.metrics.counter("rda.forced_undo").labels(reason=reason).inc()
+
+    def write_stolen_logged(self, db, page: int, payload: bytes, modifiers,
+                            single, old) -> None:
+        owner = single if single is not None else next(iter(modifiers))
+        db.rda.write_uncommitted(page, payload, owner, old_data=old,
+                                 logged=True)
+
+    def write_committed(self, db, page: int, payload: bytes,
+                        old_data=None) -> None:
+        db.rda.write_committed(page, payload, old_data=old_data)
+
+    def stage_record_undo(self, db, txn_id: int, undo) -> None:
+        """Defer the before-entry: it only reaches the log if the page
+        is stolen while the group cannot absorb it."""
+        db._pending_undo.setdefault(txn_id, []).append(undo)
+
+    def maybe_promote(self, db, page: int, txn_id: int) -> None:
+        """If another transaction's unlogged stolen page is about to be
+        shared, materialize its before-image into the log first."""
+        group = db.array.geometry.group_of(page)
+        entry = db.rda.dirty_set.get(group)
+        if entry is None or entry.page_id != page or entry.txn_id == txn_id:
+            return
+
+        def log_fn(owner, page_id, image):
+            db.undo_log.append(PageBeforeImage(
+                txn_id=owner, page_id=page_id, image=image))
+            db.undo_log.force()
+            db._undo_logged.add((owner, page_id))
+            db._logged_stolen.add((owner, page_id))
+
+        db.rda.promote_to_logged(group, log_fn)
+        db.counters.promotions += 1
+
+    def commit_flips(self, db, txn_id: int):
+        """Flip the transaction's dirty groups' twins (zero I/O)."""
+        return db.rda.commit_txn(txn_id)
+
+    def lose_memory(self, db) -> None:
+        db.rda.lose_memory()
+
+    def parity_undo_for_abort(self, db, txn_id: int) -> dict:
+        """Rewind the transaction's unlogged stolen pages via the twins."""
+        buffered = {}
+        for group in db.rda.dirty_set.groups_of(txn_id):
+            entry = db.rda.dirty_set.entry(group)
+            known = db._last_stolen.get((txn_id, entry.page_id))
+            if known is not None:
+                buffered[entry.page_id] = known
+        return db.rda.abort_txn(txn_id, buffered=buffered)
+
+    def restart_parity_phase(self, db, winners: set, losers: set,
+                             fault) -> tuple:
+        """Parity undo of unlogged stolen pages (must precede log
+        writes); the twin array needs no write-hole resync — interrupted
+        writes are resolved through the headers here."""
+        parity_undone = 0
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            phase="parity_undo") as span:
+            for entry in db.rda.crash_scan(winners):
+                losers.add(entry.txn_id)
+                fault(f"parity-undo group {entry.group}")
+                db.rda.undo_group(entry.group)
+                parity_undone += 1
+            span.set(pages=parity_undone)
+        return 0, parity_undone
+
+    def media_recover(self, db, disk_id: int, on_lost_undo: str):
+        report, must_commit = db.rda.rebuild_disk(
+            disk_id, on_lost_undo=on_lost_undo)
+        for txn_id in must_commit:
+            db.txns.get(txn_id).must_commit = True
+        return report
+
+
+class WalProtection:
+    """Classical WAL: every steal pays for a durable before-image."""
+
+    name = "wal"
+    uses_twins = False
+
+    def make_rda(self, db):
+        return None
+
+    def covers_unlogged_steal(self, db, page: int, single,
+                              was_residue: bool) -> bool:
+        return False
+
+    def write_stolen_unlogged(self, db, page: int, payload: bytes, single,
+                              old) -> None:
+        raise AssertionError("WAL never steals without logging")
+
+    def note_forced_undo(self, db, page: int, single,
+                         was_residue: bool) -> None:
+        """Under plain WAL a logged steal is the only kind; nothing to
+        explain."""
+
+    def write_stolen_logged(self, db, page: int, payload: bytes, modifiers,
+                            single, old) -> None:
+        db.array.write_page(page, payload, old_data=old)
+
+    def write_committed(self, db, page: int, payload: bytes,
+                        old_data=None) -> None:
+        db.array.write_page(page, payload, old_data=old_data)
+
+    def stage_record_undo(self, db, txn_id: int, undo) -> None:
+        db.undo_log.append(undo)
+        db.counters.before_images_logged += 1
+
+    def maybe_promote(self, db, page: int, txn_id: int) -> None:
+        """No unlogged steals exist, so there is nothing to promote."""
+
+    def commit_flips(self, db, txn_id: int):
+        return ()
+
+    def lose_memory(self, db) -> None:
+        """No Dirty_Set to lose."""
+
+    def parity_undo_for_abort(self, db, txn_id: int) -> dict:
+        return {}
+
+    def restart_parity_phase(self, db, winners: set, losers: set,
+                             fault) -> tuple:
+        """RAID write-hole resync: a crash between a small-write's data
+        and parity transfers leaves the parity stale; recovery's own
+        small writes assume it is current, so recompute it first.
+
+        Detection uses uncounted peeks (the restart scrub); the repair
+        writes are counted.  Clean restarts skip the phase entirely.
+        """
+        stale = db.array.scrub()
+        if not stale:
+            return 0, 0
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            phase="parity_resync") as span:
+            for group in stale:
+                fault(f"parity resync group {group}")
+                data = [db.array.read_page(p)
+                        for p in db.array.geometry.group_pages(group)]
+                db.array.rewrite_parity(group, data)
+            span.set(groups=len(stale))
+        return len(stale), 0
+
+    def media_recover(self, db, disk_id: int, on_lost_undo: str):
+        return db.array.rebuild_disk(disk_id)
+
+
+# ==================== the composed policy ====================
+
+PAGE_LOGGING = PageLogging()
+RECORD_LOGGING = RecordLogging()
+FORCE_TOC = ForceToc()
+NOFORCE_ACC = NoForceAcc()
+RDA_PROTECTION = RdaProtection()
+WAL_PROTECTION = WalProtection()
+
+
+class RecoveryPolicy:
+    """One of the paper's eight configurations as a strategy triple."""
+
+    def __init__(self, logging, discipline, protection) -> None:
+        self.logging = logging
+        self.discipline = discipline
+        self.protection = protection
+
+    @classmethod
+    def for_config(cls, config) -> "RecoveryPolicy":
+        return cls(
+            RECORD_LOGGING if config.record_logging else PAGE_LOGGING,
+            FORCE_TOC if config.force else NOFORCE_ACC,
+            RDA_PROTECTION if config.rda else WAL_PROTECTION,
+        )
+
+    @property
+    def name(self) -> str:
+        return (f"{self.logging.name}-{self.discipline.name}-"
+                f"{self.protection.name}")
+
+    @property
+    def log_page_undo_at_first_write(self) -> bool:
+        """Classical ¬FORCE WAL logs a page's before-image eagerly at
+        first modification (RDA defers; FORCE can always abort from the
+        buffer + logged steals)."""
+        return (not self.protection.uses_twins
+                and not self.discipline.forces_at_commit)
+
+    def writeback(self, db, page: int, payload: bytes,
+                  modifiers: frozenset) -> None:
+        """The paper's decision point: every steal either rides the
+        parity twins or pays for a durable before-image first (the WAL
+        rule is enforced here)."""
+        if not modifiers:
+            db._residue.discard(page)
+            db.counters.committed_writebacks += 1
+            db._write_committed(page, payload)
+            return
+        single = next(iter(modifiers)) if len(modifiers) == 1 else None
+        old = db._old_disk_version(single, page)
+        was_residue = page in db._residue
+        db._residue.discard(page)
+        if self.protection.covers_unlogged_steal(db, page, single,
+                                                 was_residue):
+            self.protection.write_stolen_unlogged(db, page, payload, single,
+                                                  old)
+            db.counters.unlogged_steals += 1
+            if db.metrics is not None:
+                db.metrics.counter("db.steals").labels(mode="unlogged").inc()
+            db.txns.get(single).note_steal(page)
+            db._last_stolen[(single, page)] = payload
+            db._h("steal", txn=single, page=page, logged=False)
+            db._barrier("steal", page=page, txns=frozenset({single}),
+                        logged=False)
+            return
+        # logged steal: WAL — undo information durable before the write
+        self.protection.note_forced_undo(db, page, single, was_residue)
+        if db.metrics is not None:
+            db.metrics.counter("db.steals").labels(mode="logged").inc()
+        db._ensure_undo_durable(page, modifiers)
+        self.protection.write_stolen_logged(db, page, payload, modifiers,
+                                            single, old)
+        db.counters.logged_steals += 1
+        for txn_id in modifiers:
+            db.txns.get(txn_id).note_steal(page)
+            db._logged_stolen.add((txn_id, page))
+            db._last_stolen[(txn_id, page)] = payload
+            db._h("steal", txn=txn_id, page=page, logged=True)
+        db._barrier("steal", page=page, txns=frozenset(modifiers),
+                    logged=True)

@@ -27,23 +27,9 @@ from ..errors import RecoveryError, UnrecoverableDataError
 from ..storage.geometry import PhysAddr
 from ..storage.page import NO_TXN, TwinState, compute_parity
 from ..txn import TxnState
-from ..wal.records import (AbortRecord, BOTRecord, CheckpointRecord,
-                           CommitRecord, PageAfterImage, PageBeforeImage,
-                           RecordAfterEntry, RecordBeforeEntry)
-from .slotted_page import SlottedPage
-
-
-def _apply_record_image(page_bytes: bytes, slot: int, image: bytes) -> bytes:
-    """Set ``slot`` of a slotted page to ``image`` (empty = delete)."""
-    sp = SlottedPage.from_bytes(page_bytes)
-    if image == b"":
-        try:
-            sp.delete(slot)
-        except KeyError:
-            pass                      # undoing an insert that never landed
-    else:
-        sp.place(slot, image)
-    return sp.to_bytes()
+from ..wal.records import (AbortRecord, BOTRecord, CommitRecord,
+                           PageBeforeImage, RecordBeforeEntry)
+from .policy import apply_record_image
 
 
 class RecoveryManager:
@@ -65,99 +51,13 @@ class RecoveryManager:
         with db.tracer.span("recovery.abort", stats=db.stats, txn=txn_id):
             if txn.is_update_transaction:
                 db._ensure_bot(txn_id)
-                if db.config.record_logging:
-                    self._abort_record_mode(txn)
-                else:
-                    self._abort_page_mode(txn)
+                db.policy.logging.rollback(db, txn)
                 db.undo_log.append(AbortRecord(txn_id=txn_id))
                 db.undo_log.force()
             db.locks.release_all(txn_id)
             db.txns.finish(txn_id, TxnState.ABORTED)
         db._forget(txn_id)
         db.counters.transactions_aborted += 1
-
-    def _parity_undo_for(self, txn_id: int) -> dict:
-        """Rewind the transaction's unlogged stolen pages via the twins."""
-        db = self.db
-        if db.rda is None:
-            return {}
-        buffered = {}
-        for group in db.rda.dirty_set.groups_of(txn_id):
-            entry = db.rda.dirty_set.entry(group)
-            known = db._last_stolen.get((txn_id, entry.page_id))
-            if known is not None:
-                buffered[entry.page_id] = known
-        return db.rda.abort_txn(txn_id, buffered=buffered)
-
-    def _abort_page_mode(self, txn) -> None:
-        db = self.db
-        txn_id = txn.txn_id
-        restored = self._parity_undo_for(txn_id)
-
-        logged_pages = sorted(page for (t, page) in db._logged_stolen
-                              if t == txn_id and page not in restored)
-        if logged_pages:
-            chain = db.undo_log.records_of(txn_id)
-            db.undo_log.charge_read(chain)
-            images = {r.page_id: r.image for r in chain
-                      if isinstance(r, PageBeforeImage)}
-            for page in logged_pages:
-                if page not in images:
-                    raise RecoveryError(
-                        f"no before-image for stolen page {page} of "
-                        f"transaction {txn_id}")
-                db._write_committed(page, images[page],
-                                    old_data=db._last_stolen.get((txn_id, page)))
-
-        for page in sorted(txn.pages_written):
-            if page not in db.buffer:
-                continue
-            keep_residue = page in db._residue
-            before = db._before_images.get((txn_id, page))
-            db.buffer.invalidate(page)
-            if keep_residue and before is not None:
-                # the frame held committed-but-unflushed data under the
-                # transaction's changes; disk lacks it, so rebuild the
-                # frame from the captured pre-transaction image
-                db.buffer.put_page(page, before, None)
-                db._residue.add(page)
-
-    def _abort_record_mode(self, txn) -> None:
-        db = self.db
-        txn_id = txn.txn_id
-        restored = self._parity_undo_for(txn_id)
-        for page in restored:
-            if page in db.buffer:
-                # single-modifier invariant: only this transaction's
-                # changes were buffered for an unlogged stolen page
-                db.buffer.invalidate(page)
-
-        chain = db.undo_log.records_of(txn_id)
-        db.undo_log.charge_read(chain)
-        logged = [r for r in reversed(chain)
-                  if isinstance(r, (RecordBeforeEntry, PageBeforeImage))]
-        pending = list(db._pending_undo.get(txn_id, ()))
-        ordered = logged + pending      # forward order; pending is newest
-
-        touched = {}
-        for entry in reversed(ordered):
-            page = entry.page_id
-            if isinstance(entry, PageBeforeImage):
-                touched[page] = entry.image
-                continue
-            payload = touched.get(page)
-            if payload is None:
-                payload = db.buffer.get_page(page)
-            touched[page] = _apply_record_image(payload, entry.slot, entry.image)
-
-        # The abort record below asserts "undo is durable", so the
-        # corrected pages must reach disk now even under ¬FORCE —
-        # otherwise a crash after the abort would resurrect the aborted
-        # values (aborted transactions are excluded from restart undo).
-        for page in sorted(touched):
-            db.buffer.invalidate(page)
-            db.buffer.put_page(page, touched[page], None)
-            db.buffer.flush_page(page)
 
     # ==================== crash recovery ====================
 
@@ -195,26 +95,12 @@ class RecoveryManager:
             # sectors left by the crash) before anything reads them
             sectors_repaired = self._media_scan(winners, fault)
 
-            # 0b. RAID write-hole resync (¬RDA only): a crash between a
-            # small-write's data and parity transfers leaves the parity
-            # stale; recovery's own small writes assume it is current,
-            # so recompute it first.  (The twin array needs no resync:
-            # its interrupted writes are resolved through the headers
-            # by parity undo below.)
-            parity_resynced = self._parity_resync(fault) if db.rda is None \
-                else 0
-
-            # 1. parity undo of unlogged stolen pages (must precede log writes)
-            parity_undone = 0
-            if db.rda is not None:
-                with db.tracer.span("recovery.phase", stats=db.stats,
-                                    phase="parity_undo") as span:
-                    for entry in db.rda.crash_scan(winners):
-                        losers.add(entry.txn_id)
-                        fault(f"parity-undo group {entry.group}")
-                        db.rda.undo_group(entry.group)
-                        parity_undone += 1
-                    span.set(pages=parity_undone)
+            # 0b/1. the protection policy's restart phase: RAID
+            # write-hole resync (WAL) or parity undo of unlogged stolen
+            # pages (RDA; must precede log writes)
+            parity_resynced, parity_undone = \
+                db.policy.protection.restart_parity_phase(db, winners,
+                                                          losers, fault)
 
             cache: dict = {}
 
@@ -224,27 +110,8 @@ class RecoveryManager:
                 return cache[page]
 
             # 2. REDO committed work since the last checkpoint (¬FORCE only)
-            redone = 0
-            if not db.config.force:
-                with db.tracer.span("recovery.phase", stats=db.stats,
-                                    phase="redo") as span:
-                    start = 0
-                    for record in db.redo_log.scan(CheckpointRecord):
-                        start = record.lsn
-                    replay = [r for r in db.redo_log.records() if r.lsn > start]
-                    db.redo_log.charge_read(replay)
-                    for record in replay:
-                        if record.txn_id not in winners:
-                            continue
-                        if isinstance(record, PageAfterImage):
-                            cache[record.page_id] = record.image
-                            redone += 1
-                        elif isinstance(record, RecordAfterEntry):
-                            cache[record.page_id] = _apply_record_image(
-                                page_base(record.page_id), record.slot,
-                                record.image)
-                            redone += 1
-                    span.set(applied=redone)
+            redone = db.policy.discipline.restart_redo(db, winners, cache,
+                                                       page_base, fault)
 
             # 3. UNDO losers from the log, backward in global LSN order
             with db.tracer.span("recovery.phase", stats=db.stats,
@@ -261,7 +128,7 @@ class RecoveryManager:
                     if isinstance(record, PageBeforeImage):
                         cache[record.page_id] = record.image
                     else:
-                        cache[record.page_id] = _apply_record_image(
+                        cache[record.page_id] = apply_record_image(
                             page_base(record.page_id), record.slot,
                             record.image)
                     undone += 1
@@ -320,28 +187,6 @@ class RecoveryManager:
             span.set(sectors=len(bad))
         return len(bad)
 
-    def _parity_resync(self, fault) -> int:
-        """Recompute stale single-parity groups after a crash.
-
-        Detection uses uncounted peeks (the restart scrub); the repair
-        writes are counted.  Clean restarts skip the phase entirely.
-        """
-        db = self.db
-        stale = db.array.scrub()
-        if not stale:
-            return 0
-        with db.tracer.span("recovery.phase", stats=db.stats,
-                            phase="parity_resync") as span:
-            for group in stale:
-                fault(f"parity resync group {group}")
-                data = [db.array.read_page(p)
-                        for p in db.array.geometry.group_pages(group)]
-                (addr,) = db.array.geometry.parity_addresses(group)
-                db.array.disks[addr.disk].write(addr.slot,
-                                                compute_parity(data))
-            span.set(groups=len(stale))
-        return len(stale)
-
     def _repair_sector(self, disk_id: int, slot: int, winners: set) -> None:
         """Rebuild one unreadable sector from the group's redundancy."""
         db = self.db
@@ -358,12 +203,8 @@ class RecoveryManager:
         group = slot
         data = [db.array.read_page(p) for p in geometry.group_pages(group)]
         addrs = geometry.parity_addresses(group)
-        if not hasattr(db.array, "write_twin"):
-            if len(addrs) > 1 and addrs[1].disk == disk_id:
-                from ..storage.gf256 import q_parity
-                db.array.disks[disk_id].write(slot, q_parity(data))
-            else:
-                db.array.disks[disk_id].write(slot, compute_parity(data))
+        if not db.array.supports_twins:
+            db.array.rewrite_parity(group, data, disk_id=disk_id)
             return
 
         which = next(i for i, a in enumerate(addrs) if a.disk == disk_id)
@@ -393,10 +234,5 @@ class RecoveryManager:
         """
         db = self.db
         with db.tracer.span("recovery.media", stats=db.stats, disk=disk_id):
-            if db.rda is not None:
-                report, must_commit = db.rda.rebuild_disk(
-                    disk_id, on_lost_undo=on_lost_undo)
-                for txn_id in must_commit:
-                    db.txns.get(txn_id).must_commit = True
-                return report
-            return db.array.rebuild_disk(disk_id)
+            return db.policy.protection.media_recover(db, disk_id,
+                                                      on_lost_undo)

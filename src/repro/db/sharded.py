@@ -1,0 +1,647 @@
+"""K-way sharded engine: hash-partitioned parity domains + group commit.
+
+A :class:`ShardedDatabase` splits the page space across ``K``
+independent :class:`~repro.db.database.Database` engines ("shards"),
+each owning its own disk array (a private parity domain), buffer pool,
+lock table, and WAL.  Pages route by ``page mod K``; a global
+transaction keeps one id on every shard it touches, so the facade
+exposes exactly the single-engine API and the simulator, conformance
+harness, and fault injector drive it unchanged.
+
+Why shard a *recovery* model?  Two of the paper's costs scale with the
+domain, not the database:
+
+* **Media rebuild** reads every surviving disk of the failed disk's
+  array.  K parity domains make the rebuild unit ``1/K`` of the data.
+* **The Figure 3 rule** (one unlogged uncommitted page per parity
+  group) serializes unlogged steals per group; independent domains
+  multiply the groups and spread the dirty set.
+
+The price is commit: a transaction spanning shards must force several
+logs.  The shared :class:`~repro.wal.group_commit.GroupCommitCoordinator`
+batches those forces — every log force requested while a commit runs is
+deferred, and one batched flush covers every ``flush_horizon`` commits,
+so H commits' records ride the same log-page transfers.
+
+**Crash contract (cross-shard atomicity).**  Classical two-phase commit
+cannot be retrofitted here: RDA commit processing flips parity twins,
+which destroys the undo information, so a shard cannot "prepare" and
+later roll back.  Instead the model adopts the group-commit durability
+contract: :meth:`ShardedDatabase.crash` first drains the coordinator
+(the semantics of a battery-backed log buffer), so every acknowledged
+commit is durable on every shard before main memory is lost.  Each
+shard then restarts independently; :meth:`recover` cross-checks that no
+globally committed transaction surfaced as a loser on any shard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from ..errors import ModelError, RecoveryError, TransactionError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, LabelledTracer
+from ..storage import IOStats
+from ..wal import CommitRecord, GroupCommitCoordinator, GroupCommitLog
+from .config import DBConfig
+from .database import Database
+
+
+class ShardScheduler:
+    """Deterministic round-robin order for cross-shard operations.
+
+    Each call to :meth:`order` yields every shard exactly once,
+    starting one past where the previous call started, so multi-shard
+    work (commit processing, checkpoints) spreads evenly instead of
+    always hammering shard 0 first.  Purely counter-driven — the
+    schedule is a function of the operation count, never of wall time.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        self.num_shards = num_shards
+        self._start = 0
+
+    def order(self) -> list:
+        """Shard indices for the next cross-shard operation."""
+        start = self._start
+        self._start = (self._start + 1) % self.num_shards
+        return [(start + i) % self.num_shards
+                for i in range(self.num_shards)]
+
+
+def shard_config(config: DBConfig, shards: int) -> DBConfig:
+    """The per-shard configuration: groups and buffer split K ways.
+
+    Each shard gets ``ceil(G / K)`` parity groups (so the union covers
+    at least the requested S pages) and a proportional slice of the
+    buffer, floored at the 2-frame minimum a pool needs to make
+    progress.
+    """
+    return replace(config,
+                   num_groups=max(1, math.ceil(config.num_groups / shards)),
+                   buffer_capacity=max(2, math.ceil(
+                       config.buffer_capacity / shards)))
+
+
+# ---------------------------------------------------------------- facade views
+
+
+class _StatsView:
+    """Read-only aggregate of every shard's IOStats plus the commit log's."""
+
+    def __init__(self, parts: list) -> None:
+        self._parts = parts
+
+    @property
+    def reads(self) -> int:
+        return sum(p.reads for p in self._parts)
+
+    @property
+    def writes(self) -> int:
+        return sum(p.writes for p in self._parts)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def log_transfers(self) -> int:
+        return sum(p.log_transfers for p in self._parts)
+
+    def snapshot(self):
+        from ..storage.iostats import TransferCounts
+        return TransferCounts(self.reads, self.writes)
+
+
+class _BufferStatsView:
+    """Summed :class:`~repro.buffer.pool.BufferStats` across shards."""
+
+    def __init__(self, shards: list) -> None:
+        self._shards = shards
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(s.buffer.stats, attr) for s in self._shards)
+
+    hits = property(lambda self: self._sum("hits"))
+    misses = property(lambda self: self._sum("misses"))
+    evictions = property(lambda self: self._sum("evictions"))
+    dirty_evictions = property(lambda self: self._sum("dirty_evictions"))
+    steals = property(lambda self: self._sum("steals"))
+
+    @property
+    def references(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.references == 0:
+            return 0.0
+        return self.hits / self.references
+
+
+class _BufferFacade:
+    """The slice of the BufferPool API drivers use, globalized."""
+
+    def __init__(self, owner: "ShardedDatabase") -> None:
+        self._owner = owner
+        self.stats = _BufferStatsView(owner.shards)
+
+    def resident_pages(self) -> list:
+        """Sorted *global* ids of pages buffered on any shard."""
+        owner = self._owner
+        pages = [local * owner.num_shards + i
+                 for i, shard in enumerate(owner.shards)
+                 for local in shard.buffer.resident_pages()]
+        return sorted(pages)
+
+    def __contains__(self, page: int) -> bool:
+        shard, local = self._owner._route(page)
+        return local in self._owner.shards[shard].buffer
+
+
+class _TxnView:
+    """One global transaction, seen across its shards."""
+
+    def __init__(self, owner: "ShardedDatabase", txn_id: int) -> None:
+        self._owner = owner
+        self.txn_id = txn_id
+
+    def _parts(self) -> list:
+        return [shard.txns.get(self.txn_id) for shard in self._owner.shards]
+
+    @property
+    def must_commit(self) -> bool:
+        """Pinned if any shard lost this transaction's undo to media."""
+        return any(t.must_commit for t in self._parts())
+
+    @property
+    def is_active(self) -> bool:
+        return self._parts()[0].is_active
+
+    @property
+    def state(self):
+        return self._parts()[0].state
+
+    @property
+    def is_update_transaction(self) -> bool:
+        return any(t.is_update_transaction for t in self._parts())
+
+
+class _TxnFacade:
+    """Registry view: ids are global, state is the union of shards."""
+
+    def __init__(self, owner: "ShardedDatabase") -> None:
+        self._owner = owner
+
+    def get(self, txn_id: int) -> _TxnView:
+        self._owner.shards[0].txns.get(txn_id)      # raise on unknown id
+        return _TxnView(self._owner, txn_id)
+
+    def active_transactions(self) -> list:
+        # every shard registers every global txn, so shard 0 is canonical
+        return [_TxnView(self._owner, t.txn_id)
+                for t in self._owner.shards[0].txns.active_transactions()]
+
+
+class _CountersView:
+    """Summed :class:`~repro.db.database.WriteCounters` across shards."""
+
+    def __init__(self, shards: list) -> None:
+        self._shards = shards
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(s.counters, attr) for s in self._shards)
+
+    unlogged_steals = property(lambda self: self._sum("unlogged_steals"))
+    logged_steals = property(lambda self: self._sum("logged_steals"))
+    committed_writebacks = property(
+        lambda self: self._sum("committed_writebacks"))
+    before_images_logged = property(
+        lambda self: self._sum("before_images_logged"))
+    promotions = property(lambda self: self._sum("promotions"))
+
+    @property
+    def transactions_committed(self) -> int:
+        # global commits are counted once by the facade, not per shard
+        return self._shards[0].counters.transactions_committed
+
+    @property
+    def transactions_aborted(self) -> int:
+        return self._shards[0].counters.transactions_aborted
+
+    @property
+    def steals(self) -> int:
+        return self.unlogged_steals + self.logged_steals
+
+    @property
+    def unlogged_fraction(self) -> float:
+        if self.steals == 0:
+            return 0.0
+        return self.unlogged_steals / self.steals
+
+
+class _CheckpointerFacade:
+    """Drives every shard's ACC checkpointer in lockstep."""
+
+    def __init__(self, owner: "ShardedDatabase") -> None:
+        self._owner = owner
+
+    def note_work(self, cost: float) -> None:
+        for shard in self._owner.shards:
+            shard.checkpointer.note_work(cost)
+
+    def maybe_checkpoint(self):
+        """Returns the list of shard checkpoint LSNs, or None if no
+        shard's interval elapsed (they share one interval, so normally
+        all fire together)."""
+        lsns = [shard.checkpointer.maybe_checkpoint()
+                for shard in self._owner.shards]
+        fired = [lsn for lsn in lsns if lsn is not None]
+        return fired or None
+
+    def checkpoint(self) -> list:
+        return [shard.checkpointer.checkpoint()
+                for shard in self._owner.shards]
+
+
+class _ShardedMetrics:
+    """Merged snapshot: the facade's own registry plus each shard's,
+    re-keyed with a ``shard`` label so series never collide."""
+
+    def __init__(self, own: MetricsRegistry, shard_registries: list) -> None:
+        self._own = own
+        self._shards = shard_registries
+
+    @staticmethod
+    def _relabel(key: str, shard: int) -> str:
+        name, sep, rest = key.partition("{")
+        labels = [f"shard={shard}"]
+        if sep:
+            labels.extend(rest[:-1].split(","))
+        return name + "{" + ",".join(sorted(labels)) + "}"
+
+    def snapshot(self) -> dict:
+        merged = self._own.snapshot()
+        for shard, registry in enumerate(self._shards):
+            snap = registry.snapshot()
+            for kind, series in snap.items():
+                target = merged.setdefault(kind, {})
+                for key, value in series.items():
+                    target[self._relabel(key, shard)] = value
+        return merged
+
+
+# ---------------------------------------------------------------- the facade
+
+
+class ShardedDatabase:
+    """K independent engines behind the single-engine ``Database`` API.
+
+    Args:
+        config: the *global* configuration; groups and buffer frames
+            are split across shards via :func:`shard_config`.
+        shards: K, the number of parity domains / engines.
+        flush_horizon: commits per batched group-commit flush (1 =
+            classical per-commit forcing).
+        tracer: shared tracer; each shard emits through a
+            :class:`~repro.obs.tracer.LabelledTracer` stamped
+            ``shard=i``, so one trace interleaves every shard.
+        metrics: optional registry for facade-level series (group
+            commit, commit log); shard series are kept in private
+            registries and merged into :meth:`MetricsRegistry.snapshot`
+            output with a ``shard`` label.
+        history: optional :class:`~repro.check.history.HistoryRecorder`;
+            records the *global* operation stream (global page ids).
+    """
+
+    def __init__(self, config: DBConfig, shards: int = 2,
+                 flush_horizon: int = 1, tracer=None, metrics=None,
+                 history=None) -> None:
+        if shards < 1:
+            raise ModelError("shards (K) must be at least 1")
+        self.config = config
+        self.num_shards = shards
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.history = history
+        self.scheduler = ShardScheduler(shards)
+        self.coordinator = GroupCommitCoordinator(
+            flush_horizon=flush_horizon, metrics=metrics)
+
+        self._own_metrics = metrics
+        shard_registries = ([MetricsRegistry() for _ in range(shards)]
+                            if metrics is not None else [None] * shards)
+        self.metrics = (_ShardedMetrics(metrics, shard_registries)
+                        if metrics is not None else None)
+
+        per_shard = shard_config(config, shards)
+        self.shards = [
+            Database(per_shard,
+                     tracer=(LabelledTracer(self.tracer, shard=i)
+                             if self.tracer.enabled else self.tracer),
+                     metrics=shard_registries[i],
+                     log_factory=self._shard_log_factory)
+            for i in range(shards)
+        ]
+
+        # the global commit log: one duplexed record stream of global
+        # commit decisions, forced through the same coordinator
+        self._commit_stats = IOStats()
+        self.commit_log = GroupCommitLog(
+            name="gcommit", page_size=config.log_page_size,
+            transfers_per_log_page=config.log_transfers_per_page,
+            stats=self._commit_stats, metrics=metrics,
+            coordinator=self.coordinator)
+
+        self.stats = _StatsView([s.stats for s in self.shards]
+                                + [self._commit_stats])
+        self.buffer = _BufferFacade(self)
+        self.txns = _TxnFacade(self)
+        self.counters = _CountersView(self.shards)
+        self.checkpointer = (_CheckpointerFacade(self)
+                             if self.shards[0].checkpointer is not None
+                             else None)
+        self._next_txn = 1
+
+    # -- construction helpers ------------------------------------------------
+
+    def _shard_log_factory(self, db: Database, name: str) -> GroupCommitLog:
+        """Per-shard WALs that defer their forces to the coordinator."""
+        return GroupCommitLog(
+            name=name, page_size=db.config.log_page_size,
+            transfers_per_log_page=db.config.log_transfers_per_page,
+            stats=db.stats, metrics=db.metrics,
+            coordinator=self.coordinator)
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, page: int) -> tuple:
+        """Global page id -> (shard index, shard-local page id)."""
+        if not 0 <= page < self.num_data_pages:
+            raise ModelError(f"page {page} outside 0..{self.num_data_pages - 1}")
+        return page % self.num_shards, page // self.num_shards
+
+    def global_page(self, shard: int, local: int) -> int:
+        """Inverse of :meth:`_route`."""
+        return local * self.num_shards + shard
+
+    @property
+    def num_data_pages(self) -> int:
+        """S: logical pages across every shard."""
+        return self.num_shards * self.shards[0].num_data_pages
+
+    # -- history (global ids) ------------------------------------------------
+
+    def _h(self, op: str, **attrs) -> None:
+        if self.history is None:
+            return
+        event = self.history.record(op, **attrs)
+        if self.tracer.enabled:
+            row = event.to_dict()
+            del row["op"]
+            self.tracer.emit("history." + op, **row)
+
+    # -- bulk loading --------------------------------------------------------
+
+    def load_pages(self, payloads: dict) -> None:
+        """Bulk-load initial contents (routed full-stripe writes)."""
+        split: list = [{} for _ in range(self.num_shards)]
+        for page, payload in payloads.items():
+            shard, local = self._route(page)
+            split[shard][local] = payload
+        for shard, part in zip(self.shards, split):
+            if part:
+                shard.load_pages(part)
+
+    def format_record_pages(self, pages) -> None:
+        """Initialize the given global pages as empty slotted pages."""
+        split: list = [[] for _ in range(self.num_shards)]
+        for page in pages:
+            shard, local = self._route(page)
+            split[shard].append(local)
+        for shard, part in zip(self.shards, split):
+            if part:
+                shard.format_record_pages(part)
+
+    # -- transaction API -----------------------------------------------------
+
+    def begin(self, txn_id: int | None = None) -> int:
+        """Start a global transaction: one id, registered on every
+        shard (a shard it never touches just finishes it read-only)."""
+        if txn_id is None:
+            txn_id = self._next_txn
+        self._next_txn = max(self._next_txn, txn_id + 1)
+        for shard in self.shards:
+            shard.begin(txn_id=txn_id)
+        self._h("begin", txn=txn_id)
+        return txn_id
+
+    def grants_for(self, txn_id: int) -> bool:
+        """True when no shard holds a pending wait for the transaction."""
+        return all(shard.grants_for(txn_id) for shard in self.shards)
+
+    def read_page(self, txn_id: int, page: int) -> bytes:
+        shard, local = self._route(page)
+        value = self.shards[shard].read_page(txn_id, local)
+        self._h("read", txn=txn_id, page=page)
+        return value
+
+    def write_page(self, txn_id: int, page: int, payload: bytes) -> None:
+        shard, local = self._route(page)
+        self.shards[shard].write_page(txn_id, local, payload)
+        self._h("write", txn=txn_id, page=page)
+
+    def read_record(self, txn_id: int, page: int, slot: int) -> bytes:
+        shard, local = self._route(page)
+        value = self.shards[shard].read_record(txn_id, local, slot)
+        self._h("read", txn=txn_id, page=page, slot=slot)
+        return value
+
+    def update_record(self, txn_id: int, page: int, slot: int,
+                      data: bytes) -> None:
+        shard, local = self._route(page)
+        self.shards[shard].update_record(txn_id, local, slot, data)
+        self._h("write", txn=txn_id, page=page, slot=slot)
+
+    def insert_record(self, txn_id: int, page: int, data: bytes) -> int:
+        shard, local = self._route(page)
+        slot = self.shards[shard].insert_record(txn_id, local, data)
+        self._h("write", txn=txn_id, page=page, slot=slot)
+        return slot
+
+    def delete_record(self, txn_id: int, page: int, slot: int) -> bytes:
+        shard, local = self._route(page)
+        value = self.shards[shard].delete_record(txn_id, local, slot)
+        self._h("write", txn=txn_id, page=page, slot=slot)
+        return value
+
+    # -- EOT -----------------------------------------------------------------
+
+    def commit(self, txn_id: int) -> None:
+        """Commit on every shard inside one group-commit window.
+
+        Each shard runs its normal commit processing (FORCE flushes,
+        EOT records, RDA twin flips); the log forces those request are
+        absorbed by the coordinator, then the global commit record is
+        appended and the whole batch rides the next horizon flush.
+        """
+        with self.coordinator.deferred():
+            for i in self.scheduler.order():
+                self.shards[i].commit(txn_id)
+            self.commit_log.append(CommitRecord(txn_id=txn_id))
+            self.commit_log.force()
+        self.coordinator.note_commit()
+        self._h("commit", txn=txn_id)
+
+    def abort(self, txn_id: int) -> None:
+        """Roll back on every shard.  Never deferred: abort undo must be
+        durable before the facade acknowledges (the WAL rule)."""
+        for i in self.scheduler.order():
+            self.shards[i].abort(txn_id)
+        self._h("abort", txn=txn_id)
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self) -> list:
+        """Take an ACC checkpoint on every shard (¬FORCE only)."""
+        if self.checkpointer is None:
+            raise TransactionError(
+                "FORCE/TOC configurations take no checkpoints")
+        return self.checkpointer.checkpoint()
+
+    def trim_log(self, archive_floor: int | None = None) -> int:
+        """Trim every shard's log; returns total records discarded."""
+        return sum(shard.trim_log(archive_floor=archive_floor)
+                   for shard in self.shards)
+
+    # -- failures ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose main memory on every shard.
+
+        The coordinator is drained *first* — the group-commit crash
+        contract — so every acknowledged commit is durable everywhere
+        before any log tail is truncated.
+        """
+        self.tracer.emit("db.crash")
+        self._h("crash")
+        self.coordinator.flush()
+        for shard in self.shards:
+            shard.crash()
+        self.commit_log.crash()
+
+    def recover(self, fault_hook=None) -> dict:
+        """Restart every shard independently, then cross-check.
+
+        Returns the aggregated recovery statistics with per-shard
+        details under ``"shards"``.  Raises
+        :class:`~repro.errors.RecoveryError` if a globally committed
+        transaction surfaced as a loser on any shard — impossible under
+        the crash contract, so it is checked, not handled.
+        """
+        self.commit_log.after_crash()
+        global_winners = {r.txn_id
+                          for r in self.commit_log.scan(CommitRecord)}
+        per_shard = []
+        for i in self.scheduler.order():
+            per_shard.append((i, self.shards[i].recover(
+                fault_hook=fault_hook)))
+        per_shard.sort(key=lambda item: item[0])
+
+        winners: set = set(global_winners)
+        losers: set = set()
+        totals = dict.fromkeys(
+            ("sectors_repaired", "parity_resynced", "parity_undone_pages",
+             "redo_applied", "log_undo_applied", "page_transfers"), 0)
+        for i, stats in per_shard:
+            winners.update(stats["winners"])
+            losers.update(stats["losers"])
+            for key in totals:
+                totals[key] += stats[key]
+            torn = global_winners.intersection(stats["losers"])
+            if torn:
+                raise RecoveryError(
+                    f"shard {i} lost globally committed transaction(s) "
+                    f"{sorted(torn)}: the group-commit crash contract "
+                    "was violated")
+        self._h("restart")
+        return {
+            "winners": sorted(winners),
+            "losers": sorted(losers - winners),
+            **totals,
+            "shards": {i: stats for i, stats in per_shard},
+        }
+
+    @property
+    def disks_per_shard(self) -> int:
+        return len(self.shards[0].array.disks)
+
+    @property
+    def num_disks(self) -> int:
+        """Disks across every shard (global disk-id space)."""
+        return self.num_shards * self.disks_per_shard
+
+    def _route_disk(self, disk_id: int) -> tuple:
+        """Global disk id -> (shard index, shard-local disk id).
+
+        Global ids enumerate shard 0's disks first, then shard 1's, …
+        """
+        if not 0 <= disk_id < self.num_disks:
+            raise ModelError(
+                f"disk {disk_id} outside 0..{self.num_disks - 1}")
+        return divmod(disk_id, self.disks_per_shard)
+
+    def media_failure(self, disk_id: int) -> None:
+        """Fail-stop one disk (global disk id; see :meth:`_route_disk`)."""
+        shard, local = self._route_disk(disk_id)
+        self.shards[shard].media_failure(local)
+
+    def media_recover(self, disk_id: int, on_lost_undo: str = "raise"):
+        """Rebuild one failed disk within its shard's parity domain."""
+        shard, local = self._route_disk(disk_id)
+        return self.shards[shard].media_recover(local,
+                                                on_lost_undo=on_lost_undo)
+
+    # -- inspection ----------------------------------------------------------
+
+    def disk_page(self, page: int) -> bytes:
+        shard, local = self._route(page)
+        return self.shards[shard].disk_page(local)
+
+    def committed_view(self, page: int) -> bytes:
+        shard, local = self._route(page)
+        return self.shards[shard].committed_view(local)
+
+    def verify_parity(self) -> list:
+        """(shard, group) pairs whose parity disagrees (should be [])."""
+        return [(i, group) for i, shard in enumerate(self.shards)
+                for group in shard.verify_parity()]
+
+    def statistics(self) -> dict:
+        """Aggregated monitoring snapshot plus sharding/commit extras."""
+        stats = {
+            "page_transfers": self.stats.total,
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "buffer_hit_ratio": self.buffer.stats.hit_ratio,
+            "buffer_steals": self.buffer.stats.steals,
+            "unlogged_steals": self.counters.unlogged_steals,
+            "logged_steals": self.counters.logged_steals,
+            "before_images_logged": self.counters.before_images_logged,
+            "promotions": self.counters.promotions,
+            "transactions_committed": self.counters.transactions_committed,
+            "transactions_aborted": self.counters.transactions_aborted,
+            "active_transactions": len(self.txns.active_transactions()),
+            "undo_log_bytes": sum(s.undo_log.size_bytes
+                                  for s in self.shards),
+            "redo_log_bytes": sum(s.redo_log.size_bytes
+                                  for s in self.shards),
+            "dirty_groups": sum(len(s.rda.dirty_set) for s in self.shards
+                                if s.rda is not None),
+            "shards": self.num_shards,
+            "flush_horizon": self.coordinator.flush_horizon,
+            "commit_log_bytes": self.commit_log.size_bytes,
+            "deferred_forces": self.coordinator.deferred_forces,
+            "batched_flushes": self.coordinator.flushes,
+        }
+        return stats

@@ -23,7 +23,19 @@ from .slotted_page import SlottedPage
 
 
 def verify_database(db) -> list:
-    """Run every check against ``db``; returns violation strings."""
+    """Run every check against ``db``; returns violation strings.
+
+    A :class:`~repro.db.sharded.ShardedDatabase` is verified shard by
+    shard (violations are prefixed with the shard index) plus its
+    global commit log's duplex integrity.
+    """
+    shards = getattr(db, "shards", None)
+    if shards is not None:
+        problems = [f"shard {i}: {problem}"
+                    for i, shard in enumerate(shards)
+                    for problem in verify_database(shard)]
+        problems += _check_log(db.commit_log)
+        return problems
     problems = []
     problems += _check_parity(db)
     problems += _check_twins(db)

@@ -25,12 +25,13 @@ uninstrumented-feeling hot paths stay hot.
 from .inspect import (aggregate_events, aggregate_trace_file, event_key,
                       format_cost_table, load_trace, model_expectation)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .tracer import (NULL_TRACER, JsonlSink, NullSink, RingBufferSink, Span,
-                     Tracer)
+from .tracer import (NULL_TRACER, JsonlSink, LabelledTracer, NullSink,
+                     RingBufferSink, Span, Tracer)
 
 __all__ = [
     "NULL_TRACER",
     "Tracer",
+    "LabelledTracer",
     "Span",
     "NullSink",
     "RingBufferSink",

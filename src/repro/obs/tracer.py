@@ -276,5 +276,47 @@ class Tracer:
         self.close()
 
 
+class LabelledTracer:
+    """A tracer view that stamps fixed attributes on every event.
+
+    Wraps (not subclasses) a :class:`Tracer`: the sink, sequence
+    numbers, and span stack stay shared, so events from several views
+    interleave into one coherent trace.  The sharded engine gives each
+    shard a ``LabelledTracer(tracer, shard=i)`` so one JSONL trace
+    carries every shard, distinguishable by label.
+    """
+
+    __slots__ = ("_inner", "_labels")
+
+    def __init__(self, inner, **labels) -> None:
+        self._inner = inner
+        self._labels = labels
+
+    @property
+    def enabled(self) -> bool:
+        return self._inner.enabled
+
+    @property
+    def events_emitted(self) -> int:
+        return self._inner.events_emitted
+
+    def emit(self, name: str, **attrs) -> None:
+        self._inner.emit(name, **{**self._labels, **attrs})
+
+    def emit_costed(self, name: str, window, **attrs) -> None:
+        self._inner.emit_costed(name, window, **{**self._labels, **attrs})
+
+    def span(self, name: str, stats=None, **attrs):
+        return self._inner.span(name, stats=stats,
+                                **{**self._labels, **attrs})
+
+    def start_span(self, name: str, stats=None, **attrs):
+        return self._inner.start_span(name, stats=stats,
+                                      **{**self._labels, **attrs})
+
+    def close(self) -> None:
+        self._inner.close()
+
+
 NULL_TRACER = Tracer(None)
 """Shared disabled tracer: the default for every instrumented component."""

@@ -111,12 +111,25 @@ class FaultPlan:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
 
 
+def engines_of(db) -> list:
+    """The single-engine databases behind ``db``: its shards for a
+    :class:`~repro.db.sharded.ShardedDatabase`, else ``[db]``."""
+    shards = getattr(db, "shards", None)
+    return list(shards) if shards is not None else [db]
+
+
 class FaultInjector:
     """Hooks one database's disks and log devices to a fault plan.
 
     With ``plan=None`` it records the write schedule; with a plan it
     replays, perturbing write ``crash_after`` and raising
     :class:`CrashPointReached` on the next one.
+
+    Works on both single engines and sharded facades: shard disks share
+    local ids 0..D-1, so the schedule records the shard-scoped alias
+    ``shard * D + disk_id`` (a plain :class:`Database` keeps its raw
+    ids), and the log list covers every shard's WAL plus the global
+    commit log.
     """
 
     def __init__(self, db, plan: FaultPlan | None = None) -> None:
@@ -126,7 +139,15 @@ class FaultInjector:
         self.schedule: list = []
         self.injected: WriteRecord | None = None
         self._damaged_log: list = []      # (LogDevice, page_index)
-        self._disks = {disk.disk_id: disk for disk in db.array.disks}
+        self._engines = engines_of(db)
+        self._disks = {}
+        self._disk_list = []              # (alias, disk), attach order
+        stride = max(len(e.array.disks) for e in self._engines)
+        for shard, engine in enumerate(self._engines):
+            for disk in engine.array.disks:
+                alias = shard * stride + disk.disk_id
+                self._disks[alias] = disk
+                self._disk_list.append((alias, disk))
         self._log_devices = {}
         # raw log-device ids come from a process-global counter, so the
         # schedule records a stable per-database alias (-1, -2, ...)
@@ -139,19 +160,30 @@ class FaultInjector:
                     -(len(self._device_alias) + 1)
 
     def _logs(self):
-        logs = [self.db.undo_log]
-        if self.db.redo_log is not self.db.undo_log:
-            logs.append(self.db.redo_log)
+        logs = []
+        for engine in self._engines:
+            logs.append(engine.undo_log)
+            if engine.redo_log is not engine.undo_log:
+                logs.append(engine.redo_log)
+        commit_log = getattr(self.db, "commit_log", None)
+        if commit_log is not None:
+            logs.append(commit_log)
         return logs
 
     def attach(self) -> None:
-        for disk in self.db.array.disks:
-            disk.fault_hook = self._on_disk_write
+        for alias, disk in self._disk_list:
+            disk.fault_hook = self._disk_hook(alias)
         for device in self._log_devices.values():
             device.on_page_write = self._on_log_write
 
+    def _disk_hook(self, alias: int):
+        # per-disk closure: the disk reports its *local* id, the
+        # schedule needs the shard-scoped alias
+        return lambda disk_id, slot, payload: self._on_disk_write(
+            alias, slot, payload)
+
     def detach(self) -> None:
-        for disk in self.db.array.disks:
+        for _alias, disk in self._disk_list:
             disk.fault_hook = None
         for device in self._log_devices.values():
             device.on_page_write = None
@@ -239,6 +271,42 @@ def default_fault_workload(transactions: int = 2, group_size: int = 4,
         ops.append(("write", t, page_of(t, 0), 2))
         if t > 0:
             ops.append(("write", t, page_of(t - 1, 0), 2 + t))
+        if t % 3 == 2:
+            ops.append(("abort", t))
+        else:
+            ops.append(("commit", t))
+    return ops
+
+
+def shard_aligned_fault_workload(shards: int, transactions: int = 4,
+                                 group_size: int = 4,
+                                 pages_per_txn: int = 2) -> list:
+    """A fault-sweep script for a K-way sharded database.
+
+    Transaction ``t`` writes only pages routing to shard ``t mod K``
+    (global page ``shard + K * local``), one per parity group of that
+    shard, and the cross-transaction overwrite targets transaction
+    ``t - K`` — the previous owner of the *same* shard.  Keeping every
+    transaction single-shard matters: the group-commit crash contract
+    makes acknowledged commits atomic, but a commit *interrupted by the
+    crash point* between shards may surface on some shards only, which
+    a multi-shard transaction would report as a partial state — exactly
+    the anomaly the sharded engine documents as out of scope.
+    """
+
+    def page_of(t: int, j: int) -> int:
+        shard = t % shards
+        local = (t // shards * pages_per_txn + j) * group_size
+        return shard + shards * local
+
+    ops: list = []
+    for t in range(transactions):
+        ops.append(("begin", t))
+        for j in range(pages_per_txn):
+            ops.append(("write", t, page_of(t, j), 1))
+        ops.append(("write", t, page_of(t, 0), 2))
+        if t >= shards:
+            ops.append(("write", t, page_of(t - shards, 0), 2 + t))
         if t % 3 == 2:
             ops.append(("abort", t))
         else:

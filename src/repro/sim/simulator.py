@@ -1,8 +1,11 @@
 """The workload driver: P-way concurrent transactions over a Database.
 
-Runs :class:`~repro.sim.workload.TransactionScript` streams with the
-round-robin interleaving a single-threaded discrete simulation allows:
-each step advances one transaction by one page access.  Lock waits
+Runs :class:`~repro.sim.workload.TransactionScript` streams under a
+deterministic round-robin interleaving (the same discipline the
+:class:`~repro.db.sharded.ShardScheduler` applies across shard
+engines): each step advances one transaction by one page access.  The
+driver is engine-agnostic — a single :class:`Database` or a K-way
+:class:`~repro.db.sharded.ShardedDatabase` plug in equally.  Lock waits
 suspend a transaction until its blocker finishes; deadlock victims are
 rolled back and counted.  The driver measures exactly what the paper's
 model predicts — page transfers per committed transaction — plus the

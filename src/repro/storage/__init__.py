@@ -10,6 +10,10 @@ Public surface:
 * :class:`~repro.storage.array.SingleParityArray` and
   :class:`~repro.storage.twin_array.TwinParityArray` implementing the
   small-write protocol, degraded reads and rebuild;
+* the :class:`~repro.storage.backend.StorageBackend` protocol and the
+  backend registry (:func:`~repro.storage.backend.create_backend`,
+  :func:`~repro.storage.backend.register_backend`) the database engine
+  constructs its array through;
 * :class:`~repro.storage.iostats.IOStats` page-transfer accounting;
 * vectorized page kernels with runtime tier selection
   (:mod:`repro.storage.kernels`: :func:`~repro.storage.kernels.active_tier`,
@@ -19,6 +23,9 @@ Public surface:
 """
 
 from .array import DiskArray, SingleParityArray
+from .backend import (BackendSpec, StorageBackend, TwinBackend, backend_names,
+                      backend_spec, create_backend, register_backend,
+                      resolve_backend_name)
 from .disk import SimulatedDisk
 from .geometry import (Geometry, PhysAddr, Placement, parity_striping_geometry,
                        raid5_geometry)
@@ -44,6 +51,14 @@ __all__ = [
     "use_kernel",
     "DiskArray",
     "SingleParityArray",
+    "BackendSpec",
+    "StorageBackend",
+    "TwinBackend",
+    "backend_names",
+    "backend_spec",
+    "create_backend",
+    "register_backend",
+    "resolve_backend_name",
     "SimulatedDisk",
     "Geometry",
     "PhysAddr",

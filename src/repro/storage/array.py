@@ -40,6 +40,11 @@ class DiskArray:
         metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
     """
 
+    #: capability flag checked by the recovery layer instead of
+    #: isinstance/hasattr probes; :class:`~repro.storage.twin_array.
+    #: TwinParityArray` overrides it to True
+    supports_twins = False
+
     def __init__(self, geometry: Geometry, stats: IOStats | None = None,
                  tracer=None, metrics=None) -> None:
         self.geometry = geometry
@@ -161,6 +166,23 @@ class DiskArray:
                 self.disks[disk_id].write_with_header(addr.slot, parity, ParityHeader())
                 written += 1
         return written
+
+    def rewrite_parity(self, group: int, data: list,
+                       disk_id: int | None = None) -> None:
+        """Rewrite the parity page(s) of ``group`` from its data payloads.
+
+        Used by restart parity resync and sector repair, which already
+        hold the group's data in hand.  With ``disk_id`` set, only the
+        parity page(s) living on that disk are rewritten (sector repair);
+        otherwise every parity address of the group is refreshed.
+        Backends with richer parity (RAID-6's P+Q) override this to write
+        each page its own encoding.
+        """
+        parity = compute_parity(data)
+        for addr in self.geometry.parity_addresses(group):
+            if disk_id is not None and addr.disk != disk_id:
+                continue
+            self.disks[addr.disk].write(addr.slot, parity)
 
     def _check_disk(self, disk_id: int) -> None:
         if not 0 <= disk_id < len(self.disks):

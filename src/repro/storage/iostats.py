@@ -62,6 +62,16 @@ class IOStats:
         """Total page transfers so far."""
         return self.reads + self.writes
 
+    @property
+    def log_transfers(self) -> int:
+        """Transfers on log devices (negative disk ids — the
+        :class:`~repro.wal.log.LogManager` convention), the quantity
+        group commit amortizes."""
+        return (sum(count for disk_id, count in self.per_disk_reads.items()
+                    if disk_id < 0)
+                + sum(count for disk_id, count in self.per_disk_writes.items()
+                      if disk_id < 0))
+
     def snapshot(self) -> TransferCounts:
         """Capture current totals for later differencing."""
         return TransferCounts(self.reads, self.writes)

@@ -220,6 +220,16 @@ class Raid6Array(DiskArray):
             self.metrics.counter("array.rebuilds").inc()
         return rebuilt
 
+    def rewrite_parity(self, group: int, data: list,
+                       disk_id: int | None = None) -> None:
+        """Rewrite P (XOR) and/or Q (Reed-Solomon) of ``group`` from its
+        data payloads, optionally restricted to the parity on ``disk_id``."""
+        p_addr, q_addr = self._p_addr(group), self._q_addr(group)
+        if disk_id is None or p_addr.disk == disk_id:
+            self.disks[p_addr.disk].write(p_addr.slot, xor_pages(*data))
+        if disk_id is None or q_addr.disk == disk_id:
+            self.disks[q_addr.disk].write(q_addr.slot, q_parity(list(data)))
+
     # -- verification ----------------------------------------------------------------------
 
     def _group_consistent(self, group: int) -> bool:

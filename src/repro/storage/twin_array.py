@@ -116,6 +116,8 @@ def select_current_twin(headers: tuple, committed_txns=None) -> int:
 class TwinParityArray(DiskArray):
     """Disk array with two parity pages per group (RDA substrate)."""
 
+    supports_twins = True
+
     def __init__(self, geometry: Geometry, stats=None, tracer=None,
                  metrics=None) -> None:
         if not geometry.twin:
@@ -179,6 +181,25 @@ class TwinParityArray(DiskArray):
         return disk.peek(addr.slot), disk.peek_header(addr.slot)
 
     # -- the small-write protocol -----------------------------------------------------
+
+    def write_page(self, page: int, new_data: bytes,
+                   old_data: bytes | None = None) -> None:
+        """Generic small write (the :class:`StorageBackend` surface):
+        update the page and the group's *current* parity twin, stamping
+        it COMMITTED.  This is the parity-tracking write a non-RDA
+        engine performs on a twin substrate — twin roles never change.
+        RDA's steal/undo machinery bypasses this and drives
+        :meth:`small_write` with explicit :class:`TwinUpdate` lists.
+        """
+        group = self.geometry.group_of(page)
+        headers = tuple(self.peek_twin(group, which)[1]
+                        for which in range(2))
+        current = select_current_twin(headers)
+        header = ParityHeader(timestamp=self.next_timestamp(),
+                              state=TwinState.COMMITTED)
+        self.small_write(page, new_data,
+                         [TwinUpdate(current, current, header)],
+                         old_data=old_data)
 
     def small_write(self, page: int, new_data: bytes, updates: list,
                     old_data: bytes | None = None,

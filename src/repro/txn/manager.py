@@ -35,10 +35,22 @@ class TransactionManager:
                             if metrics is not None else None)
         self._spans: dict = {}
 
-    def begin(self) -> Transaction:
-        """Start a new transaction (the BOT event)."""
-        txn = Transaction(txn_id=self._next_id)
-        self._next_id += 1
+    def begin(self, txn_id: int | None = None) -> Transaction:
+        """Start a new transaction (the BOT event).
+
+        ``txn_id`` pins a caller-assigned id (sharded engines keep one
+        global id across shards); the auto-allocator skips past it so
+        ids stay unique either way.
+        """
+        if txn_id is None:
+            txn_id = self._next_id
+            self._next_id += 1
+        else:
+            if txn_id in self._transactions:
+                raise InvalidTransactionState(
+                    f"transaction id {txn_id} already registered")
+            self._next_id = max(self._next_id, txn_id + 1)
+        txn = Transaction(txn_id=txn_id)
         self._transactions[txn.txn_id] = txn
         if self.tracer.enabled:
             self._spans[txn.txn_id] = self.tracer.start_span(

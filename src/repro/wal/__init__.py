@@ -1,5 +1,6 @@
 """Write-ahead logging: typed records and the duplexed log manager."""
 
+from .group_commit import GroupCommitCoordinator, GroupCommitLog
 from .log import DEFAULT_LOG_PAGE_SIZE, LogDevice, LogManager
 from .records import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
                       LogRecord, NULL_LSN, PageAfterImage, PageBeforeImage,
@@ -8,6 +9,8 @@ from .records import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
 
 __all__ = [
     "DEFAULT_LOG_PAGE_SIZE",
+    "GroupCommitCoordinator",
+    "GroupCommitLog",
     "LogDevice",
     "LogManager",
     "AbortRecord",

@@ -39,6 +39,15 @@ class LogDevice:
         self.stats = stats
         self._data = bytearray()
         self._pages_charged = 0
+        # Partial-page accounting mode.  False (the legacy model): a
+        # forced partial page is charged once and later bytes landing in
+        # it ride free — an idealized batching assumption baked into the
+        # paper-figure cross-validation.  True (used by GroupCommitLog):
+        # every force containing new bytes rewrites the current partial
+        # page and is charged again, the physical cost per-commit
+        # forcing pays and group commit exists to amortize.
+        self.reforce_partial = False
+        self._forced_len = 0
         # fault-injection seam: called with (device_id, page_index) just
         # before a log page becomes durable; raising aborts the flush, so
         # the page never counts toward durable_size and is removed by
@@ -57,6 +66,17 @@ class LogDevice:
 
     def force(self) -> None:
         """Flush the current partial page (WAL rule at commit)."""
+        if self.reforce_partial:
+            partial_start = (len(self._data) // self.page_size) * self.page_size
+            if len(self._data) > partial_start and \
+                    len(self._data) > self._forced_len:
+                if self.on_page_write is not None:
+                    self.on_page_write(self.device_id,
+                                       len(self._data) // self.page_size)
+                self.stats.record_write(self.device_id,
+                                        self.transfers_per_page)
+            self._forced_len = len(self._data)
+            return
         if len(self._data) > self._pages_charged * self.page_size:
             if self.on_page_write is not None:
                 self.on_page_write(self.device_id, self._pages_charged)
@@ -74,12 +94,15 @@ class LogDevice:
     @property
     def durable_size(self) -> int:
         """Bytes guaranteed on disk (filled/forced pages only)."""
-        return min(len(self._data), self._pages_charged * self.page_size)
+        return min(len(self._data),
+                   max(self._pages_charged * self.page_size,
+                       self._forced_len))
 
     def crash_truncate(self) -> int:
         """A crash loses the unforced partial page; returns bytes lost."""
         lost = len(self._data) - self.durable_size
         del self._data[self.durable_size:]
+        self._forced_len = min(self._forced_len, len(self._data))
         return lost
 
     def reset_to(self, contents: bytes) -> None:
@@ -93,6 +116,7 @@ class LogDevice:
         """
         self._data = bytearray(contents)
         self._pages_charged = -(-len(self._data) // self.page_size)
+        self._forced_len = len(self._data) if self.reforce_partial else 0
 
 
 class LogManager:
@@ -167,6 +191,14 @@ class LogManager:
     @property
     def forced_lsn(self) -> int:
         """Highest LSN known durable."""
+        return self._forced_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN that survives a crash.  For a plain log this is
+        the forced LSN; a group-commit log with a batched force pending
+        extends it to the tail (the coordinator drains before any crash
+        truncates it — see :mod:`repro.wal.group_commit`)."""
         return self._forced_lsn
 
     @property

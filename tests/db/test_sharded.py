@@ -1,0 +1,251 @@
+"""The K-way sharded engine: routing, scheduler, commit/recovery
+semantics, facades, and the group-commit crash contract.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import Database, ShardedDatabase, ShardScheduler, preset, \
+    shard_config
+from repro.db.verify import verify_database
+from repro.errors import ModelError, TransactionError
+from repro.obs import MetricsRegistry
+from repro.storage import make_page
+
+
+def make_db(shards=2, flush_horizon=1, name="page-force-rda", **extra):
+    overrides = dict(group_size=4, num_groups=8, buffer_capacity=8)
+    overrides.update(extra)
+    return ShardedDatabase(preset(name, **overrides), shards=shards,
+                           flush_horizon=flush_horizon)
+
+
+class TestScheduler:
+    def test_rotating_round_robin(self):
+        scheduler = ShardScheduler(3)
+        assert scheduler.order() == [0, 1, 2]
+        assert scheduler.order() == [1, 2, 0]
+        assert scheduler.order() == [2, 0, 1]
+        assert scheduler.order() == [0, 1, 2]
+
+    def test_each_order_is_a_permutation(self):
+        scheduler = ShardScheduler(5)
+        for _ in range(11):
+            assert sorted(scheduler.order()) == [0, 1, 2, 3, 4]
+
+
+class TestConfigAndRouting:
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ModelError):
+            make_db(shards=0)
+
+    def test_shard_config_splits_groups_and_buffer(self):
+        config = preset("page-force-rda", num_groups=8, buffer_capacity=8)
+        per_shard = shard_config(config, 4)
+        assert per_shard.num_groups == 2
+        assert per_shard.buffer_capacity == 2
+
+    def test_num_data_pages_covers_all_shards(self):
+        db = make_db(shards=2)
+        assert db.num_data_pages == \
+            2 * db.shards[0].num_data_pages
+
+    def test_page_out_of_range(self):
+        db = make_db(shards=2)
+        txn = db.begin()
+        with pytest.raises(ModelError):
+            db.read_page(txn, db.num_data_pages)
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_routing_partitions_the_page_space(self, shards, data):
+        """Every global page id maps to exactly one (shard, local) cell
+        and the map is a bijection: global_page inverts _route, no two
+        pages collide, and shard ownership is page % K."""
+        db = make_db(shards=shards)
+        pages = data.draw(st.lists(
+            st.integers(min_value=0, max_value=db.num_data_pages - 1),
+            min_size=1, max_size=30))
+        seen = {}
+        for page in pages:
+            shard, local = db._route(page)
+            assert shard == page % shards
+            assert 0 <= local < db.shards[shard].num_data_pages
+            assert db.global_page(shard, local) == page
+            if (shard, local) in seen:
+                assert seen[(shard, local)] == page
+            seen[(shard, local)] = page
+
+    def test_routing_is_exhaustive_and_disjoint(self):
+        db = make_db(shards=4)
+        cells = {db._route(page) for page in range(db.num_data_pages)}
+        assert len(cells) == db.num_data_pages  # injective
+        per_shard = {}
+        for shard, local in cells:
+            per_shard.setdefault(shard, set()).add(local)
+        for shard, locals_ in per_shard.items():
+            # each shard owns a dense prefix of its local space
+            assert locals_ == set(range(len(locals_)))
+
+
+class TestTransactions:
+    def test_commit_visible_on_every_shard(self):
+        db = make_db(shards=2)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"shard zero"))
+        db.write_page(txn, 1, make_page(b"shard one"))
+        db.commit(txn)
+        assert db.disk_page(0) == make_page(b"shard zero") or \
+            db.committed_view(0) == make_page(b"shard zero")
+        assert db.committed_view(1) == make_page(b"shard one")
+        assert db.counters.transactions_committed == 1
+
+    def test_abort_rolls_back_everywhere(self):
+        db = make_db(shards=2)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"keep"))
+        db.commit(txn)
+        loser = db.begin()
+        db.write_page(loser, 0, make_page(b"drop0"))
+        db.write_page(loser, 1, make_page(b"drop1"))
+        db.abort(loser)
+        assert db.committed_view(0) == make_page(b"keep")
+        from repro.storage.page import ZERO_PAGE
+        assert db.committed_view(1) == ZERO_PAGE
+
+    def test_global_ids_pinned_on_all_shards(self):
+        db = make_db(shards=3)
+        first, second = db.begin(), db.begin()
+        assert first != second
+        for shard in db.shards:
+            assert shard.txns.get(first).is_active
+            assert shard.txns.get(second).is_active
+        db.commit(first)
+        db.abort(second)
+
+    def test_unknown_txn_rejected(self):
+        db = make_db(shards=2)
+        with pytest.raises(TransactionError):
+            db.commit(999)
+
+
+class TestCrashRecovery:
+    def test_crash_contract_drains_acknowledged_commits(self):
+        """With a batched force pending, a crash must keep every
+        acknowledged commit durable on every shard."""
+        db = make_db(shards=2, flush_horizon=8)
+        for i in range(3):
+            txn = db.begin()
+            db.write_page(txn, i, make_page(b"txn %d" % i))
+            db.commit(txn)
+        # horizon not reached: forces are still pending in the window
+        assert db.coordinator.pending_logs > 0
+        db.crash()
+        stats = db.recover()
+        assert set(stats["winners"]) == {1, 2, 3}
+        assert stats["losers"] == []
+        for i in range(3):
+            assert db.committed_view(i) == make_page(b"txn %d" % i)
+        assert verify_database(db) == []
+
+    def test_in_flight_transaction_is_a_loser_everywhere(self):
+        db = make_db(shards=2, flush_horizon=4)
+        winner = db.begin()
+        db.write_page(winner, 0, make_page(b"win"))
+        db.commit(winner)
+        loser = db.begin()
+        db.write_page(loser, 2, make_page(b"lose0"))
+        db.write_page(loser, 3, make_page(b"lose1"))
+        db.crash()
+        stats = db.recover()
+        assert winner in stats["winners"]
+        assert loser in stats["losers"]
+        from repro.storage.page import ZERO_PAGE
+        assert db.committed_view(2) == ZERO_PAGE
+        assert db.committed_view(3) == ZERO_PAGE
+        assert db.committed_view(0) == make_page(b"win")
+
+    def test_recover_reports_per_shard_details(self):
+        db = make_db(shards=2)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"x"))
+        db.commit(txn)
+        db.crash()
+        stats = db.recover()
+        assert sorted(stats["shards"]) == [0, 1]
+        assert "page_transfers" in stats
+
+
+class TestMediaFailures:
+    def test_disk_ids_route_across_shards(self):
+        db = make_db(shards=2)
+        assert db.num_disks == 2 * db.disks_per_shard
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"payload"))
+        db.commit(txn)
+        victim = db.disks_per_shard  # first disk of shard 1
+        db.media_failure(victim)
+        report = db.media_recover(victim)
+        assert report is not None
+        assert db.verify_parity() == []
+
+    def test_verify_parity_labels_shard(self):
+        db = make_db(shards=2)
+        assert db.verify_parity() == []
+
+
+class TestFacades:
+    def test_statistics_keys(self):
+        db = make_db(shards=2, flush_horizon=4)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"s"))
+        db.commit(txn)
+        stats = db.statistics()
+        assert stats["shards"] == 2
+        assert stats["flush_horizon"] == 4
+        for key in ("page_transfers", "deferred_forces", "batched_flushes",
+                    "commit_log_bytes", "transactions_committed"):
+            assert key in stats
+
+    def test_buffer_facade_globalizes_resident_pages(self):
+        db = make_db(shards=2)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"a"))
+        db.write_page(txn, 1, make_page(b"b"))
+        db.commit(txn)
+        resident = db.buffer.resident_pages()
+        assert 0 in resident and 1 in resident
+        assert 0 in db.buffer and 1 in db.buffer
+
+    def test_metrics_snapshot_carries_shard_labels(self):
+        metrics = MetricsRegistry()
+        config = preset("page-force-rda", group_size=4, num_groups=8,
+                        buffer_capacity=8)
+        db = ShardedDatabase(config, shards=2, metrics=metrics)
+        txn = db.begin()
+        db.write_page(txn, 0, make_page(b"m"))
+        db.commit(txn)
+        counters = db.metrics.snapshot()["counters"]
+        shard_labelled = [k for k in counters if "shard=" in k]
+        assert shard_labelled, counters
+        assert any("shard=0" in k for k in shard_labelled)
+
+    def test_k1_matches_single_engine_committed_state(self):
+        """A 1-way sharded engine is the legacy engine behind a facade."""
+        config = preset("page-force-rda", group_size=4, num_groups=8,
+                        buffer_capacity=8)
+        single = Database(config)
+        sharded = ShardedDatabase(config, shards=1, flush_horizon=1)
+        for db in (single, sharded):
+            txn = db.begin()
+            db.write_page(txn, 0, make_page(b"same"))
+            db.commit(txn)
+            loser = db.begin()
+            db.write_page(loser, 1, make_page(b"gone"))
+            db.crash()
+            db.recover()
+        assert single.num_data_pages == sharded.num_data_pages
+        for page in range(single.num_data_pages):
+            assert single.committed_view(page) == sharded.committed_view(page)
+        # costs differ only by the global commit log's records/forces
+        assert sharded.stats.total >= single.stats.total

@@ -140,3 +140,63 @@ class TestCommands:
     def test_check_rejects_unknown_preset(self, capsys):
         assert main(["check", "--presets", "page-force-warp"]) == 2
         assert "unknown presets" in capsys.readouterr().out
+
+
+class TestShardedAndBackendFlags:
+    def test_simulate_sharded_with_group_commit(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--num-groups", "12",
+                     "--buffer", "16", "--shards", "2",
+                     "--group-commit", "4", "--crash-every", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards        : 2" in out
+        assert "group commit H=4" in out
+        assert "clean" in out
+
+    def test_simulate_backend_raid6(self, capsys):
+        code = main(["simulate", "--preset", "page-force-log",
+                     "--backend", "raid6", "--transactions", "30",
+                     "--num-groups", "12", "--buffer", "16"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_simulate_rda_over_raid6_is_a_clean_error(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--backend", "raid6", "--transactions", "10"])
+        assert code == 2
+        assert "twin" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "floppy"])
+
+    def test_simulate_accepts_raid6_preset(self, capsys):
+        code = main(["simulate", "--preset", "page-force-raid6",
+                     "--transactions", "30", "--num-groups", "12",
+                     "--buffer", "16"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fault_sweep_sharded(self, capsys):
+        code = main(["simulate", "--fault-sweep", "--shards", "2",
+                     "--group-commit", "2", "--fault-transactions", "2",
+                     "--group-size", "4", "--num-groups", "8",
+                     "--buffer", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violation" in out or "recovered" in out
+
+    def test_check_sharded_cells(self, capsys):
+        code = main(["check", "--presets", "page-force-rda",
+                     "--transactions", "10", "--shards", "2"])
+        assert code == 0
+        assert "page-force-rda@k2" in capsys.readouterr().out
+
+    def test_check_extended_matrix(self, capsys):
+        code = main(["check", "--extended", "--transactions", "8",
+                     "--crash-every", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "page-force-raid6" in out
+        assert "@k2" in out and "@k4" in out
