@@ -18,12 +18,13 @@ logging and parity protection — the paper's central decision point.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..errors import BufferFullError, PageNotPinnedError
 from ..obs.tracer import NULL_TRACER
 from .frame import Frame
-from .replacement import make_policy
+from .replacement import LRUPolicy, make_policy
 
 
 @dataclass
@@ -89,6 +90,17 @@ class BufferPool:
         self._frames = [Frame() for _ in range(capacity)]
         self._table: dict = {}
         self.stats = BufferStats()
+        # free-frame min-heap: the legacy linear probe always picked the
+        # lowest-indexed free frame, and a heap preserves that choice in
+        # O(log B) instead of O(B) per miss
+        self._free_heap = list(range(capacity))
+        # txn id -> resident page ids it has uncommitted changes to;
+        # turns flush_pages_of/clear_modifier from full-pool scans into
+        # per-transaction lookups
+        self._txn_pages: dict = {}
+        # memoized sorted(self._table); dropped whenever residency changes
+        self._resident_cache = None
+        self._writeback_batch = None
 
     # -- lookups -----------------------------------------------------------------
 
@@ -97,7 +109,10 @@ class BufferPool:
 
     def resident_pages(self) -> list:
         """Sorted ids of pages currently buffered."""
-        return sorted(self._table)
+        cached = self._resident_cache
+        if cached is None:
+            cached = self._resident_cache = sorted(self._table)
+        return list(cached)
 
     def is_dirty(self, page_id: int) -> bool:
         """True if the page is buffered and dirty."""
@@ -115,8 +130,14 @@ class BufferPool:
 
     def get_page(self, page_id: int) -> bytes:
         """Return the page's current contents, loading it on a miss."""
-        frame = self._frame_for(page_id)
-        return frame.payload
+        index = self._table.get(page_id)
+        if index is not None:            # hit path, inlined
+            self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            self._policy.touch(index)
+            return self._frames[index].payload
+        return self._frame_for(page_id).payload
 
     def put_page(self, page_id: int, payload: bytes,
                  txn_id: int | None = None) -> None:
@@ -126,11 +147,24 @@ class BufferPool:
         changes that are already durable-equivalent (e.g. recovery
         writes).  The page is loaded first if absent so its frame exists.
         """
-        frame = self._frame_for(page_id, load=False)
+        index = self._table.get(page_id)
+        if index is not None:
+            self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
+            self._policy.touch(index)
+            frame = self._frames[index]
+        else:
+            frame = self._frame_for(page_id, load=False)
         frame.payload = bytes(payload)
         frame.dirty = True
         if txn_id is not None:
             frame.modifiers.add(txn_id)
+            pages = self._txn_pages.get(txn_id)
+            if pages is None:
+                self._txn_pages[txn_id] = {page_id}
+            else:
+                pages.add(page_id)
 
     def pin(self, page_id: int) -> bytes:
         """Load (if needed) and pin the page; returns its contents."""
@@ -147,6 +181,36 @@ class BufferPool:
 
     # -- flushing and invalidation ------------------------------------------------------
 
+    def set_batch_writeback(self, writeback_batch_fn) -> None:
+        """Enable commit-window batching: ``flush_pages_of`` and
+        ``flush_all_dirty`` hand the whole window of dirty pages —
+        ``[(page_id, payload, modifiers), ...]`` in frame order — to
+        ``writeback_batch_fn`` in one call.  The callee writes each page
+        back and calls :meth:`mark_clean` per page as it goes, so frame
+        state tracks the write schedule exactly as on the per-page path.
+        """
+        self._writeback_batch = writeback_batch_fn
+
+    def mark_clean(self, page_id: int) -> None:
+        """The page was just written back (batched path): its frame
+        stays resident and becomes clean."""
+        index = self._table.get(page_id)
+        if index is None:
+            return
+        frame = self._frames[index]
+        frame.dirty = False
+        if frame.modifiers:
+            self._drop_modifiers(frame)
+
+    def _drop_modifiers(self, frame: Frame) -> None:
+        for txn_id in frame.modifiers:
+            pages = self._txn_pages.get(txn_id)
+            if pages is not None:
+                pages.discard(frame.page_id)
+                if not pages:
+                    del self._txn_pages[txn_id]
+        frame.modifiers.clear()
+
     def flush_page(self, page_id: int) -> bool:
         """Write back the page if buffered and dirty; returns True if a
         write-back happened.  The frame stays resident and becomes clean."""
@@ -158,21 +222,45 @@ class BufferPool:
             return False
         self._writeback(page_id, frame.payload, frozenset(frame.modifiers))
         frame.dirty = False
-        frame.modifiers.clear()
+        if frame.modifiers:
+            self._drop_modifiers(frame)
         return True
 
     def flush_pages_of(self, txn_id: int) -> list:
         """FORCE discipline: write back every page the transaction has
         modified (and not yet stolen).  Returns the page ids flushed."""
-        flushed = []
-        for frame in list(self._frames):
-            if frame.in_use and txn_id in frame.modifiers:
-                self.flush_page(frame.page_id)
-                flushed.append(frame.page_id)
+        pages = self._txn_pages.get(txn_id)
+        if not pages:
+            return []
+        table = self._table
+        flushed = sorted(pages, key=table.__getitem__)   # frame order
+        if self._writeback_batch is not None:
+            entries = []
+            for page_id in flushed:
+                frame = self._frames[table[page_id]]
+                if frame.dirty:
+                    entries.append((page_id, frame.payload,
+                                    frozenset(frame.modifiers)))
+            if entries:
+                self._writeback_batch(entries)
+            return flushed
+        for page_id in flushed:
+            self.flush_page(page_id)
         return flushed
 
     def flush_all_dirty(self) -> list:
         """Checkpoint helper: write back every dirty frame."""
+        if self._writeback_batch is not None:
+            entries = []
+            flushed = []
+            for frame in self._frames:
+                if frame.in_use and frame.dirty:
+                    entries.append((frame.page_id, frame.payload,
+                                    frozenset(frame.modifiers)))
+                    flushed.append(frame.page_id)
+            if entries:
+                self._writeback_batch(entries)
+            return flushed
         flushed = []
         for frame in list(self._frames):
             if frame.in_use and frame.dirty:
@@ -183,8 +271,13 @@ class BufferPool:
     def clear_modifier(self, txn_id: int) -> None:
         """Commit bookkeeping: the transaction's buffered changes are no
         longer *uncommitted* (frames stay dirty for later write-back)."""
-        for frame in self._frames:
-            frame.modifiers.discard(txn_id)
+        pages = self._txn_pages.pop(txn_id, None)
+        if not pages:
+            return
+        for page_id in pages:
+            index = self._table.get(page_id)
+            if index is not None:
+                self._frames[index].modifiers.discard(txn_id)
 
     def invalidate(self, page_id: int) -> None:
         """Drop the buffered copy without writing it back.
@@ -195,8 +288,13 @@ class BufferPool:
         index = self._table.pop(page_id, None)
         if index is None:
             return
+        self._resident_cache = None
         self._policy.forget(index)
-        self._frames[index].clear()
+        frame = self._frames[index]
+        if frame.modifiers:
+            self._drop_modifiers(frame)
+        frame.clear()
+        heapq.heappush(self._free_heap, index)
 
     def invalidate_all(self) -> None:
         """Simulate losing main memory in a crash."""
@@ -229,12 +327,15 @@ class BufferPool:
         frame.pin_count = 0
         frame.modifiers = set()
         self._table[page_id] = index
+        self._resident_cache = None
         self._policy.touch(index)
         return frame
 
     def _free_frame(self) -> int:
-        for index, frame in enumerate(self._frames):
-            if not frame.in_use:
+        heap = self._free_heap
+        while heap:
+            index = heapq.heappop(heap)
+            if not self._frames[index].in_use:
                 return index
         return self._evict()
 
@@ -248,14 +349,35 @@ class BufferPool:
             out.append(index)
         return out
 
-    def _evict(self) -> int:
+    def _choose_victim(self) -> int:
+        policy = self._policy
+        if type(policy) is LRUPolicy:
+            # every in-use frame is LRU-tracked (touch follows every
+            # load), so the first tracked frame passing the predicate
+            # is the same victim choose_victim would pick — without
+            # materializing the candidate list
+            steal = self.steal
+            for index in policy.iter_order():
+                frame = self._frames[index]
+                if frame.pin_count > 0:
+                    continue
+                if frame.dirty and not steal and frame.modifiers:
+                    continue
+                return index
+            raise BufferFullError(
+                "buffer full: every frame is pinned"
+                + ("" if steal else " or protected by NO-STEAL")
+            )
         candidates = self._evictable()
         if not candidates:
             raise BufferFullError(
                 "buffer full: every frame is pinned"
                 + ("" if self.steal else " or protected by NO-STEAL")
             )
-        index = self._policy.choose_victim(candidates)
+        return policy.choose_victim(candidates)
+
+    def _evict(self) -> int:
+        index = self._choose_victim()
         frame = self._frames[index]
         self.stats.evictions += 1
         stolen = frame.dirty and frame.uncommitted
@@ -273,6 +395,9 @@ class BufferPool:
             self._writeback(frame.page_id, frame.payload,
                             frozenset(frame.modifiers))
         del self._table[frame.page_id]
+        self._resident_cache = None
         self._policy.forget(index)
+        if frame.modifiers:
+            self._drop_modifiers(frame)
         frame.clear()
         return index

@@ -63,6 +63,17 @@ class LRUPolicy(ReplacementPolicy):
                 return frame_index
         raise AssertionError("unreachable: every candidate is tracked")
 
+    def iter_order(self):
+        """Tracked frame indices, least recently used first.
+
+        The pool's eviction fast path walks this instead of building the
+        full evictable-candidate list: every in-use frame is tracked
+        (``touch`` immediately follows every load), so the first frame
+        in LRU order that passes the evictability predicate is exactly
+        the frame :meth:`choose_victim` would have picked.
+        """
+        return iter(self._order)
+
 
 class ClockPolicy(ReplacementPolicy):
     """Second-chance: sweep a hand, clearing reference bits, and evict

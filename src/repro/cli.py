@@ -30,8 +30,8 @@ from .db import (Database, ShardedDatabase, all_preset_names,
 from .errors import ModelError
 from .model import figures as figure_module
 from .model.reliability import paper_motivation_table
-from .obs import (JsonlSink, MetricsRegistry, Tracer, aggregate_trace_file,
-                  format_cost_table)
+from .obs import (BufferedJsonlSink, MetricsRegistry, Tracer,
+                  aggregate_trace_file, format_cost_table)
 from .sim import Simulator, WorkloadSpec
 from .storage import backend_names, make_page
 
@@ -66,7 +66,7 @@ def _cmd_simulate(args) -> int:
         overrides["backend"] = args.backend
     if args.fault_sweep:
         return _cmd_fault_sweep(args, overrides)
-    tracer = (Tracer(JsonlSink(args.trace_out))
+    tracer = (Tracer(BufferedJsonlSink(args.trace_out))
               if args.trace_out is not None else None)
     metrics = (MetricsRegistry()
                if args.metrics_out is not None or args.trace_out is not None
@@ -86,8 +86,22 @@ def _cmd_simulate(args) -> int:
     simulator = Simulator(db, spec, seed=args.seed)
     if simulator.record_mode:
         simulator.seed_records()
-    report = simulator.run(args.transactions,
-                           crash_every=args.crash_every)
+    if args.profile is not None:
+        import cProfile
+        import pstats
+        import sys as _sys
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = simulator.run(args.transactions,
+                               crash_every=args.crash_every)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=_sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+        print(f"profile       : stats -> {args.profile}")
+    else:
+        report = simulator.run(args.transactions,
+                               crash_every=args.crash_every)
     print(f"configuration : {db.config.algorithm_name}")
     if args.shards > 1:
         stats = db.statistics()
@@ -131,7 +145,7 @@ def _cmd_fault_sweep(args, overrides) -> int:
     else:
         ops = default_fault_workload(transactions=args.fault_transactions,
                                      group_size=config.group_size)
-    tracer = (Tracer(JsonlSink(args.trace_out))
+    tracer = (Tracer(BufferedJsonlSink(args.trace_out))
               if args.trace_out is not None else None)
 
     def make_db():
@@ -315,6 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--checkpoint-interval", type=float, default=400)
     simulate.add_argument("--crash-every", type=int, default=None)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--profile", metavar="FILE", nargs="?",
+                          const="simulate.prof", default=None,
+                          help="profile the run with cProfile: dump stats "
+                               "to FILE (default simulate.prof) and print "
+                               "the top 20 cumulative entries")
     simulate.add_argument("--trace-out", metavar="FILE", default=None,
                           help="record a JSONL event trace to FILE")
     simulate.add_argument("--metrics-out", metavar="FILE", default=None,

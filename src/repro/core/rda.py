@@ -30,7 +30,8 @@ from __future__ import annotations
 from ..errors import ParityGroupError, RecoveryError
 from ..storage.page import (NO_PAGE, NO_TXN, ParityHeader, TwinState,
                             compute_parity, xor_pages)
-from ..storage.twin_array import (DirtyGroupInfo, TwinParityArray, TwinUpdate,
+from ..storage.twin_array import (BatchTwinWrite, DirtyGroupInfo,
+                                  TwinParityArray, TwinUpdate,
                                   select_current_twin)
 from .parity_group import DirtyEntry, DirtySet
 
@@ -51,6 +52,8 @@ class RDAManager:
         self.metrics = array.metrics
         self._g_dirty = (self.metrics.gauge("rda.dirty_groups")
                          if self.metrics is not None else None)
+        self._m_unlogged = (self.metrics.counter("rda.unlogged_steals")
+                            if self.metrics is not None else None)
         self._headers: dict = {}       # group -> [header0, header1] cache
         self._current: dict = {}       # group -> current twin index (the bit map)
         self.barrier_hook = None       # conformance seam (repro.check)
@@ -156,8 +159,8 @@ class RDAManager:
         if self.tracer.enabled:
             self.tracer.emit("rda.group_dirty", group=group, page=page,
                              txn=txn_id)
-        if self.metrics is not None:
-            self.metrics.counter("rda.unlogged_steals").inc()
+        if self._m_unlogged is not None:
+            self._m_unlogged.inc()
 
     def _resteal(self, entry: DirtyEntry, payload: bytes,
                  old_data: bytes | None) -> None:
@@ -175,6 +178,94 @@ class RDAManager:
             group=entry.group, txn_id=entry.txn_id, page_id=entry.page_id,
             page_index=entry.page_index, working_twin=which,
             working_timestamp=stamp))
+
+    def write_batch(self, items: list, on_page=None) -> None:
+        """A commit window of write-backs, batched through
+        :meth:`~repro.storage.twin_array.TwinParityArray.small_write_batch`.
+
+        ``items`` carry ``kind`` (``"steal"`` — an unlogged first steal
+        or re-steal — or ``"committed"`` — a clean-group committed
+        write-back), ``page``, ``group``, ``payload``, ``old`` (buffered
+        before-image or None) and ``txn`` (steals only).  The caller
+        (:meth:`repro.db.policy.RecoveryPolicy.writeback_batch`)
+        guarantees the batchability rules: distinct groups, no failed
+        disks, every steal legal under the Figure 3 rule, every
+        committed write into a *clean* group.
+
+        Timestamps are allocated in item order before any I/O — the
+        same sequence the per-page path would produce, since nothing
+        else touches the clock inside a window.  Per-page bookkeeping
+        (header cache, Dirty_Set, ``on_page``) runs from the array's
+        ``on_op`` callback, interleaved with the write schedule exactly
+        as on the legacy path; only the trace stream is coalesced.
+        """
+        array = self.array
+        geometry = array.geometry
+        cached_headers = self._cached_headers
+        dirty_get = self.dirty_set.get
+        next_timestamp = array.next_timestamp
+        current_twin = self.current_twin
+        ops = []
+        posts = []
+        first_steals = 0
+        for item in items:
+            group = item.group
+            headers = cached_headers(group)
+            if item.kind == "steal":
+                entry = dirty_get(group)
+                stamp = next_timestamp()
+                if entry is None:
+                    current = current_twin(group)
+                    target = 1 - current
+                    index = geometry.index_in_group(item.page)
+                    source = current
+                    first = True
+                    first_steals += 1
+                else:
+                    index = entry.page_index
+                    target = entry.working_twin
+                    source = target
+                    first = False
+                header = ParityHeader(timestamp=stamp, txn_id=item.txn,
+                                      dirty_page_index=index,
+                                      state=TwinState.WORKING)
+                ops.append(BatchTwinWrite(item.page, group, item.payload,
+                                          TwinUpdate(source, target, header),
+                                          item.old, True))
+                posts.append((headers, target, header, DirtyEntry(
+                    group=group, txn_id=item.txn, page_id=item.page,
+                    page_index=index, working_twin=target,
+                    working_timestamp=stamp), first))
+            else:
+                current = current_twin(group)
+                stamp = next_timestamp()
+                header = ParityHeader(timestamp=stamp,
+                                      state=TwinState.COMMITTED)
+                ops.append(BatchTwinWrite(item.page, group, item.payload,
+                                          TwinUpdate(current, current, header),
+                                          item.old, False))
+                posts.append((headers, current, header, None, False))
+
+        traced = self.tracer.enabled
+
+        def _after(i):
+            headers, target, header, entry, first = posts[i]
+            headers[target] = header
+            if entry is not None:
+                self.dirty_set.mark_dirty(entry)
+                if first:
+                    self._note_dirty_gauge()
+            if on_page is not None:
+                on_page(i)
+
+        # first_steals rides on the array's costed window event (one
+        # trace event per window, not two); the aggregator expands it
+        # back into rda.group_dirty rows
+        array.small_write_batch(
+            ops, on_op=_after,
+            event_attrs={"first_steals": first_steals} if traced else None)
+        if self._m_unlogged is not None and first_steals:
+            self._m_unlogged.inc(first_steals)
 
     def write_committed(self, page: int, payload: bytes,
                         old_data: bytes | None = None) -> None:
@@ -216,19 +307,18 @@ class RDAManager:
         durable commit record in the log is what makes the WORKING twins
         valid at recovery time.  Returns the groups cleaned."""
         groups = self.dirty_set.groups_of(txn_id)
-        traced = self.tracer.enabled
         for group in groups:
             entry = self.dirty_set.clean(group)
             self._current[group] = entry.working_twin
             if self.barrier_hook is not None:
                 self.barrier_hook("flip", group=group, txn=txn_id,
                                   twin=entry.working_twin)
-            if traced:
-                # the paper's headline number: committing a stolen page
-                # costs zero page transfers (a main-memory bit flip)
-                self.tracer.emit("rda.twin_flip", group=group, txn=txn_id,
-                                 reads=0, writes=0, transfers=0)
-        if traced:
+        if self.tracer.enabled:
+            # the paper's headline number: committing a stolen page
+            # costs zero page transfers (a main-memory bit flip).  The
+            # per-group flips ride on the commit event's ``groups``
+            # count; the trace aggregator expands them back into
+            # ``rda.twin_flip`` rows (coalesced dispatch)
             self.tracer.emit("rda.commit", txn=txn_id, groups=len(groups),
                              reads=0, writes=0, transfers=0)
         self._note_dirty_gauge()

@@ -24,12 +24,14 @@ durable before-image first (the WAL rule is enforced in
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..buffer import BufferPool
 from ..errors import TransactionError
 from ..obs.tracer import NULL_TRACER
 from ..storage import IOStats, create_backend
+from ..storage.kernels import active_tier, available_tiers
 from ..storage.page import PAGE_SIZE, ZERO_PAGE
 from ..txn import LockManager, LockMode, TransactionManager, TxnState
 from ..wal import (BOTRecord, CommitRecord, LogManager, PageBeforeImage,
@@ -123,6 +125,23 @@ class Database:
         self.recovery = RecoveryManager(self)
         self.counters = WriteCounters()
 
+        # batched hot path: commit-window write-back runs vectorized
+        # through one parity-kernel call per window (semantics and disk
+        # schedule identical to the per-page loop; see
+        # RecoveryPolicy.writeback_batch and docs/performance.md)
+        self.batched = (config.batched
+                        and os.environ.get("REPRO_HOTPATH", "") != "legacy")
+        if self.batched:
+            self.buffer.set_batch_writeback(self._writeback_batch)
+        self._m_steals_unlogged = (
+            metrics.counter("db.steals").labels(mode="unlogged")
+            if metrics is not None else None)
+        self._slotted_cache: dict = {}   # page -> (buffered bytes, SlottedPage)
+        if self.tracer.enabled:
+            self.tracer.emit("kernel.tier", tier=active_tier(),
+                             available=list(available_tiers()),
+                             batched=self.batched)
+
         # per-transaction bookkeeping (all lost in a crash)
         self._before_images: dict = {}   # (txn, page) -> pre-txn page bytes
         self._undo_logged: set = set()   # (txn, page) with before-image in log
@@ -202,6 +221,11 @@ class Database:
         """The decision point: steal via parity twins or via the log
         (the tree itself lives in :meth:`RecoveryPolicy.writeback`)."""
         self.policy.writeback(self, page, payload, modifiers)
+
+    def _writeback_batch(self, entries: list) -> None:
+        """Batched decision point: one commit window of dirty frames
+        (see :meth:`RecoveryPolicy.writeback_batch`)."""
+        self.policy.writeback_batch(self, entries)
 
     def _old_disk_version(self, txn_id, page: int):
         """The page's current on-disk bytes, if this transaction knows
@@ -307,7 +331,13 @@ class Database:
     # -- record API (record-logging mode) ------------------------------------------------------------
 
     def _slotted(self, page: int) -> SlottedPage:
-        return SlottedPage.from_bytes(self.buffer.get_page(page))
+        payload = self.buffer.get_page(page)
+        cached = self._slotted_cache.get(page)
+        if cached is not None and cached[0] is payload:
+            return cached[1]
+        sp = SlottedPage.from_bytes(payload)
+        self._slotted_cache[page] = (payload, sp)
+        return sp
 
     def _require_record_mode(self) -> None:
         if not self.config.record_logging:
@@ -335,8 +365,14 @@ class Database:
         self.redo_log.append(RecordAfterEntry(txn_id=txn_id, page_id=page,
                                               slot=slot, image=after))
         sp = self._slotted(page)
+        # drop the cache entry across the mutation: if ``mutate`` raises
+        # half-way, the buffered bytes are unchanged but ``sp`` is not —
+        # the identity check alone would serve the poisoned parse
+        self._slotted_cache.pop(page, None)
         mutate(sp)
-        self.buffer.put_page(page, sp.to_bytes(), txn_id)
+        data = sp.to_bytes()
+        self.buffer.put_page(page, data, txn_id)
+        self._slotted_cache[page] = (data, sp)
         txn.note_record_write(page, slot)
         self._h("write", txn=txn_id, page=page, slot=slot)
 
@@ -465,6 +501,7 @@ class Database:
         self._bot_written.clear()
         self._bot_lsns.clear()
         self._residue.clear()
+        self._slotted_cache.clear()
 
     def recover(self, fault_hook=None) -> dict:
         """Restart after :meth:`crash`; returns recovery statistics.

@@ -31,6 +31,25 @@ from ..wal import (CheckpointRecord, PageAfterImage, PageBeforeImage,
 from .slotted_page import SlottedPage
 
 
+class BatchWriteItem:
+    """One page of a commit-window write-back run (batched hot path).
+
+    ``kind`` is ``"steal"`` (unlogged first steal or re-steal by
+    ``txn``) or ``"committed"`` (clean-group committed write-back);
+    ``old`` is the buffered before-image or None.
+    """
+
+    __slots__ = ("kind", "page", "group", "payload", "old", "txn")
+
+    def __init__(self, kind, page, group, payload, old, txn):
+        self.kind = kind
+        self.page = page
+        self.group = group
+        self.payload = payload
+        self.old = old
+        self.txn = txn
+
+
 def apply_record_image(page_bytes: bytes, slot: int, image: bytes) -> bytes:
     """Set ``slot`` of a slotted page to ``image`` (empty = delete)."""
     sp = SlottedPage.from_bytes(page_bytes)
@@ -71,10 +90,10 @@ class PageLogging:
     def append_commit_images(self, db, txn) -> None:
         """Page-mode REDO: append each written page's after-image."""
         txn_id = txn.txn_id
-        for page in sorted(txn.pages_written):
-            db.redo_log.append(PageAfterImage(
-                txn_id=txn_id, page_id=page,
-                image=db._after_image(txn_id, page)))
+        db.redo_log.append_batch([
+            PageAfterImage(txn_id=txn_id, page_id=page,
+                           image=db._after_image(txn_id, page))
+            for page in sorted(txn.pages_written)])
 
     def rollback(self, db, txn) -> None:
         """Abort: parity undo, then restore logged steals from
@@ -169,6 +188,11 @@ class RecordLogging:
         # otherwise a crash after the abort would resurrect the aborted
         # values (aborted transactions are excluded from restart undo).
         for page in sorted(touched):
+            # another transaction's unlogged steal may be outstanding on
+            # this page (record locking shares pages); the committed
+            # write below would silently invalidate its parity-undo
+            # baseline, so promote that steal to logged undo first
+            db.policy.protection.maybe_promote(db, page, txn_id)
             db.buffer.invalidate(page)
             db.buffer.put_page(page, touched[page], None)
             db.buffer.flush_page(page)
@@ -308,7 +332,14 @@ class RdaProtection:
         if db.tracer.enabled:
             db.tracer.emit("wal.forced_undo", page=page, reason=reason)
         if db.metrics is not None:
-            db.metrics.counter("rda.forced_undo").labels(reason=reason).inc()
+            cache = getattr(db, "_forced_undo_children", None)
+            if cache is None:
+                cache = db._forced_undo_children = {}
+            child = cache.get(reason)
+            if child is None:
+                child = cache[reason] = db.metrics.counter(
+                    "rda.forced_undo").labels(reason=reason)
+            child.inc()
 
     def write_stolen_logged(self, db, page: int, payload: bytes, modifiers,
                             single, old) -> None:
@@ -333,12 +364,24 @@ class RdaProtection:
         if entry is None or entry.page_id != page or entry.txn_id == txn_id:
             return
 
-        def log_fn(owner, page_id, image):
-            db.undo_log.append(PageBeforeImage(
-                txn_id=owner, page_id=page_id, image=image))
-            db.undo_log.force()
-            db._undo_logged.add((owner, page_id))
-            db._logged_stolen.add((owner, page_id))
+        if db.policy.logging.record_granularity:
+            # Record mode: a page-level parity image must NOT reach the
+            # log — undoing it would restore the whole page and trample
+            # slots other transactions commit in between.  Flush the
+            # owner's per-slot before-entries instead; rollback then
+            # re-places exactly the owner's slots on the current page.
+            def log_fn(owner, page_id, image):
+                db.policy.logging.append_steal_undo(db, owner, page_id)
+                db.undo_log.force()
+                db._undo_logged.add((owner, page_id))
+                db._logged_stolen.add((owner, page_id))
+        else:
+            def log_fn(owner, page_id, image):
+                db.undo_log.append(PageBeforeImage(
+                    txn_id=owner, page_id=page_id, image=image))
+                db.undo_log.force()
+                db._undo_logged.add((owner, page_id))
+                db._logged_stolen.add((owner, page_id))
 
         db.rda.promote_to_logged(group, log_fn)
         db.counters.promotions += 1
@@ -359,6 +402,37 @@ class RdaProtection:
             if known is not None:
                 buffered[entry.page_id] = known
         return db.rda.abort_txn(txn_id, buffered=buffered)
+
+    def write_back_run(self, db, run: list) -> None:
+        """Execute one batched run of :class:`BatchWriteItem`.
+
+        The parity math is vectorized across the run (see
+        :meth:`~repro.core.rda.RDAManager.write_batch`); the per-page
+        bookkeeping below runs from the array's per-op callback, after
+        that page's writes and ``twin_write`` barrier, so counters,
+        history events and invariant probes fire in exactly the legacy
+        order.
+        """
+        def on_page(i):
+            item = run[i]
+            if item.kind == "steal":
+                txn = item.txn
+                db.counters.unlogged_steals += 1
+                db.txns.get(txn).note_steal(item.page)
+                db._last_stolen[(txn, item.page)] = item.payload
+                db._h("steal", txn=txn, page=item.page, logged=False)
+                db._barrier("steal", page=item.page, txns=frozenset({txn}),
+                            logged=False)
+            else:
+                db._residue.discard(item.page)
+                db.counters.committed_writebacks += 1
+            db.buffer.mark_clean(item.page)
+
+        db.rda.write_batch(run, on_page=on_page)
+        if db._m_steals_unlogged is not None:
+            steals = sum(1 for item in run if item.kind == "steal")
+            if steals:
+                db._m_steals_unlogged.inc(steals)
 
     def restart_parity_phase(self, db, winners: set, losers: set,
                              fault) -> tuple:
@@ -537,3 +611,67 @@ class RecoveryPolicy:
             db._h("steal", txn=txn_id, page=page, logged=True)
         db._barrier("steal", page=page, txns=frozenset(modifiers),
                     logged=True)
+
+    def writeback_batch(self, db, entries: list) -> None:
+        """Write back a commit window of dirty pages, batching what the
+        Figure 3 rule allows.
+
+        ``entries`` is ``[(page, payload, modifiers), ...]`` in the
+        buffer's frame order (the legacy flush order).  Consecutive
+        pages that are unlogged steals or clean-group committed writes
+        into *distinct* parity groups accumulate into a run executed by
+        one vectorized array call; anything else — a group collision,
+        a logged steal, a dirty-group committed write, a degraded array
+        — flushes the pending run and takes the per-page path.  Either
+        way the disk write schedule, transfer counts and history events
+        are byte-identical to calling :meth:`writeback` per page; each
+        page's buffer frame is marked clean right after its write-back,
+        as on the legacy path.
+        """
+        protection = self.protection
+        buffer = db.buffer
+        if (db.rda is None or not protection.uses_twins
+                or db.array.any_failed):
+            for page, payload, modifiers in entries:
+                self.writeback(db, page, payload, modifiers)
+                buffer.mark_clean(page)
+            return
+        geometry = db.array.geometry
+        dirty_set = db.rda.dirty_set
+        run = []
+        run_groups = set()
+
+        def flush_run():
+            protection.write_back_run(db, run)
+            run.clear()
+            run_groups.clear()
+
+        for page, payload, modifiers in entries:
+            group = geometry.group_of(page)
+            if group in run_groups:
+                flush_run()
+            if not modifiers:
+                if dirty_set.get(group) is None:
+                    run.append(BatchWriteItem("committed", page, group,
+                                              payload, None, None))
+                    run_groups.add(group)
+                    continue
+                # dirty-group committed write: updates both twins
+            else:
+                single = (next(iter(modifiers)) if len(modifiers) == 1
+                          else None)
+                was_residue = page in db._residue
+                if protection.covers_unlogged_steal(db, page, single,
+                                                    was_residue):
+                    old = db._old_disk_version(single, page)
+                    db._residue.discard(page)
+                    run.append(BatchWriteItem("steal", page, group, payload,
+                                              old, single))
+                    run_groups.add(group)
+                    continue
+            if run:
+                flush_run()
+            self.writeback(db, page, payload, modifiers)
+            buffer.mark_clean(page)
+        if run:
+            flush_run()

@@ -25,8 +25,8 @@ uninstrumented-feeling hot paths stay hot.
 from .inspect import (aggregate_events, aggregate_trace_file, event_key,
                       format_cost_table, load_trace, model_expectation)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .tracer import (NULL_TRACER, JsonlSink, LabelledTracer, NullSink,
-                     RingBufferSink, Span, Tracer)
+from .tracer import (NULL_TRACER, BufferedJsonlSink, JsonlSink,
+                     LabelledTracer, NullSink, RingBufferSink, Span, Tracer)
 
 __all__ = [
     "NULL_TRACER",
@@ -36,6 +36,7 @@ __all__ = [
     "NullSink",
     "RingBufferSink",
     "JsonlSink",
+    "BufferedJsonlSink",
     "Counter",
     "Gauge",
     "Histogram",

@@ -95,22 +95,69 @@ def aggregate_events(events) -> dict:
     never carried a cost (pure markers like ``txn.begin``).
     """
     rows: dict = {}
-    for event in events:
-        attrs = event.get("attrs", {})
-        key = event_key(event["name"], attrs)
+
+    def add(key, count, reads=None, writes=None, transfers=None,
+            dur_ms=None):
         row = rows.get(key)
         if row is None:
             row = {"count": 0, "reads": None, "writes": None,
                    "transfers": None, "dur_ms": None}
             rows[key] = row
-        row["count"] += 1
-        if "transfers" in attrs:
-            for field in ("reads", "writes", "transfers"):
-                value = attrs.get(field, 0)
+        row["count"] += count
+        for field, value in (("reads", reads), ("writes", writes),
+                             ("transfers", transfers), ("dur_ms", dur_ms)):
+            if value is not None:
                 row[field] = value if row[field] is None else row[field] + value
-        if "dur_ms" in attrs:
-            row["dur_ms"] = (attrs["dur_ms"] if row["dur_ms"] is None
-                             else row["dur_ms"] + attrs["dur_ms"])
+        return row
+
+    for event in events:
+        attrs = event.get("attrs", {})
+        name = event["name"]
+        if name == "array.small_write_batch":
+            # one coalesced window event stands in for per-page
+            # small-write events; expand it back into the model-priced
+            # variants (batched ops are always single-twin, and cost
+            # exactly 3 buffered / 4 unbuffered transfers)
+            buffered = attrs.get("buffered_pages", 0)
+            plain = attrs.get("pages", 0) - buffered
+            if buffered:
+                add("array.small_write[buffered=True,twins=1]", buffered,
+                    reads=buffered, writes=2 * buffered,
+                    transfers=3 * buffered)
+            if plain:
+                add("array.small_write[buffered=False,twins=1]", plain,
+                    reads=2 * plain, writes=2 * plain, transfers=4 * plain)
+            first = attrs.get("first_steals", 0)
+            if first:
+                # the recovery policy's per-window bookkeeping rides on
+                # this event; each first steal stands in for one legacy
+                # rda.group_dirty marker
+                add("rda.group_dirty", first)
+            add(name, 1, dur_ms=attrs.get("dur_ms"))
+            continue
+        if name == "rda.commit":
+            # each dirty group flipped at this commit stands in for one
+            # legacy rda.twin_flip event (zero transfers by definition)
+            flips = attrs.get("groups", 0)
+            if flips:
+                add("rda.twin_flip", flips, reads=0, writes=0, transfers=0)
+            add(event_key(name, attrs), 1,
+                reads=attrs.get("reads", 0), writes=attrs.get("writes", 0),
+                transfers=attrs.get("transfers"))
+            continue
+        if name == "rda.steal_batch":
+            # the coalesced policy event; first steals each stand in
+            # for one legacy rda.group_dirty marker
+            first = attrs.get("first_steals", 0)
+            if first:
+                add("rda.group_dirty", first)
+            add(name, 1)
+            continue
+        add(event_key(name, attrs), 1,
+            reads=attrs.get("reads", 0) if "transfers" in attrs else None,
+            writes=attrs.get("writes", 0) if "transfers" in attrs else None,
+            transfers=attrs.get("transfers") if "transfers" in attrs else None,
+            dur_ms=attrs.get("dur_ms"))
     for key, row in rows.items():
         for field in ("reads", "writes", "transfers"):
             total = row[field]

@@ -32,6 +32,10 @@ import json
 import time
 from collections import deque
 
+_encode = json.JSONEncoder(separators=(",", ":"), default=str).encode
+"""Shared compact encoder: skips the per-call dispatch inside
+``json.dumps`` (the sink serializes tens of thousands of events)."""
+
 
 class NullSink:
     """Discards every event (for overhead measurement: the tracer is
@@ -71,12 +75,50 @@ class JsonlSink:
         self.count = 0
 
     def emit(self, event: dict) -> None:
-        self._handle.write(json.dumps(event, separators=(",", ":"),
-                                      default=str) + "\n")
+        self._handle.write(_encode(event) + "\n")
         self.count += 1
 
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.close()
+
+
+class BufferedJsonlSink:
+    """A :class:`JsonlSink` with coalesced dispatch.
+
+    Events are serialized on arrival (so the caller's dicts may be
+    mutated afterwards) but hit the file in chunks of ``flush_every``
+    lines — one ``write`` call per chunk instead of per event.  This is
+    the sinks-ON counterpart of the engine's commit-window batching:
+    with the hot path vectorized, a per-event ``write`` would dominate
+    the profile.  Measured honestly (``benchmarks/bench_hotpath.py``),
+    full tracing + metrics still cost ~25-45% over the sinks-OFF run —
+    the irreducible per-event encode — down from >50% with the
+    unbuffered sink; ``docs/performance.md`` has the breakdown.
+    """
+
+    def __init__(self, path, flush_every: int = 1024) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8")
+        self._pending: list = []
+        self._flush_every = flush_every
+        self.count = 0
+
+    def emit(self, event: dict) -> None:
+        self._pending.append(_encode(event))
+        self.count += 1
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered lines to the file."""
+        if self._pending:
+            self._handle.write("\n".join(self._pending) + "\n")
+            self._pending.clear()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.flush()
             self._handle.close()
 
 
@@ -102,7 +144,9 @@ class Span:
         self.parent_id = parent_id
         self.attrs = attrs
         self._stats = stats
-        self._before = stats.snapshot() if stats is not None else None
+        # a scalar (reads, writes) pair: the delta needs no per-disk
+        # breakdown, so a full IOStats.snapshot() per span is waste
+        self._before = (stats.reads, stats.writes) if stats is not None else None
         self._lexical = lexical
         self._done = False
         self._t0 = time.perf_counter()
@@ -122,10 +166,12 @@ class Span:
         self.attrs["dur_ms"] = round(
             (time.perf_counter() - self._t0) * 1e3, 3)
         if self._stats is not None:
-            delta = self._stats.snapshot() - self._before
-            self.attrs["reads"] = delta.reads
-            self.attrs["writes"] = delta.writes
-            self.attrs["transfers"] = delta.total
+            stats = self._stats
+            reads = stats.reads - self._before[0]
+            writes = stats.writes - self._before[1]
+            self.attrs["reads"] = reads
+            self.attrs["writes"] = writes
+            self.attrs["transfers"] = reads + writes
         tracer = self._tracer
         if self._lexical:
             tracer._pop_span(self)
@@ -181,6 +227,7 @@ class Tracer:
         self.enabled = sink is not None
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._t0_ns = time.perf_counter_ns()
         self._stack: list = []      # lexical span ids, innermost last
         self._next_span_id = 1
 
@@ -190,7 +237,19 @@ class Tracer:
         """Emit one event (no-op when disabled)."""
         if not self.enabled:
             return
-        self._emit_raw(name, attrs)
+        # _emit_raw inlined for the plain-event fast path (the vast
+        # majority of events): one call frame instead of two
+        self._seq += 1
+        event = {
+            "seq": self._seq,
+            "ts": (time.perf_counter_ns() - self._t0_ns) // 1000 / 1e6,
+            "name": name,
+        }
+        if self._stack:
+            event["span"] = self._stack[-1]
+        if attrs:
+            event["attrs"] = attrs
+        self.sink.emit(event)
 
     def emit_costed(self, name: str, window, **attrs) -> None:
         """Emit one event carrying a transfer-count delta.
@@ -204,7 +263,7 @@ class Tracer:
         attrs["reads"] = window.reads
         attrs["writes"] = window.writes
         attrs["transfers"] = window.reads + window.writes
-        self._emit_raw(name, attrs)
+        self.emit(name, **attrs)
 
     def _emit_raw(self, name: str, attrs: dict, span_id=None,
                   parent_id=None) -> None:
@@ -213,7 +272,9 @@ class Tracer:
         self._seq += 1
         event = {
             "seq": self._seq,
-            "ts": round(time.perf_counter() - self._t0, 6),
+            # integer-µs arithmetic gives the same 6-decimal wire value
+            # as round(perf_counter() - t0, 6) without the round() call
+            "ts": (time.perf_counter_ns() - self._t0_ns) // 1000 / 1e6,
             "name": name,
         }
         if span_id is not None:

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
+from ..storage.page import PAGE_SIZE
 
 
 @dataclass(frozen=True)
@@ -159,6 +160,10 @@ class WorkloadGenerator:
 
     def payload_for(self, page: int, version: int) -> bytes:
         """Page payload for an update: a pure function of (page,
-        version), so a recorded trace replays to identical bytes."""
-        from ..storage.page import make_page
-        return make_page(f"p{page}v{version}.".encode("ascii"))
+        version), so a recorded trace replays to identical bytes.
+
+        Inlines :func:`~repro.storage.page.make_page`'s repeat-to-fill
+        (same bytes) — this runs once per simulated update."""
+        pattern = f"p{page}v{version}.".encode("ascii")
+        reps = -(-PAGE_SIZE // len(pattern))
+        return (pattern * reps)[:PAGE_SIZE]

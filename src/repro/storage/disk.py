@@ -38,7 +38,16 @@ class SimulatedDisk:
         self.stats = stats if stats is not None else IOStats()
         self._pages: dict = {}
         self._headers: dict = {}
-        self._checksums: dict = {}
+        # Checksum bookkeeping is lazy: a full ``slot -> crc32`` map
+        # maintained on every write costs a crc per page transfer, yet
+        # only matters for slots whose stored bytes may differ from what
+        # the writer intended.  ``_suspect`` maps exactly those slots
+        # (fault-hook replacements, injected corruption) to the crc of
+        # the *intended* contents; ``_written`` records which slots ever
+        # stored a checksum, preserving the legacy rule that corrupting
+        # a never-written slot has no checksum to contradict.
+        self._suspect: dict = {}
+        self._written: set = set()
         self._failed = False
         self.read_count = 0
         self.write_count = 0
@@ -69,13 +78,18 @@ class SimulatedDisk:
         """
         self._pages.clear()
         self._headers.clear()
-        self._checksums.clear()
+        self._suspect.clear()
+        self._written.clear()
         self._failed = False
 
     def corrupt(self, slot: int) -> None:
         """Inject a latent sector error: flip bits without updating the
         checksum, so the next read raises
         :class:`~repro.errors.LatentSectorError`."""
+        if slot in self._written and slot not in self._suspect:
+            # the recorded checksum is that of the currently stored
+            # bytes; pin it before they are flipped
+            self._suspect[slot] = zlib.crc32(self._pages.get(slot, ZERO_PAGE))
         payload = bytearray(self._pages.get(slot, ZERO_PAGE))
         payload[0] ^= 0xFF
         payload[-1] ^= 0xFF
@@ -103,20 +117,30 @@ class SimulatedDisk:
             LatentSectorError: stored checksum does not match — a latent
                 sector error the caller should repair from redundancy.
         """
-        self._check(slot, "read")
+        if self._failed:
+            raise DiskFailedError(self.disk_id, "read")
+        if not 0 <= slot < self.capacity:
+            self._check(slot, "read")
         self.read_count += 1
-        self.stats.record_read(self.disk_id)
+        stats = self.stats       # record_read(disk_id), inlined
+        stats.reads += 1
+        per_disk = stats.per_disk_reads
+        per_disk[self.disk_id] = per_disk.get(self.disk_id, 0) + 1
         if self.on_access is not None:
             self.on_access(self.disk_id, slot, "read")
         payload = self._pages.get(slot, ZERO_PAGE)
-        expected = self._checksums.get(slot)
-        if expected is not None and zlib.crc32(payload) != expected:
-            raise LatentSectorError(self.disk_id, slot)
+        if self._suspect:
+            expected = self._suspect.get(slot)
+            if expected is not None and zlib.crc32(payload) != expected:
+                raise LatentSectorError(self.disk_id, slot)
         return payload
 
     def write(self, slot: int, payload: bytes) -> None:
         """Write a full-page payload at ``slot``."""
-        self._check(slot, "write")
+        if self._failed:
+            raise DiskFailedError(self.disk_id, "write")
+        if not 0 <= slot < self.capacity:
+            self._check(slot, "write")
         if len(payload) != PAGE_SIZE:
             raise ValueError(f"payload must be {PAGE_SIZE} bytes, got {len(payload)}")
         stored = payload
@@ -125,11 +149,20 @@ class SimulatedDisk:
             if replacement is not None:
                 stored = replacement
         self.write_count += 1
-        self.stats.record_write(self.disk_id)
+        stats = self.stats       # record_write(disk_id), inlined
+        stats.writes += 1
+        per_disk = stats.per_disk_writes
+        per_disk[self.disk_id] = per_disk.get(self.disk_id, 0) + 1
         if self.on_access is not None:
             self.on_access(self.disk_id, slot, "write")
         self._pages[slot] = bytes(stored)
-        self._checksums[slot] = zlib.crc32(payload)
+        self._written.add(slot)
+        if stored is not payload and stored != payload:
+            # a mangled replacement landed: record the intended crc so
+            # the mismatch surfaces as a LatentSectorError on read
+            self._suspect[slot] = zlib.crc32(payload)
+        elif self._suspect:
+            self._suspect.pop(slot, None)   # clean overwrite heals
 
     def read_header(self, slot: int) -> ParityHeader:
         """Read the out-of-band parity header stored with ``slot``.
@@ -176,9 +209,9 @@ class SimulatedDisk:
         """Sorted slots whose stored bytes no longer match their checksum
         (latent sector errors awaiting repair).  No transfer cost: this
         models the media scan a restart performs against sector CRCs."""
-        return sorted(slot for slot, payload in self._pages.items()
-                      if slot in self._checksums
-                      and zlib.crc32(payload) != self._checksums[slot])
+        return sorted(slot for slot, expected in self._suspect.items()
+                      if zlib.crc32(self._pages.get(slot, ZERO_PAGE))
+                      != expected)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "FAILED" if self._failed else "ok"

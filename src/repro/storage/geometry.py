@@ -87,6 +87,7 @@ class Geometry:
         self._page_to_addr: list = [None] * self.num_data_pages
         self._addr_to_page: dict = {}
         self._group_pages: list = [[None] * group_size for _ in range(num_groups)]
+        self._member_of: list = [0] * self.num_data_pages
         if self.placement is Placement.STRIPED:
             self._number_striped()
         else:
@@ -104,6 +105,7 @@ class Geometry:
         self._page_to_addr[page] = addr
         self._addr_to_page[(disk, group)] = page
         self._group_pages[group][member] = page
+        self._member_of[page] = member
 
     def _number_striped(self) -> None:
         """Round-robin: group g holds logical pages g*N .. g*N+N-1."""
@@ -138,8 +140,10 @@ class Geometry:
 
     def data_address(self, page: int) -> PhysAddr:
         """Physical location of logical data page ``page``."""
+        if 0 <= page < self.num_data_pages:
+            return self._page_to_addr[page]
         self._check_page(page)
-        return self._page_to_addr[page]
+        raise AssertionError("unreachable")
 
     def page_at(self, addr: PhysAddr) -> int | None:
         """Logical page stored at ``addr``, or None for a parity slot."""
@@ -147,14 +151,17 @@ class Geometry:
 
     def group_of(self, page: int) -> int:
         """Parity group containing logical page ``page``."""
+        if 0 <= page < self.num_data_pages:
+            return self._page_to_addr[page].slot
         self._check_page(page)
-        return self._page_to_addr[page].slot
+        raise AssertionError("unreachable")
 
     def index_in_group(self, page: int) -> int:
         """Member index (0..N-1) of ``page`` within its parity group."""
+        if 0 <= page < self.num_data_pages:
+            return self._member_of[page]
         self._check_page(page)
-        group = self.group_of(page)
-        return self._group_pages[group].index(page)
+        raise AssertionError("unreachable")
 
     def group_pages(self, group: int) -> list:
         """Logical pages of ``group`` in member order."""

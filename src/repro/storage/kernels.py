@@ -36,18 +36,25 @@ program calls :func:`set_kernel` / :func:`use_kernel`.  Setting
 ``REPRO_NO_NUMPY=1`` hides numpy even when importable — CI uses it to
 exercise the fallback path.
 
-Each tier exposes the same five static operations; callers validate
+Each tier exposes the same six static operations; callers validate
 page lengths (hoisted out of the hot loops) and the kernels assume
 well-formed input:
 
 * ``xor(a, b)`` — two-operand XOR (truncates to the shorter operand,
   matching the historical ``zip`` semantics of ``gf256.page_xor``);
+* ``xor_blocks(a, b)`` — equal-length multi-page blobs XORed in one
+  call (the commit-window batching primitive: K pages' deltas or
+  parity twins per invocation instead of K kernel calls);
 * ``xor_accumulate(pages, size)`` — one batched k-page XOR reduction
   (the rebuild/degraded-read hot path); zero pages → the zero page;
 * ``xor_inplace(accumulator, page)`` — XOR into a ``bytearray``;
 * ``gf_scale(coefficient, page)`` — GF(256) scalar × page;
 * ``gf_scale_accumulate(pairs, size)`` — batched ``Σ c_i · D_i``
   (the Q-syndrome / two-erasure hot path).
+
+``xor_blocks`` accepts any buffer type (``bytes``, ``bytearray``,
+``memoryview``) so pooled slabs from :mod:`repro.storage.pagebuf` feed
+it without copies; it always returns ``bytes``.
 """
 
 from __future__ import annotations
@@ -117,6 +124,10 @@ class ReferenceKernel:
         return bytes(x ^ y for x, y in zip(a, b))
 
     @staticmethod
+    def xor_blocks(a, b) -> bytes:
+        return bytes(x ^ y for x, y in zip(a, b))
+
+    @staticmethod
     def xor_accumulate(pages, size: int) -> bytes:
         out = bytearray(size)
         for page in pages:
@@ -167,6 +178,11 @@ class StdlibKernel:
             a, b = a[:n], b[:n]
         return (int.from_bytes(a, "little")
                 ^ int.from_bytes(b, "little")).to_bytes(n, "little")
+
+    @staticmethod
+    def xor_blocks(a, b) -> bytes:
+        return (int.from_bytes(a, "little")
+                ^ int.from_bytes(b, "little")).to_bytes(len(a), "little")
 
     @staticmethod
     def xor_accumulate(pages, size: int) -> bytes:
@@ -231,6 +247,12 @@ def _make_numpy_kernel():
             return np.bitwise_xor(va, vb).tobytes()
 
         @staticmethod
+        def xor_blocks(a, b) -> bytes:
+            va = np.frombuffer(a, dtype=np.uint8)
+            vb = np.frombuffer(b, dtype=np.uint8)
+            return np.bitwise_xor(va, vb).tobytes()
+
+        @staticmethod
         def xor_accumulate(pages, size: int) -> bytes:
             pages = list(pages)
             if not pages:
@@ -280,6 +302,17 @@ if _numpy_kernel is not None:
     KERNELS[_numpy_kernel.name] = _numpy_kernel
 
 
+def numpy_available() -> bool:
+    """Whether the numpy tier is registered.
+
+    The probe (import attempt + :data:`NO_NUMPY_ENV_VAR` check) runs
+    exactly once, at module import; this answers from the registry and
+    never re-imports, so tier selection — including every later
+    :func:`set_kernel` call — is allocation-free.
+    """
+    return "numpy" in KERNELS
+
+
 def available_tiers() -> tuple:
     """Registered tier names, fastest first."""
     order = ("numpy", "stdlib", "reference")
@@ -320,11 +353,16 @@ def active_tier() -> str:
 def set_kernel(name: str) -> str:
     """Activate a tier by name; returns the previously active name.
 
-    This is the programmatic/config override of the import-time
-    selection; tests and benchmarks prefer :func:`use_kernel`.
+    ``"auto"`` re-selects the fastest registered tier using the
+    memoized import-time probe (see :func:`numpy_available`) — no
+    import machinery runs.  This is the programmatic/config override
+    of the import-time selection; tests and benchmarks prefer
+    :func:`use_kernel`.
     """
     global _active
-    if name not in KERNELS:
+    if name == "auto":
+        name = available_tiers()[0]
+    elif name not in KERNELS:
         raise ValueError(
             f"unknown kernel tier {name!r}; available: {available_tiers()}")
     previous = _active.name

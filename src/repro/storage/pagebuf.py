@@ -1,0 +1,90 @@
+"""Pooled page buffers: reusable slabs for the batched hot path.
+
+The per-write cost of the array layer is dominated not by XOR math but
+by allocation churn: every small write used to build several throwaway
+``bytes`` objects (old image, delta, new parity).  This module keeps a
+pool of reusable ``bytearray`` slabs, sized in whole pages, that the
+batched write paths check out, fill via ``memoryview`` slicing, hand to
+the kernel tier for one in-place batched XOR, and give back.
+
+A slab is always a multiple of :data:`~repro.storage.page.PAGE_SIZE`
+bytes.  Checkout returns the slab *unzeroed* — callers overwrite every
+byte they read back, so clearing would be wasted work.
+
+The module-level :data:`POOL` is shared by the array layers
+(``array.py``, ``twin_array.py``, ``raid6.py`` and the parity-striping
+factories build on those); tests may construct private pools.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .page import PAGE_SIZE
+
+
+class PagePool:
+    """A free list of reusable page-sized ``bytearray`` slabs.
+
+    Slabs are binned by size (in bytes); ``checkout`` pops a recycled
+    slab of the exact size when one is free and allocates otherwise.
+
+    Attributes:
+        in_use: slabs currently checked out (leak tripwire — must
+            return to its pre-run value after every simulate run).
+        high_water: maximum simultaneous checkouts seen.
+        checkouts: total checkout calls.
+        reuses: checkouts satisfied from the free list.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        self.page_size = page_size
+        self._free: dict = {}        # size -> list of free bytearrays
+        self.in_use = 0
+        self.high_water = 0
+        self.checkouts = 0
+        self.reuses = 0
+
+    def checkout(self, pages: int) -> bytearray:
+        """A slab of ``pages * page_size`` bytes (contents undefined)."""
+        size = pages * self.page_size
+        self.checkouts += 1
+        self.in_use += 1
+        if self.in_use > self.high_water:
+            self.high_water = self.in_use
+        bin_ = self._free.get(size)
+        if bin_:
+            self.reuses += 1
+            return bin_.pop()
+        return bytearray(size)
+
+    def giveback(self, slab: bytearray) -> None:
+        """Return a slab to the pool for reuse."""
+        self.in_use -= 1
+        self._free.setdefault(len(slab), []).append(slab)
+
+    @contextmanager
+    def borrow(self, pages: int):
+        """``with pool.borrow(n) as slab:`` — checkout with guaranteed
+        giveback."""
+        slab = self.checkout(pages)
+        try:
+            yield slab
+        finally:
+            self.giveback(slab)
+
+    def free_count(self) -> int:
+        """Slabs sitting in the free lists."""
+        return sum(len(bin_) for bin_ in self._free.values())
+
+    def clear(self) -> None:
+        """Drop all pooled slabs (does not affect checked-out ones)."""
+        self._free.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PagePool(page_size={self.page_size}, in_use={self.in_use}, "
+                f"free={self.free_count()}, high_water={self.high_water})")
+
+
+POOL = PagePool()
+"""Process-wide pool shared by the array layers' batched write paths."""

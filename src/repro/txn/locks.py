@@ -56,6 +56,7 @@ class LockManager:
     def __init__(self) -> None:
         self._entries: dict = {}
         self._held_by_txn: dict = {}
+        self._wait_count: dict = {}   # txn_id -> queued requests
 
     # -- queries ------------------------------------------------------------------
 
@@ -72,8 +73,7 @@ class LockManager:
 
     def waiting(self, txn_id: int) -> bool:
         """True if the transaction is queued on some resource."""
-        return any(txn_id == waiter for entry in self._entries.values()
-                   for waiter, _ in entry.waiters)
+        return bool(self._wait_count.get(txn_id))
 
     def locks_of(self, txn_id: int) -> list:
         """Resources currently locked by the transaction."""
@@ -90,7 +90,17 @@ class LockManager:
         Raises:
             DeadlockError: if enqueueing would close a wait-for cycle.
         """
-        entry = self._entries.setdefault(resource, _Entry())
+        entry = self._entries.get(resource)
+        if entry is None:
+            # uncontended first touch: grant without scanning anything
+            entry = self._entries[resource] = _Entry()
+            entry.holders[txn_id] = mode
+            held = self._held_by_txn.get(txn_id)
+            if held is None:
+                self._held_by_txn[txn_id] = {resource}
+            else:
+                held.add(resource)
+            return True
         held = entry.holders.get(txn_id)
         if held is not None:
             if held is LockMode.EXCLUSIVE or held is mode:
@@ -115,6 +125,14 @@ class LockManager:
         if cycle:
             entry.waiters.pop()
             raise DeadlockError(txn_id, tuple(cycle))
+        self._wait_count[txn_id] = self._wait_count.get(txn_id, 0) + 1
+
+    def _waiter_granted(self, txn_id: int) -> None:
+        count = self._wait_count.get(txn_id, 0) - 1
+        if count > 0:
+            self._wait_count[txn_id] = count
+        else:
+            self._wait_count.pop(txn_id, None)
 
     def release_all(self, txn_id: int) -> list:
         """Release every lock and queued request of a transaction (EOT).
@@ -122,6 +140,20 @@ class LockManager:
         Returns the :class:`Grant` list of waiters promoted as a result.
         """
         grants = []
+        if not self._wait_count.get(txn_id):
+            # fast path: the transaction is queued nowhere, so only the
+            # entries it holds can change.  Grant order matches the full
+            # sweep (held resources in insertion order), and the sweep's
+            # re-promotion of untouched entries is a no-op because
+            # promotion is eager at every release.
+            for resource in list(self._held_by_txn.get(txn_id, ())):
+                entry = self._entries[resource]
+                del entry.holders[txn_id]
+                grants.extend(self._promote(resource, entry))
+                if not entry.holders and not entry.waiters:
+                    del self._entries[resource]
+            self._held_by_txn.pop(txn_id, None)
+            return grants
         for resource in list(self._held_by_txn.get(txn_id, ())):
             entry = self._entries[resource]
             del entry.holders[txn_id]
@@ -133,6 +165,7 @@ class LockManager:
             grants.extend(self._promote(resource, entry))
             if not entry.holders and not entry.waiters:
                 del self._entries[resource]
+        self._wait_count.pop(txn_id, None)
         return grants
 
     def release(self, txn_id: int, resource) -> list:
@@ -157,6 +190,7 @@ class LockManager:
                 if len(entry.holders) == 1:
                     entry.holders[txn_id] = LockMode.EXCLUSIVE
                     entry.waiters.popleft()
+                    self._waiter_granted(txn_id)
                     grants.append(Grant(txn_id, resource, LockMode.EXCLUSIVE))
                     continue
                 break
@@ -164,6 +198,7 @@ class LockManager:
                 entry.holders[txn_id] = mode
                 self._held_by_txn.setdefault(txn_id, set()).add(resource)
                 entry.waiters.popleft()
+                self._waiter_granted(txn_id)
                 grants.append(Grant(txn_id, resource, mode))
                 continue
             break

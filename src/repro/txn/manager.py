@@ -67,7 +67,7 @@ class TransactionManager:
     def require_active(self, txn_id: int) -> Transaction:
         """Look up a transaction and insist it is still running."""
         txn = self.get(txn_id)
-        if not txn.is_active:
+        if txn.state is not TxnState.ACTIVE:
             raise InvalidTransactionState(
                 f"transaction {txn_id} is {txn.state.value}, not active")
         return txn

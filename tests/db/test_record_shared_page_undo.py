@@ -1,0 +1,115 @@
+"""Regression: record-granularity undo on pages shared between
+transactions must not trample each other's effects.
+
+Record locking lets two transactions hold records on the *same* page,
+but the RDA steal path protects stolen pages at page granularity (the
+parity twins restore a whole-page before-image).  Two historical bugs:
+
+1. Promoting an unlogged steal to logged undo wrote a *page-level*
+   before-image even in record mode; the later abort restored the whole
+   page, resurrecting records another transaction had deleted and
+   committed in between.
+
+2. An abort's corrected-page flush performed a committed write onto a
+   page while *another* transaction's unlogged steal was outstanding on
+   it, silently invalidating that steal's parity-undo baseline; the
+   second abort (or restart) then rewound the page to the stale
+   baseline, losing the first abort's corrections.
+
+Both fixes route shared-page conflicts through steal promotion: the
+outstanding steal's per-slot before-entries become durable log undo,
+the parity group is cleaned, and every undo is applied record-by-record
+against the page's *current* contents.
+"""
+
+import pytest
+
+from repro.db import Database, preset
+
+
+def _seeded_db():
+    db = Database(preset("record-noforce-rda"))
+    seeder = db.begin()
+    for page in range(db.num_data_pages):
+        for i in range(2):
+            db.insert_record(seeder, page, b"seed%d" % i)
+    db.commit(seeder)
+    return db
+
+
+def _read_slots(db):
+    reader = db.begin()
+    state = {}
+    for slot in (0, 1):
+        try:
+            state[slot] = db.read_record(reader, 0, slot)
+        except KeyError:
+            state[slot] = None
+    db.commit(reader)
+    return state
+
+
+def _shared_page_conflict(db):
+    """t2 deletes slot 0, is stolen via checkpoint; t3 deletes slot 1
+    on the same page, forcing promotion; second checkpoint steals
+    again.  Returns (t2, t3)."""
+    t2 = db.begin()
+    db.delete_record(t2, 0, 0)
+    t3 = db.begin()
+    db.checkpoint()                   # steals t2's page unlogged
+    db.delete_record(t3, 0, 1)        # same page: promotes t2's steal
+    db.checkpoint()                   # steals again for t3
+    return t2, t3
+
+
+def test_committed_delete_survives_other_txn_abort():
+    """Bug 1: aborting t2 must not resurrect t3's committed delete on
+    the shared page."""
+    db = _seeded_db()
+    t2, t3 = _shared_page_conflict(db)
+    db.commit(t3)
+    db.abort(t2)
+    assert _read_slots(db) == {0: b"seed0", 1: None}
+    db.buffer.flush_all_dirty()
+    assert db.verify_parity() == []
+
+
+def test_abort_abort_restores_both_records():
+    """Bug 2: t2's abort flush must not invalidate t3's parity-undo
+    baseline; after both aborts both seeds are back."""
+    db = _seeded_db()
+    t2, t3 = _shared_page_conflict(db)
+    db.abort(t2)
+    db.abort(t3)
+    assert _read_slots(db) == {0: b"seed0", 1: b"seed1"}
+    db.buffer.flush_all_dirty()
+    assert db.verify_parity() == []
+
+
+def test_abort_update_then_abort_delete():
+    """Bug 2 with an update instead of a delete as the first change."""
+    db = _seeded_db()
+    t2 = db.begin()
+    db.update_record(t2, 0, 0, b"\x00")
+    t3 = db.begin()
+    db.checkpoint()
+    db.delete_record(t3, 0, 1)
+    db.checkpoint()
+    db.abort(t2)
+    db.abort(t3)
+    assert _read_slots(db) == {0: b"seed0", 1: b"seed1"}
+    db.buffer.flush_all_dirty()
+    assert db.verify_parity() == []
+
+
+def test_crash_between_aborts_recovers_both_records():
+    """The crash window after the first abort: restart undo of the
+    still-active t3 must not rewind t2's durable abort corrections."""
+    db = _seeded_db()
+    t2, t3 = _shared_page_conflict(db)
+    db.abort(t2)
+    db.crash()
+    db.recover()
+    assert _read_slots(db) == {0: b"seed0", 1: b"seed1"}
+    db.buffer.flush_all_dirty()
+    assert db.verify_parity() == []

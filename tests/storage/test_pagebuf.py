@@ -1,0 +1,145 @@
+"""PagePool: slab round-trips, free-list accounting, and the leak
+tripwire over whole simulate runs.
+
+The pool is pure bookkeeping — it never touches slab contents — so the
+properties here are about accounting: every checkout is matched by a
+giveback, recycled slabs come back at the exact requested size, and a
+full simulation leaves the process-wide :data:`~repro.storage.pagebuf.POOL`
+with zero slabs outstanding (``in_use`` back to its pre-run value).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, preset
+from repro.sim import Simulator, WorkloadSpec
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pagebuf import POOL, PagePool
+
+
+# -- unit accounting ----------------------------------------------------------------------
+
+
+def test_checkout_size_and_reuse():
+    pool = PagePool()
+    slab = pool.checkout(3)
+    assert isinstance(slab, bytearray)
+    assert len(slab) == 3 * PAGE_SIZE
+    assert pool.in_use == 1 and pool.reuses == 0
+    pool.giveback(slab)
+    assert pool.in_use == 0 and pool.free_count() == 1
+    again = pool.checkout(3)
+    assert again is slab          # recycled, not reallocated
+    assert pool.reuses == 1
+    pool.giveback(again)
+
+
+def test_bins_are_exact_size():
+    pool = PagePool()
+    small = pool.checkout(1)
+    pool.giveback(small)
+    big = pool.checkout(2)        # must not hand back the 1-page slab
+    assert len(big) == 2 * PAGE_SIZE
+    assert big is not small
+    pool.giveback(big)
+    assert pool.free_count() == 2
+
+
+def test_borrow_gives_back_on_error():
+    pool = PagePool()
+    try:
+        with pool.borrow(2) as slab:
+            assert len(slab) == 2 * PAGE_SIZE
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert pool.in_use == 0 and pool.free_count() == 1
+
+
+def test_clear_drops_free_slabs_only():
+    pool = PagePool()
+    held = pool.checkout(1)
+    pool.giveback(pool.checkout(1))
+    pool.clear()
+    assert pool.free_count() == 0
+    assert pool.in_use == 1       # checked-out slab unaffected
+    pool.giveback(held)
+
+
+# -- property: arbitrary checkout/giveback interleavings ----------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=8),
+                min_size=1, max_size=30),
+       st.data())
+def test_interleaved_round_trips_preserve_accounting(sizes, data):
+    """Random interleaving of checkouts and givebacks: slab contents
+    round-trip per page, and the counters always reconcile."""
+    pool = PagePool()
+    live = []                     # (slab, fill byte)
+    for i, pages in enumerate(sizes):
+        slab = pool.checkout(pages)
+        assert len(slab) == pages * PAGE_SIZE
+        fill = i & 0xFF
+        view = memoryview(slab)
+        for p in range(pages):
+            view[p * PAGE_SIZE:(p + 1) * PAGE_SIZE] = \
+                bytes([fill]) * PAGE_SIZE
+        live.append((slab, fill))
+        if live and data.draw(st.booleans()):
+            slab_back, expect = live.pop(data.draw(
+                st.integers(min_value=0, max_value=len(live) - 1)))
+            # contents survive exactly until giveback
+            assert bytes(slab_back) == bytes([expect]) * len(slab_back)
+            pool.giveback(slab_back)
+        assert pool.in_use == len(live)
+        assert pool.high_water >= pool.in_use
+    for slab, expect in live:
+        assert bytes(slab) == bytes([expect]) * len(slab)
+        pool.giveback(slab)
+    assert pool.in_use == 0
+    assert pool.checkouts == len(sizes)
+    # every free slab came from a checkout (bins are per-size, so the
+    # free list can exceed high_water when sizes vary — but never this)
+    assert pool.free_count() <= pool.checkouts
+
+
+# -- leak tripwire over full simulations --------------------------------------------------
+
+
+LEAK_PRESETS = [
+    "page-force-rda",
+    "page-noforce-rda",
+    "record-force-rda",
+    "record-noforce-rda",
+]
+
+
+def _one_run(name, spec):
+    db = Database(preset(name, group_size=5, num_groups=12,
+                         buffer_capacity=16))
+    sim = Simulator(db, spec, seed=13)
+    if db.config.record_logging:
+        sim.seed_records()
+    sim.run(40, crash_every=15)
+
+
+def test_pool_drains_after_every_simulate_preset():
+    """The shared POOL must have no slabs outstanding after a run —
+    a stuck ``in_use`` means a batched write path skipped a giveback
+    (e.g. an early return inside a checkout/giveback window).  A
+    repeated identical run must also leave the free list unchanged:
+    steady state means every checkout was satisfied by reuse."""
+    spec = WorkloadSpec(concurrency=3, pages_per_txn=4,
+                        update_txn_fraction=0.9, update_probability=0.9,
+                        abort_probability=0.05, communality=0.5)
+    for name in LEAK_PRESETS:
+        baseline = POOL.in_use
+        _one_run(name, spec)
+        assert POOL.in_use == baseline, f"{name}: leaked pool slabs"
+        steady = POOL.free_count()
+        _one_run(name, spec)
+        assert POOL.in_use == baseline, f"{name}: leaked pool slabs"
+        assert POOL.free_count() == steady, \
+            f"{name}: free list grew on an identical second run"
