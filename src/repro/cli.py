@@ -6,18 +6,24 @@
     python -m repro simulate --shards 4 --group-commit 8
     python -m repro simulate --trace-out run.jsonl --metrics-out run.json
     python -m repro inspect-trace run.jsonl
+    python -m repro export-trace run.jsonl --out run.perfetto.json
+    python -m repro drift-check run.jsonl [--tolerance 0.05]
     python -m repro check [--presets all] [--extended] [--crash-every 10]
     python -m repro reliability [--disks 200] [--mttr 24]
     python -m repro demo
 
 ``figures`` regenerates the paper's evaluation tables, ``simulate``
 drives the live system (optionally recording a structured event trace
-and a metrics snapshot), ``inspect-trace`` aggregates a recorded trace
-into the per-event-type cost table of the paper's model, ``check``
-runs the conformance suite (online invariants, differential oracle,
-serializability analysis) across configuration presets,
-``reliability`` prints the Section 1 motivation numbers, and ``demo``
-walks the three recovery scenarios.
+and a metrics snapshot; with ``--crash-every`` it also reports the
+per-phase recovery breakdown and MTTR, and ``--drift-check`` watches
+measured costs against the analytical model live), ``inspect-trace``
+aggregates a recorded trace into the per-event-type cost table of the
+paper's model, ``export-trace`` converts a trace to Chrome
+trace-event/Perfetto JSON, ``drift-check`` replays a recorded trace
+through the model-drift detector, ``check`` runs the conformance suite
+(online invariants, differential oracle, serializability analysis)
+across configuration presets, ``reliability`` prints the Section 1
+motivation numbers, and ``demo`` walks the three recovery scenarios.
 """
 
 from __future__ import annotations
@@ -30,8 +36,10 @@ from .db import (Database, ShardedDatabase, all_preset_names,
 from .errors import ModelError
 from .model import figures as figure_module
 from .model.reliability import paper_motivation_table
-from .obs import (BufferedJsonlSink, MetricsRegistry, Tracer,
-                  aggregate_trace_file, format_cost_table)
+from .obs import (BufferedJsonlSink, DriftDetector, MetricsRegistry,
+                  NullSink, Tracer, aggregate_trace_file, check_events,
+                  export_trace_file, format_cost_table,
+                  format_recovery_profile, load_trace)
 from .sim import Simulator, WorkloadSpec
 from .storage import backend_names, make_page
 
@@ -66,10 +74,18 @@ def _cmd_simulate(args) -> int:
         overrides["backend"] = args.backend
     if args.fault_sweep:
         return _cmd_fault_sweep(args, overrides)
-    tracer = (Tracer(BufferedJsonlSink(args.trace_out))
-              if args.trace_out is not None else None)
+    if args.trace_out is not None:
+        tracer = Tracer(BufferedJsonlSink(args.trace_out))
+    elif args.crash_every is not None or args.drift_check:
+        # recovery profiling and drift detection are tracer observers:
+        # events must be *built* but need not be recorded, so an
+        # unrecorded run still gets its MTTR breakdown / drift verdict
+        tracer = Tracer(NullSink())
+    else:
+        tracer = None
     metrics = (MetricsRegistry()
                if args.metrics_out is not None or args.trace_out is not None
+               or args.drift_check
                else None)
     try:
         db = _build_engine(preset(args.preset, **overrides), args,
@@ -84,6 +100,10 @@ def _cmd_simulate(args) -> int:
                         abort_probability=args.abort_probability,
                         communality=args.communality)
     simulator = Simulator(db, spec, seed=args.seed)
+    drift = None
+    if args.drift_check:
+        drift = DriftDetector(tolerance=args.drift_tolerance,
+                              metrics=metrics, tracer=tracer).attach(tracer)
     if simulator.record_mode:
         simulator.seed_records()
     if args.profile is not None:
@@ -114,17 +134,37 @@ def _cmd_simulate(args) -> int:
     if report.crashes:
         print(f"crashes       : {report.crashes} "
               f"({report.recovery_transfers} recovery transfers)")
+    profile_doc = report.extra.get("recovery_profile")
+    if profile_doc:
+        print("recovery      : " + format_recovery_profile(profile_doc)
+              .replace("\n", "\n" + " " * 2))
+    if drift is not None:
+        if drift.clean:
+            checked = len(drift.summary()["checked"])
+            print(f"drift check   : clean "
+                  f"({checked} op classes within model bands)")
+        else:
+            print(f"drift check   : {len(drift.alarms)} alarm(s)")
+            for alarm in drift.alarms:
+                print(f"  {alarm.describe()}")
     if tracer is not None:
         tracer.close()
-        print(f"trace         : {tracer.events_emitted} events "
-              f"-> {args.trace_out}")
+        if args.trace_out is not None:
+            print(f"trace         : {tracer.events_emitted} events "
+                  f"-> {args.trace_out}")
     if args.metrics_out is not None:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
         print(f"metrics       : {args.metrics_out}")
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report        : {args.report_out}")
     bad = db.verify_parity()
     print(f"parity scrub  : {'clean' if not bad else bad}")
-    return 0 if not bad else 1
+    if bad:
+        return 1
+    return 1 if drift is not None and not drift.clean else 0
 
 
 def _cmd_fault_sweep(args, overrides) -> int:
@@ -173,6 +213,12 @@ def _cmd_fault_sweep(args, overrides) -> int:
     print(f"outcomes      : {counts['recovered']} recovered, "
           f"{counts['detected']} detected, "
           f"{counts['violation']} violations")
+    recovery = report.recovery_summary()
+    if recovery.get("recovered_runs"):
+        mttr = recovery["mttr_ms"]
+        print(f"recovery      : MTTR mean {mttr['mean']} ms / "
+              f"max {mttr['max']} ms over {recovery['recovered_runs']} "
+              f"recovered runs, {recovery['page_transfers']} transfers")
     if not report.clean:
         for kind, count in sorted(report.violations_by_kind().items()):
             print(f"  {kind}: {count}")
@@ -250,6 +296,48 @@ def _cmd_inspect_trace(args) -> int:
     else:
         print(format_cost_table(rows))
     return 0
+
+
+def _cmd_export_trace(args) -> int:
+    out = args.out
+    if out is None:
+        out = f"{args.trace}.perfetto.json"
+    try:
+        count = export_trace_file(args.trace, out,
+                                  counters=not args.no_counters)
+    except (OSError, ModelError) as error:
+        print(f"export-trace: {error}")
+        return 1
+    print(f"export-trace  : {count} events -> {out} "
+          f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_drift_check(args) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ModelError) as error:
+        print(f"drift-check: {error}")
+        return 1
+    detector = check_events(events, tolerance=args.tolerance,
+                            min_count=args.min_count)
+    summary = detector.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for key, row in summary["checked"].items():
+            lo, hi = row["band"]
+            band = f"{lo:g}" if lo == hi else f"{lo:g}..{hi:g}"
+            print(f"{key:<48} {row['count']:>7} ops, "
+                  f"mean {row['mean_transfers']:>7.3f}, model {band}")
+        if detector.clean:
+            print(f"drift-check   : clean ({len(summary['checked'])} op "
+                  f"classes within model bands)")
+        else:
+            print(f"drift-check   : {len(detector.alarms)} alarm(s)")
+            for alarm in detector.alarms:
+                print(f"  {alarm.describe()}")
+    return 0 if detector.clean else 1
 
 
 def _cmd_reliability(args) -> int:
@@ -338,6 +426,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record a JSONL event trace to FILE")
     simulate.add_argument("--metrics-out", metavar="FILE", default=None,
                           help="write a metrics snapshot (JSON) to FILE")
+    simulate.add_argument("--report-out", metavar="FILE", default=None,
+                          help="write the simulation report (JSON, "
+                               "including the recovery profile) to FILE")
+    simulate.add_argument("--drift-check", action="store_true",
+                          help="watch measured per-operation transfer "
+                               "costs against the analytical model and "
+                               "fail the run on drift")
+    simulate.add_argument("--drift-tolerance", type=float, default=0.05,
+                          help="allowed relative excursion outside a "
+                               "model band before a drift alarm")
     simulate.add_argument("--fault-sweep", action="store_true",
                           help="enumerate every crash point of a scripted "
                                "workload instead of running the simulator")
@@ -378,6 +476,32 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_trace.add_argument("--json", action="store_true",
                                help="emit JSON instead of a table")
     inspect_trace.set_defaults(func=_cmd_inspect_trace)
+
+    export_trace = sub.add_parser(
+        "export-trace",
+        help="convert a JSONL trace to Chrome trace-event/Perfetto JSON")
+    export_trace.add_argument("trace", help="JSONL trace file to convert")
+    export_trace.add_argument("--out", metavar="FILE", default=None,
+                              help="output path (default: "
+                                   "<trace>.perfetto.json)")
+    export_trace.add_argument("--no-counters", action="store_true",
+                              help="skip the cumulative transfer counter "
+                                   "track")
+    export_trace.set_defaults(func=_cmd_export_trace)
+
+    drift_check = sub.add_parser(
+        "drift-check",
+        help="replay a recorded trace through the model-drift detector")
+    drift_check.add_argument("trace", help="JSONL trace file to check")
+    drift_check.add_argument("--tolerance", type=float, default=0.05,
+                             help="allowed relative excursion outside a "
+                                  "model band")
+    drift_check.add_argument("--min-count", type=int, default=4,
+                             help="observations required before a variant "
+                                  "is judged")
+    drift_check.add_argument("--json", action="store_true",
+                             help="emit the full summary as JSON")
+    drift_check.set_defaults(func=_cmd_drift_check)
 
     reliability = sub.add_parser("reliability",
                                  help="Section 1 motivation numbers")

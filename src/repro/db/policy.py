@@ -267,7 +267,7 @@ class NoForceAcc:
         """Replay committed after-images since the last ACC checkpoint."""
         redone = 0
         with db.tracer.span("recovery.phase", stats=db.stats,
-                            phase="redo") as span:
+                            log_split=True, phase="redo") as span:
             start = 0
             for record in db.redo_log.scan(CheckpointRecord):
                 start = record.lsn
@@ -441,7 +441,7 @@ class RdaProtection:
         writes are resolved through the headers here."""
         parity_undone = 0
         with db.tracer.span("recovery.phase", stats=db.stats,
-                            phase="parity_undo") as span:
+                            log_split=True, phase="parity_undo") as span:
             for entry in db.rda.crash_scan(winners):
                 losers.add(entry.txn_id)
                 fault(f"parity-undo group {entry.group}")
@@ -517,7 +517,7 @@ class WalProtection:
         if not stale:
             return 0, 0
         with db.tracer.span("recovery.phase", stats=db.stats,
-                            phase="parity_resync") as span:
+                            log_split=True, phase="parity_resync") as span:
             for group in stale:
                 fault(f"parity resync group {group}")
                 data = [db.array.read_page(p)

@@ -76,11 +76,12 @@ class RecoveryManager:
         db = self.db
         fault = fault_hook if fault_hook is not None else (lambda label: None)
         before = db.stats.snapshot()
-        restart = db.tracer.span("recovery.restart", stats=db.stats)
+        restart = db.tracer.span("recovery.restart", stats=db.stats,
+                                 log_split=True)
         restart.__enter__()
         try:
             with db.tracer.span("recovery.phase", stats=db.stats,
-                                phase="analysis") as span:
+                                log_split=True, phase="analysis") as span:
                 db.undo_log.after_crash()
                 if db.redo_log is not db.undo_log:
                     db.redo_log.after_crash()
@@ -115,7 +116,7 @@ class RecoveryManager:
 
             # 3. UNDO losers from the log, backward in global LSN order
             with db.tracer.span("recovery.phase", stats=db.stats,
-                                phase="undo") as span:
+                                log_split=True, phase="undo") as span:
                 undo_records = [
                     r for r in db.undo_log.records()
                     if r.txn_id in losers
@@ -135,7 +136,7 @@ class RecoveryManager:
                 span.set(applied=undone)
 
             with db.tracer.span("recovery.phase", stats=db.stats,
-                                phase="restore") as span:
+                                log_split=True, phase="restore") as span:
                 for page in sorted(cache):
                     fault(f"restore page {page}")
                     db._write_committed(page, cache[page])
@@ -180,7 +181,7 @@ class RecoveryManager:
         bad.sort(key=lambda item: (
             db.array.geometry.page_at(PhysAddr(*item)) is None, item))
         with db.tracer.span("recovery.phase", stats=db.stats,
-                            phase="media_scan") as span:
+                            log_split=True, phase="media_scan") as span:
             for disk_id, slot in bad:
                 fault(f"media repair disk {disk_id} slot {slot}")
                 self._repair_sector(disk_id, slot, winners)
@@ -233,6 +234,7 @@ class RecoveryManager:
         (their stolen pages can no longer be rolled back).
         """
         db = self.db
-        with db.tracer.span("recovery.media", stats=db.stats, disk=disk_id):
+        with db.tracer.span("recovery.media", stats=db.stats,
+                            log_split=True, disk=disk_id):
             return db.policy.protection.media_recover(db, disk_id,
                                                       on_lost_undo)

@@ -539,32 +539,38 @@ class ShardedDatabase:
         transaction surfaced as a loser on any shard — impossible under
         the crash contract, so it is checked, not handled.
         """
-        self.commit_log.after_crash()
-        global_winners = {r.txn_id
-                          for r in self.commit_log.scan(CommitRecord)}
-        per_shard = []
-        for i in self.scheduler.order():
-            per_shard.append((i, self.shards[i].recover(
-                fault_hook=fault_hook)))
-        per_shard.sort(key=lambda item: item[0])
+        # facade-level restart span: unlabeled (no shard attr), so MTTR
+        # accounting sees one crash-to-ready interval covering all K
+        # shard restarts (each shard emits its own labeled spans inside)
+        with self.tracer.span("recovery.restart", stats=self.stats,
+                              log_split=True, shards=self.num_shards):
+            self.commit_log.after_crash()
+            global_winners = {r.txn_id
+                              for r in self.commit_log.scan(CommitRecord)}
+            per_shard = []
+            for i in self.scheduler.order():
+                per_shard.append((i, self.shards[i].recover(
+                    fault_hook=fault_hook)))
+            per_shard.sort(key=lambda item: item[0])
 
-        winners: set = set(global_winners)
-        losers: set = set()
-        totals = dict.fromkeys(
-            ("sectors_repaired", "parity_resynced", "parity_undone_pages",
-             "redo_applied", "log_undo_applied", "page_transfers"), 0)
-        for i, stats in per_shard:
-            winners.update(stats["winners"])
-            losers.update(stats["losers"])
-            for key in totals:
-                totals[key] += stats[key]
-            torn = global_winners.intersection(stats["losers"])
-            if torn:
-                raise RecoveryError(
-                    f"shard {i} lost globally committed transaction(s) "
-                    f"{sorted(torn)}: the group-commit crash contract "
-                    "was violated")
-        self._h("restart")
+            winners: set = set(global_winners)
+            losers: set = set()
+            totals = dict.fromkeys(
+                ("sectors_repaired", "parity_resynced",
+                 "parity_undone_pages", "redo_applied", "log_undo_applied",
+                 "page_transfers"), 0)
+            for i, stats in per_shard:
+                winners.update(stats["winners"])
+                losers.update(stats["losers"])
+                for key in totals:
+                    totals[key] += stats[key]
+                torn = global_winners.intersection(stats["losers"])
+                if torn:
+                    raise RecoveryError(
+                        f"shard {i} lost globally committed transaction(s) "
+                        f"{sorted(torn)}: the group-commit crash contract "
+                        "was violated")
+            self._h("restart")
         return {
             "winners": sorted(winners),
             "losers": sorted(losers - winners),

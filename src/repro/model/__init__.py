@@ -1,6 +1,6 @@
 """The paper's analytical model and figure generators."""
 
-from . import page_logging, record_logging
+from . import operations, page_logging, record_logging
 from .figures import (DEFAULT_C_SWEEP, DEFAULT_S_SWEEP, FigureSeries,
                       all_figures, figure9, figure10, figure11, figure12,
                       figure13)
@@ -18,9 +18,18 @@ from .probabilities import (average_log_entry_length,
 from .throughput import (CostBreakdown, interval_throughput,
                          mean_transaction_cost)
 
+from .operations import (MODEL_EXPECTATIONS, OPERATION_COSTS, OperationCost,
+                         predicted_band, transfer_bands)
+
 __all__ = [
+    "operations",
     "page_logging",
     "record_logging",
+    "MODEL_EXPECTATIONS",
+    "OPERATION_COSTS",
+    "OperationCost",
+    "predicted_band",
+    "transfer_bands",
     "DEFAULT_C_SWEEP",
     "DEFAULT_S_SWEEP",
     "FigureSeries",

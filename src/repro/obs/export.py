@@ -1,0 +1,127 @@
+"""Trace export: JSONL event stream → Chrome trace-event JSON.
+
+The tracer's native format is one JSON object per line (append-only,
+crash-safe, diff-friendly).  Perfetto and ``chrome://tracing`` speak the
+`trace-event format`__ instead: a ``traceEvents`` array of phase-coded
+records with microsecond timestamps.  :func:`export_chrome_trace` maps
+between the two:
+
+* span ends (events carrying ``dur_ms``) become complete ``"X"`` events
+  — ``ts`` is rewound by the duration, since the tracer stamps span
+  *ends*;
+* point events become ``"i"`` instants;
+* the ``shard`` label becomes the thread id, so a K-sharded run renders
+  as K parallel tracks plus track 0 for the unsharded facade;
+* reads/writes/transfers and the other attrs ride along in ``args``
+  (visible in the Perfetto selection panel);
+* cumulative transfer counts are emitted as ``"C"`` counter events so
+  the I/O cost of each recovery phase is visible as a slope.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+
+from .inspect import load_trace
+
+_TRACK_ATTR = "shard"
+_FACADE_TID = 0
+_PROCESS_NAME = "repro"
+
+
+def _display_name(event: dict) -> str:
+    """The slice name shown on the timeline; recovery phases get their
+    phase baked in so the track reads analysis → redo → undo."""
+    name = event.get("name", "?")
+    attrs = event.get("attrs") or {}
+    if name == "recovery.phase" and "phase" in attrs:
+        return f"recovery.{attrs['phase']}"
+    return name
+
+
+def _tid(attrs: dict) -> int:
+    shard = attrs.get(_TRACK_ATTR)
+    if isinstance(shard, int):
+        return shard + 1  # track 0 is the unsharded / facade track
+    return _FACADE_TID
+
+
+def export_chrome_trace(events, counters: bool = True) -> dict:
+    """Convert tracer events to a Chrome trace-event document.
+
+    Args:
+        events: iterable of tracer event dicts (``load_trace`` output).
+        counters: also emit cumulative ``transfers`` counter events.
+
+    Returns:
+        ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — dump with
+        ``json.dump`` and load in https://ui.perfetto.dev.
+    """
+    trace: list = []
+    tids = set()
+    cumulative: dict = {}
+    for event in events:
+        attrs = event.get("attrs") or {}
+        ts_us = float(event.get("ts", 0.0)) * 1e6
+        tid = _tid(attrs)
+        tids.add(tid)
+        args = {k: v for k, v in attrs.items() if k != "dur_ms"}
+        dur_ms = attrs.get("dur_ms")
+        record = {
+            "name": _display_name(event),
+            "cat": event.get("name", "?").split(".", 1)[0],
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        }
+        if dur_ms is not None:
+            dur_us = float(dur_ms) * 1e3
+            record["ph"] = "X"
+            record["ts"] = ts_us - dur_us  # tracer stamps span ends
+            record["dur"] = dur_us
+        else:
+            record["ph"] = "i"
+            record["ts"] = ts_us
+            record["s"] = "t"
+        trace.append(record)
+        if counters and attrs.get("transfers"):
+            cumulative[tid] = cumulative.get(tid, 0) + attrs["transfers"]
+            trace.append({
+                "name": "transfers",
+                "ph": "C",
+                "pid": 1,
+                "tid": tid,
+                "ts": ts_us,
+                "args": {"transfers": cumulative[tid]},
+            })
+    meta = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": _PROCESS_NAME},
+    }]
+    for tid in sorted(tids):
+        label = "engine" if tid == _FACADE_TID else f"shard {tid - 1}"
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
+
+
+def export_trace_file(in_path, out_path, counters: bool = True) -> int:
+    """Read a JSONL trace, write Chrome trace-event JSON.
+
+    Returns the number of source events converted.
+    """
+    events = load_trace(in_path)
+    document = export_chrome_trace(events, counters=counters)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(events)

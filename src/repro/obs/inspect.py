@@ -20,28 +20,15 @@ from __future__ import annotations
 import json
 
 from ..errors import ModelError
+from ..model.operations import MODEL_EXPECTATIONS
 
 VARIANT_KEYS = ("mode", "buffered", "twins", "logged", "degraded",
                 "outcome", "reason", "cause", "phase")
 """Attribute names that split one event name into model-priced variants,
 in the order they appear in the variant suffix."""
 
-MODEL_EXPECTATIONS = (
-    ("array.small_write[buffered=False,twins=1]", "4"),
-    ("array.small_write[buffered=True,twins=1]", "3"),
-    ("array.small_write[buffered=False,twins=2]", "6 (4+2)"),
-    ("array.small_write[buffered=True,twins=2]", "5 (3+2)"),
-    ("array.small_write[mode=small,buffered=False]", "4"),
-    ("array.small_write[mode=small,buffered=True]", "3"),
-    ("array.small_write[mode=reconstruct", "N+1"),
-    ("rda.commit", "0"),
-    ("rda.twin_flip", "0"),
-    ("rda.undo", "5-6"),
-    ("array.degraded_read", "N"),
-    ("txn[outcome=committed]", "-"),
-)
-"""``(variant-key prefix, predicted transfers)`` pairs from the paper's
-cost model; matched by prefix so rotated attribute values still hit."""
+# MODEL_EXPECTATIONS lives in repro.model.operations (the numeric bands
+# feed the drift detector too); imported here for existing call sites.
 
 
 def model_expectation(key: str) -> str:

@@ -17,20 +17,51 @@ series keyed ``name{k=v,...}`` (label keys sorted).
 
 from __future__ import annotations
 
+import re
+
 
 def _series_key(name: str, labels: dict) -> str:
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double-quote and line feed become ``\\\\``, ``\\"`` and
+    ``\\n`` (in that order, so already-escaped backslashes survive)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A registry name as a valid Prometheus metric name (dots and any
+    other invalid characters become underscores)."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _label_block(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(labels[key])}"'
+                     for key in sorted(labels))
+    return f"{{{inner}}}"
+
+
 class Counter:
     """Monotonically increasing count (events, transfers, records)."""
 
-    __slots__ = ("name", "value", "_children")
+    __slots__ = ("name", "value", "labels_dict", "_children")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels_dict=None) -> None:
         self.name = name
         self.value = 0
+        self.labels_dict = labels_dict
         self._children: dict = {}
 
     def inc(self, amount: int = 1) -> None:
@@ -44,7 +75,7 @@ class Counter:
         key = _series_key(self.name, labels)
         child = self._children.get(key)
         if child is None:
-            child = Counter(key)
+            child = Counter(key, labels_dict=dict(labels))
             self._children[key] = child
         return child
 
@@ -57,11 +88,12 @@ class Counter:
 class Gauge:
     """A value that goes up and down (dirty groups, live transactions)."""
 
-    __slots__ = ("name", "value", "_children")
+    __slots__ = ("name", "value", "labels_dict", "_children")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels_dict=None) -> None:
         self.name = name
         self.value = 0
+        self.labels_dict = labels_dict
         self._children: dict = {}
 
     def set(self, value) -> None:
@@ -77,7 +109,7 @@ class Gauge:
         key = _series_key(self.name, labels)
         child = self._children.get(key)
         if child is None:
-            child = Gauge(key)
+            child = Gauge(key, labels_dict=dict(labels))
             self._children[key] = child
         return child
 
@@ -97,9 +129,10 @@ class Histogram:
     span durations)."""
 
     __slots__ = ("name", "buckets", "bucket_counts", "count", "total",
-                 "min", "max", "_children")
+                 "min", "max", "labels_dict", "_children")
 
-    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS,
+                 labels_dict=None) -> None:
         self.name = name
         self.buckets = tuple(sorted(buckets))
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +inf
@@ -107,6 +140,7 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self.labels_dict = labels_dict
         self._children: dict = {}
 
     def observe(self, value) -> None:
@@ -132,7 +166,7 @@ class Histogram:
         key = _series_key(self.name, labels)
         child = self._children.get(key)
         if child is None:
-            child = Histogram(key, self.buckets)
+            child = Histogram(key, self.buckets, labels_dict=dict(labels))
             self._children[key] = child
         return child
 
@@ -209,3 +243,52 @@ class MetricsRegistry:
             instrument.collect(histograms)
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
+
+    def to_prometheus(self) -> str:
+        """Render everything in the Prometheus text exposition format.
+
+        Metric names are sanitized (``wal.records`` →
+        ``wal_records``); label values are escaped per the spec
+        (:func:`escape_label_value`), so values containing backslashes,
+        quotes or newlines round-trip through a text-format parser.
+        Histograms expose cumulative ``_bucket`` series plus ``_sum``
+        and ``_count``.
+        """
+        lines: list = []
+
+        def walk(instrument, inherited: dict):
+            labels = dict(inherited)
+            if instrument.labels_dict:
+                labels.update(instrument.labels_dict)
+            yield instrument, labels
+            for child in instrument._children.values():
+                yield from walk(child, labels)
+
+        for kind, instruments in (("counter", self._counters),
+                                  ("gauge", self._gauges)):
+            for root in instruments.values():
+                name = prometheus_name(root.name)
+                lines.append(f"# TYPE {name} {kind}")
+                for instrument, labels in walk(root, {}):
+                    lines.append(
+                        f"{name}{_label_block(labels)} {instrument.value}")
+        for root in self._histograms.values():
+            name = prometheus_name(root.name)
+            lines.append(f"# TYPE {name} histogram")
+            for instrument, labels in walk(root, {}):
+                cumulative = 0
+                for bound, count in zip(instrument.buckets,
+                                        instrument.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_block({**labels, 'le': bound})} "
+                        f"{cumulative}")
+                lines.append(
+                    f"{name}_bucket{_label_block({**labels, 'le': '+Inf'})} "
+                    f"{instrument.count}")
+                lines.append(
+                    f"{name}_sum{_label_block(labels)} {instrument.total}")
+                lines.append(
+                    f"{name}_count{_label_block(labels)} {instrument.count}")
+        return "\n".join(lines) + "\n" if lines else ""

@@ -28,13 +28,37 @@ be re-nested offline.
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
+import weakref
 from collections import deque
 
 _encode = json.JSONEncoder(separators=(",", ":"), default=str).encode
 """Shared compact encoder: skips the per-call dispatch inside
 ``json.dumps`` (the sink serializes tens of thousands of events)."""
+
+_LIVE_TRACERS: "weakref.WeakSet" = weakref.WeakSet()
+"""Every enabled tracer, so an interpreter exit can flush buffered
+sinks (see :func:`close_all`, registered with :mod:`atexit`)."""
+
+
+def close_all() -> None:
+    """Close every live tracer's sink (idempotent).
+
+    A :class:`BufferedJsonlSink` holds up to ``flush_every`` serialized
+    lines in memory; a ``sys.exit`` mid-run (or any exit path that
+    skips ``tracer.close()``) would silently drop that tail and leave a
+    trace that parses but under-reports.  Registered with
+    :mod:`atexit` as a safety net — orderly code should still close its
+    tracer (or use it as a context manager) so the file is complete as
+    soon as the run ends.
+    """
+    for tracer in list(_LIVE_TRACERS):
+        tracer.close()
+
+
+atexit.register(close_all)
 
 
 class NullSink:
@@ -82,6 +106,12 @@ class JsonlSink:
         if not self._handle.closed:
             self._handle.close()
 
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class BufferedJsonlSink:
     """A :class:`JsonlSink` with coalesced dispatch.
@@ -121,6 +151,12 @@ class BufferedJsonlSink:
             self.flush()
             self._handle.close()
 
+    def __enter__(self) -> "BufferedJsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class Span:
     """One in-flight multi-step operation.
@@ -134,10 +170,12 @@ class Span:
     """
 
     __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs",
-                 "_t0", "_stats", "_before", "_lexical", "_done")
+                 "_t0", "_stats", "_before", "_log_before", "_lexical",
+                 "_done")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
-                 parent_id, attrs: dict, stats, lexical: bool) -> None:
+                 parent_id, attrs: dict, stats, lexical: bool,
+                 log_split: bool = False) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
@@ -147,6 +185,11 @@ class Span:
         # a scalar (reads, writes) pair: the delta needs no per-disk
         # breakdown, so a full IOStats.snapshot() per span is waste
         self._before = (stats.reads, stats.writes) if stats is not None else None
+        # log_split additionally captures the log-device share of the
+        # delta; it sums per-device counters, so it is opt-in (recovery
+        # phases and other rare spans, never the per-operation hot path)
+        self._log_before = (stats.log_transfers
+                            if log_split and stats is not None else None)
         self._lexical = lexical
         self._done = False
         self._t0 = time.perf_counter()
@@ -172,6 +215,9 @@ class Span:
             self.attrs["reads"] = reads
             self.attrs["writes"] = writes
             self.attrs["transfers"] = reads + writes
+            if self._log_before is not None:
+                self.attrs["log_transfers"] = (stats.log_transfers
+                                               - self._log_before)
         tracer = self._tracer
         if self._lexical:
             tracer._pop_span(self)
@@ -230,6 +276,35 @@ class Tracer:
         self._t0_ns = time.perf_counter_ns()
         self._stack: list = []      # lexical span ids, innermost last
         self._next_span_id = 1
+        self._observers: list = []
+        if self.enabled:
+            _LIVE_TRACERS.add(self)
+
+    close_all = staticmethod(close_all)
+    """Flush-and-close every live tracer (module-level :func:`close_all`,
+    exposed on the class for discoverability)."""
+
+    # -- observers -----------------------------------------------------------
+
+    def add_observer(self, observe) -> None:
+        """Attach a live event observer: ``observe(event_dict)`` is
+        called after the sink for every emitted event.
+
+        Observers are how online consumers (the recovery profiler, the
+        model-drift detector) watch the stream without owning the sink.
+        They only see events while the tracer is enabled; to observe
+        without recording, construct the tracer over a
+        :class:`NullSink`.  Observers must not mutate the event.
+        """
+        self._observers.append(observe)
+
+    def remove_observer(self, observe) -> None:
+        """Detach an observer added with :meth:`add_observer`."""
+        self._observers.remove(observe)
+
+    def _notify(self, event: dict) -> None:
+        for observe in self._observers:
+            observe(event)
 
     # -- events --------------------------------------------------------------
 
@@ -250,6 +325,8 @@ class Tracer:
         if attrs:
             event["attrs"] = attrs
         self.sink.emit(event)
+        if self._observers:
+            self._notify(event)
 
     def emit_costed(self, name: str, window, **attrs) -> None:
         """Emit one event carrying a transfer-count delta.
@@ -286,29 +363,34 @@ class Tracer:
         if attrs:
             event["attrs"] = attrs
         self.sink.emit(event)
+        if self._observers:
+            self._notify(event)
 
     # -- spans ---------------------------------------------------------------
 
-    def span(self, name: str, stats=None, **attrs):
+    def span(self, name: str, stats=None, log_split: bool = False, **attrs):
         """A lexical span: use as a context manager.  Child events and
-        spans opened inside it reference it via ``"span"``/``"parent"``."""
+        spans opened inside it reference it via ``"span"``/``"parent"``.
+        ``log_split=True`` additionally records the log-device share of
+        the transfer delta as ``attrs.log_transfers``."""
         if not self.enabled:
             return _NULL_SPAN
         span = Span(self, name, self._next_span_id,
                     self._stack[-1] if self._stack else None,
-                    attrs, stats, lexical=True)
+                    attrs, stats, lexical=True, log_split=log_split)
         self._next_span_id += 1
         self._stack.append(span.span_id)
         return span
 
-    def start_span(self, name: str, stats=None, **attrs):
+    def start_span(self, name: str, stats=None, log_split: bool = False,
+                   **attrs):
         """A detached span: caller keeps the handle and calls
         :meth:`Span.finish` later (possibly from another call frame)."""
         if not self.enabled:
             return _NULL_SPAN
         span = Span(self, name, self._next_span_id,
                     self._stack[-1] if self._stack else None,
-                    attrs, stats, lexical=False)
+                    attrs, stats, lexical=False, log_split=log_split)
         self._next_span_id += 1
         return span
 
@@ -329,6 +411,7 @@ class Tracer:
         """Close the sink (flushes a JSONL sink to disk)."""
         if self.sink is not None:
             self.sink.close()
+        _LIVE_TRACERS.discard(self)
 
     def __enter__(self) -> "Tracer":
         return self
@@ -367,13 +450,20 @@ class LabelledTracer:
     def emit_costed(self, name: str, window, **attrs) -> None:
         self._inner.emit_costed(name, window, **{**self._labels, **attrs})
 
-    def span(self, name: str, stats=None, **attrs):
-        return self._inner.span(name, stats=stats,
+    def span(self, name: str, stats=None, log_split: bool = False, **attrs):
+        return self._inner.span(name, stats=stats, log_split=log_split,
                                 **{**self._labels, **attrs})
 
-    def start_span(self, name: str, stats=None, **attrs):
-        return self._inner.start_span(name, stats=stats,
+    def start_span(self, name: str, stats=None, log_split: bool = False,
+                   **attrs):
+        return self._inner.start_span(name, stats=stats, log_split=log_split,
                                       **{**self._labels, **attrs})
+
+    def add_observer(self, observe) -> None:
+        self._inner.add_observer(observe)
+
+    def remove_observer(self, observe) -> None:
+        self._inner.remove_observer(observe)
 
     def close(self) -> None:
         self._inner.close()

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import NamedTuple
 
 from ..db.verify import verify_database
@@ -331,6 +332,10 @@ class PlanOutcome:
     violations: list = field(default_factory=list)
     winners: list = field(default_factory=list)
     detail: str = ""
+    # per-crash-point recovery profile: wall-clock MTTR plus the restart
+    # statistics (sweep databases run untraced, so this is the stats-level
+    # view; the span-level breakdown needs a traced run)
+    recovery: dict = field(default_factory=dict)
 
 
 def _execute(db, ops, txn_ids: dict, commit_spans: dict,
@@ -418,6 +423,7 @@ def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
     injector.apply_log_damage()
 
     violations: list = []
+    recover_t0 = perf_counter()
     try:
         stats = db.recover()
     except UnrecoverableDataError as error:
@@ -430,6 +436,16 @@ def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
         violations.append(Violation(
             "recovery-error", f"{type(error).__name__}: {error}"))
         return PlanOutcome(plan, "violation", violations, [], str(error))
+    recovery = {
+        "mttr_ms": round((perf_counter() - recover_t0) * 1e3, 3),
+        "winners": len(stats["winners"]),
+        "losers": len(stats["losers"]),
+        **{key: stats[key]
+           for key in ("sectors_repaired", "parity_resynced",
+                       "parity_undone_pages", "redo_applied",
+                       "log_undo_applied", "page_transfers")
+           if key in stats},
+    }
 
     for problem in verify_database(db):
         violations.append(Violation("verify", problem))
@@ -464,7 +480,7 @@ def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
 
     outcome = "violation" if violations else "recovered"
     return PlanOutcome(plan, outcome, violations,
-                       sorted(winner_labels, key=repr))
+                       sorted(winner_labels, key=repr), recovery=recovery)
 
 
 # -- sweeps ----------------------------------------------------------------
@@ -497,6 +513,30 @@ class FaultSweepReport:
         """True when every schedule recovered or detected its damage."""
         return not self.violations
 
+    def recovery_summary(self) -> dict:
+        """Aggregate MTTR/cost statistics over the runs that recovered."""
+        profiles = [r.recovery for r in self.results if r.recovery]
+        if not profiles:
+            return {"recovered_runs": 0}
+        mttrs = [p["mttr_ms"] for p in profiles]
+        return {
+            "recovered_runs": len(profiles),
+            "mttr_ms": {
+                "mean": round(sum(mttrs) / len(mttrs), 3),
+                "max": round(max(mttrs), 3),
+                "total": round(sum(mttrs), 3),
+            },
+            "page_transfers": sum(p.get("page_transfers", 0)
+                                  for p in profiles),
+            "sectors_repaired": sum(p.get("sectors_repaired", 0)
+                                    for p in profiles),
+            "parity_undone_pages": sum(p.get("parity_undone_pages", 0)
+                                       for p in profiles),
+            "redo_applied": sum(p.get("redo_applied", 0) for p in profiles),
+            "log_undo_applied": sum(p.get("log_undo_applied", 0)
+                                    for p in profiles),
+        }
+
     def to_dict(self) -> dict:
         return {
             "write_count": len(self.schedule),
@@ -507,6 +547,7 @@ class FaultSweepReport:
             "counts": self.counts,
             "clean": self.clean,
             "violations_by_kind": self.violations_by_kind(),
+            "recovery": self.recovery_summary(),
             "runs": [{
                 "crash_after": r.plan.crash_after,
                 "mode": r.plan.mode,
@@ -515,6 +556,7 @@ class FaultSweepReport:
                 "detail": r.detail,
                 "violations": [{"kind": v.kind, "detail": v.detail}
                                for v in r.violations],
+                "recovery": r.recovery,
             } for r in self.results],
         }
 
@@ -554,5 +596,6 @@ def run_sweep(make_db, ops, modes=MODES, tracer=None) -> FaultSweepReport:
                             index=entry.index, kind=entry.kind,
                             device=entry.device, slot=entry.slot,
                             mode=mode, outcome=result.outcome,
-                            violations=len(result.violations))
+                            violations=len(result.violations),
+                            mttr_ms=result.recovery.get("mttr_ms"))
     return report

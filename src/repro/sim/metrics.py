@@ -8,7 +8,7 @@ consumed, scaled by T.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 DEFAULT_T = 5_000_000
 """The paper's availability-interval length (page transfers)."""
@@ -59,6 +59,15 @@ class SimulationReport:
         if self.transactions == 0:
             return 0.0
         return self.page_transfers / self.transactions
+
+    def to_dict(self) -> dict:
+        """JSON-friendly document (``repro simulate --report-out``):
+        the dataclass fields plus the derived throughput/cost figures."""
+        doc = asdict(self)
+        doc["transactions"] = self.transactions
+        doc["throughput"] = round(self.throughput(), 3)
+        doc["cost_per_transaction"] = round(self.cost_per_transaction(), 3)
+        return doc
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -16,8 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from time import perf_counter
+
 from ..db.database import Database, LockWait
 from ..errors import DeadlockError
+from ..obs.recovery_profile import RecoveryProfile
 from .metrics import SimulationReport
 from .workload import WorkloadGenerator, WorkloadSpec
 
@@ -66,6 +69,15 @@ class Simulator:
         if timed:
             from .timed import TimedObserver
             self.observer = TimedObserver.attach(db)
+        # recovery profiling needs the phase-span stream, so it exists
+        # exactly when tracing does; this also keeps untraced reports
+        # byte-identical across runs (wall-clock MTTR is not
+        # deterministic, the determinism suite runs untraced)
+        self.profile = None
+        if db.tracer.enabled:
+            self.profile = RecoveryProfile(
+                recovery_class=db.config.algorithm_name)
+            db.tracer.add_observer(self.profile.observe)
 
     def seed_records(self) -> None:
         """Record-mode setup: format every page and put one record in
@@ -87,6 +99,7 @@ class Simulator:
                 completed transactions (exercises restart recovery under
                 load).
         """
+        run_t0 = perf_counter() if self.profile is not None else None
         finished_at_last_crash = 0
         while self.report.transactions < transactions:
             self._fill_slots(transactions)
@@ -100,6 +113,9 @@ class Simulator:
                     >= crash_every):
                 self.crash_and_recover()
                 finished_at_last_crash = self.report.transactions
+        if self.profile is not None:
+            self.profile.finalize(
+                run_wall_ms=(perf_counter() - run_t0) * 1e3)
         self._finalize_metrics()
         return self.report
 
@@ -216,11 +232,15 @@ class Simulator:
         """Crash the database mid-load, recover, roll live state forward."""
         self.db.tracer.emit("sim.crash", live_txns=len(self._live),
                             finished=self.report.transactions)
+        if self.profile is not None:
+            self.profile.begin_cycle()
         self.db.crash()
         if self.conformance is not None:
             self.conformance.crash()
         before = self.db.stats.total
         stats = self.db.recover()
+        if self.profile is not None:
+            self.profile.end_cycle(stats)
         self.report.crashes += 1
         self.report.recovery_transfers += self.db.stats.total - before
         # every in-flight transaction died with main memory
@@ -259,6 +279,8 @@ class Simulator:
             self.report.extra["metrics"] = self.db.metrics.snapshot()
         if self.db.tracer.enabled:
             self.report.extra["trace_events"] = self.db.tracer.events_emitted
+        if self.profile is not None and self.profile.crashes:
+            self.report.extra["recovery_profile"] = self.profile.to_dict()
 
 
 def run_workload(db: Database, spec: WorkloadSpec, transactions: int,

@@ -1,0 +1,129 @@
+"""Tests for the Chrome trace-event/Perfetto exporter: structural
+validation of the document Perfetto loads."""
+
+import json
+
+from repro.db import Database, ShardedDatabase, preset
+from repro.obs import BufferedJsonlSink, Tracer, export_chrome_trace
+from repro.obs.export import export_trace_file
+from repro.sim import Simulator, WorkloadSpec
+
+VALID_PHASES = {"X", "i", "M", "C"}
+
+
+def traced_run(tmp_path, shards=1):
+    path = tmp_path / "run.jsonl"
+    tracer = Tracer(BufferedJsonlSink(path, flush_every=8))
+    config = preset("page-force-rda", group_size=4, num_groups=16,
+                    buffer_capacity=12)
+    db = (ShardedDatabase(config, shards=shards, tracer=tracer)
+          if shards > 1 else Database(config, tracer=tracer))
+    simulator = Simulator(db, WorkloadSpec(concurrency=2, pages_per_txn=3),
+                          seed=2)
+    simulator.run(15, crash_every=8)
+    tracer.close()
+    return path
+
+
+class TestStructure:
+    def test_document_shape(self):
+        events = [
+            {"seq": 1, "ts": 0.001, "name": "txn.begin",
+             "attrs": {"txn": 1}},
+            {"seq": 2, "ts": 0.004, "name": "recovery.restart",
+             "attrs": {"dur_ms": 2.0, "transfers": 5}},
+        ]
+        doc = export_chrome_trace(events)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        for record in doc["traceEvents"]:
+            assert record["ph"] in VALID_PHASES
+            assert isinstance(record.get("name"), str)
+            if record["ph"] != "M":
+                assert isinstance(record["ts"], float)
+
+    def test_span_becomes_complete_event_with_rewound_ts(self):
+        events = [{"seq": 1, "ts": 0.010, "name": "recovery.restart",
+                   "attrs": {"dur_ms": 4.0}}]
+        doc = export_chrome_trace(events)
+        (record,) = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        # the tracer stamps span *ends*: ts 10ms, dur 4ms → start 6ms
+        assert record["ts"] == 6_000.0
+        assert record["dur"] == 4_000.0
+
+    def test_point_event_becomes_instant(self):
+        events = [{"seq": 1, "ts": 0.002, "name": "db.crash"}]
+        doc = export_chrome_trace(events)
+        (record,) = [r for r in doc["traceEvents"] if r["ph"] == "i"]
+        assert record["ts"] == 2_000.0
+        assert record["s"] == "t"
+
+    def test_recovery_phase_named_after_phase(self):
+        events = [{"seq": 1, "ts": 0.003, "name": "recovery.phase",
+                   "attrs": {"phase": "redo", "dur_ms": 1.0}}]
+        doc = export_chrome_trace(events)
+        (record,) = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert record["name"] == "recovery.redo"
+
+    def test_shard_label_maps_to_thread_track(self):
+        events = [
+            {"seq": 1, "ts": 0.001, "name": "op",
+             "attrs": {"shard": 0, "dur_ms": 0.1}},
+            {"seq": 2, "ts": 0.002, "name": "op",
+             "attrs": {"shard": 1, "dur_ms": 0.1}},
+            {"seq": 3, "ts": 0.003, "name": "facade.op"},
+        ]
+        doc = export_chrome_trace(events)
+        slices = [r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+        assert sorted(r["tid"] for r in slices) == [0, 1, 2]
+        names = {r["tid"]: r["args"]["name"] for r in doc["traceEvents"]
+                 if r["ph"] == "M" and r["name"] == "thread_name"}
+        assert names[0] == "engine"
+        assert names[1] == "shard 0"
+        assert names[2] == "shard 1"
+
+    def test_transfer_counter_track_is_cumulative(self):
+        events = [
+            {"seq": 1, "ts": 0.001, "name": "a",
+             "attrs": {"transfers": 3, "dur_ms": 0.1}},
+            {"seq": 2, "ts": 0.002, "name": "b",
+             "attrs": {"transfers": 4, "dur_ms": 0.1}},
+        ]
+        doc = export_chrome_trace(events)
+        counters = [r for r in doc["traceEvents"] if r["ph"] == "C"]
+        assert [c["args"]["transfers"] for c in counters] == [3, 7]
+        doc = export_chrome_trace(events, counters=False)
+        assert not [r for r in doc["traceEvents"] if r["ph"] == "C"]
+
+    def test_args_carry_attrs_without_dur(self):
+        events = [{"seq": 1, "ts": 0.001, "name": "op",
+                   "attrs": {"dur_ms": 1.0, "reads": 2, "page": 7}}]
+        doc = export_chrome_trace(events)
+        (record,) = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert record["args"] == {"reads": 2, "page": 7}
+
+
+class TestEndToEnd:
+    def test_real_trace_round_trips_through_json(self, tmp_path):
+        src = traced_run(tmp_path)
+        out = tmp_path / "run.perfetto.json"
+        count = export_trace_file(src, out)
+        assert count > 0
+        doc = json.loads(out.read_text())
+        phases = {r["ph"] for r in doc["traceEvents"]}
+        assert phases <= VALID_PHASES
+        assert any(r["ph"] == "X" for r in doc["traceEvents"])
+        # every complete event starts at a non-negative timestamp and
+        # the recovery phases made it onto the timeline
+        xs = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert all(r["ts"] >= 0 and r["dur"] >= 0 for r in xs)
+        assert any(r["name"].startswith("recovery.") for r in xs)
+
+    def test_sharded_trace_renders_k_tracks(self, tmp_path):
+        src = traced_run(tmp_path, shards=2)
+        out = tmp_path / "run.perfetto.json"
+        export_trace_file(src, out)
+        doc = json.loads(out.read_text())
+        tids = {r["tid"] for r in doc["traceEvents"]
+                if r["ph"] in ("X", "i")}
+        assert {1, 2} <= tids       # one track per shard

@@ -124,3 +124,109 @@ def test_jsonl_sink_round_trips_through_load_trace(tmp_path):
     # each line is standalone JSON
     lines = path.read_text().strip().splitlines()
     assert all(json.loads(line)["name"] for line in lines)
+
+
+def test_buffered_sink_context_manager_flushes(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    from repro.obs import BufferedJsonlSink
+
+    with BufferedJsonlSink(path, flush_every=1000) as sink:
+        tracer = Tracer(sink)
+        for i in range(10):
+            tracer.emit("e", i=i)
+        # nothing flushed yet: well under flush_every
+        assert path.read_text() == ""
+    assert len(load_trace(path)) == 10
+
+
+def test_observers_see_every_event_and_can_detach():
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    seen = []
+    tracer.add_observer(seen.append)
+    tracer.emit("plain", n=1)
+    with tracer.span("spanned"):
+        pass
+    assert [e["name"] for e in seen] == ["plain", "spanned"]
+    # observers receive the same dicts the sink records
+    assert seen == sink.events()
+    tracer.remove_observer(seen.append)
+    tracer.emit("after")
+    assert len(seen) == 2
+
+
+def test_observers_only_fire_while_enabled():
+    tracer = Tracer(None)
+    seen = []
+    tracer.add_observer(seen.append)
+    tracer.emit("dropped")
+    assert seen == []
+
+
+def test_labelled_tracer_delegates_observers():
+    from repro.obs import LabelledTracer
+
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    seen = []
+    labelled = LabelledTracer(tracer, shard=3)
+    labelled.add_observer(seen.append)
+    labelled.emit("op")
+    assert seen[0]["attrs"] == {"shard": 3}
+    labelled.remove_observer(seen.append)
+
+
+def test_atexit_flushes_buffered_sink_on_sys_exit(tmp_path):
+    """Satellite guarantee: a run killed mid-flight (sys.exit without
+    tracer.close()) still leaves a parseable, complete trace — the
+    atexit hook drains the buffered sink's pending tail."""
+    import subprocess
+    import sys
+
+    path = tmp_path / "killed.jsonl"
+    script = (
+        "import sys\n"
+        "from repro.obs import BufferedJsonlSink, Tracer\n"
+        f"tracer = Tracer(BufferedJsonlSink({str(path)!r}, "
+        "flush_every=10_000))\n"
+        "for i in range(123):\n"
+        "    tracer.emit('e', i=i)\n"
+        "sys.exit(3)  # no tracer.close(): the atexit hook must flush\n"
+    )
+    result = subprocess.run([sys.executable, "-c", script],
+                            capture_output=True, text=True)
+    assert result.returncode == 3, result.stderr
+    events = load_trace(path)
+    assert len(events) == 123
+    assert [e["attrs"]["i"] for e in events] == list(range(123))
+
+
+def test_close_all_is_idempotent_and_scoped_to_live_tracers(tmp_path):
+    from repro.obs import BufferedJsonlSink, close_all
+
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(BufferedJsonlSink(path, flush_every=1000))
+    tracer.emit("x")
+    close_all()
+    assert len(load_trace(path)) == 1
+    close_all()                       # second call: nothing left to close
+    assert Tracer.close_all is close_all
+
+
+def test_span_log_split_separates_log_transfers():
+    stats = IOStats()
+    sink = RingBufferSink()
+    tracer = Tracer(sink)
+    with tracer.span("recovery.phase", stats=stats, log_split=True,
+                     phase="redo"):
+        stats.record_read(0, 2)       # array disk
+        stats.record_read(-1, 3)      # log device (negative id)
+        stats.record_write(-1, 1)
+    (event,) = sink.events()
+    assert event["attrs"]["transfers"] == 6
+    assert event["attrs"]["log_transfers"] == 4
+    # without log_split the attribute is absent (hot-path spans skip
+    # the per-device summation)
+    with tracer.span("op", stats=stats):
+        stats.record_read(-1, 1)
+    assert "log_transfers" not in sink.events()[-1]["attrs"]

@@ -200,3 +200,118 @@ class TestShardedAndBackendFlags:
         out = capsys.readouterr().out
         assert "page-force-raid6" in out
         assert "@k2" in out and "@k4" in out
+
+
+class TestObservatoryCommands:
+    """export-trace, drift-check, and the simulate observability flags."""
+
+    def _trace(self, tmp_path, capsys, extra=()):
+        trace = tmp_path / "run.jsonl"
+        assert main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--crash-every", "15",
+                     "--trace-out", str(trace), *extra]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_simulate_prints_recovery_breakdown(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--crash-every", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery      :" in out
+        assert "MTTR mean" in out
+        assert "analysis" in out
+
+    def test_simulate_sharded_recovery_breakdown(self, capsys):
+        code = main(["simulate", "--preset", "page-noforce-rda",
+                     "--shards", "2", "--transactions", "40",
+                     "--crash-every", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTTR mean" in out
+        assert "redo" in out
+
+    def test_simulate_report_out_includes_profile(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--crash-every", "15",
+                     "--report-out", str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["crashes"] > 0
+        profile = report["extra"]["recovery_profile"]
+        assert profile["mttr_ms"]["mean"] > 0
+        assert "analysis" in profile["phases"]
+
+    def test_simulate_drift_check_clean(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--transactions", "40", "--drift-check"])
+        assert code == 0
+        assert "drift check   : clean" in capsys.readouterr().out
+
+    def test_export_trace_writes_perfetto_json(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        out_path = tmp_path / "run.perfetto.json"
+        assert main(["export-trace", str(trace),
+                     "--out", str(out_path)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert {r["ph"] for r in doc["traceEvents"]} <= {"X", "i", "M", "C"}
+
+    def test_export_trace_default_output_path(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["export-trace", str(trace)]) == 0
+        assert (tmp_path / "run.jsonl.perfetto.json").exists()
+
+    def test_export_trace_missing_file(self, capsys):
+        assert main(["export-trace", "/no/such/trace.jsonl"]) == 1
+        assert "export-trace:" in capsys.readouterr().out
+
+    def test_drift_check_clean_trace(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["drift-check", str(trace)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_drift_check_json_verdict(self, capsys, tmp_path):
+        trace = self._trace(tmp_path, capsys)
+        assert main(["drift-check", str(trace), "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["clean"] is True
+        assert verdict["checked"]
+
+    def test_drift_check_flags_mispriced_trace(self, capsys, tmp_path):
+        # a doctored trace: every unbuffered small write costs one
+        # transfer more than the model says it may
+        trace = tmp_path / "drifted.jsonl"
+        with trace.open("w") as handle:
+            for seq in range(1, 11):
+                handle.write(json.dumps({
+                    "seq": seq, "ts": seq / 1000,
+                    "name": "array.small_write",
+                    "attrs": {"buffered": False, "twins": 1, "reads": 3,
+                              "writes": 2, "transfers": 5}}) + "\n")
+        assert main(["drift-check", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "alarm" in out
+        assert "model predicts 4" in out
+
+    def test_fault_sweep_prints_recovery_mttr(self, capsys):
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--fault-sweep", "--fault-modes", "clean",
+                     "--num-groups", "40", "--group-size", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTTR mean" in out
+
+    def test_fault_report_carries_recovery_profiles(self, capsys, tmp_path):
+        report_path = tmp_path / "sweep.json"
+        code = main(["simulate", "--preset", "page-force-rda",
+                     "--fault-sweep", "--fault-modes", "clean",
+                     "--num-groups", "40", "--group-size", "4",
+                     "--fault-report", str(report_path)])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["recovery"]["recovered_runs"] > 0
+        assert report["recovery"]["mttr_ms"]["mean"] > 0
+        recovered = [r for r in report["runs"] if r["outcome"] == "recovered"]
+        assert all(r["recovery"]["mttr_ms"] >= 0 for r in recovered)
