@@ -285,6 +285,55 @@ def _cmd_check(args) -> int:
     return 0 if all(run.clean for run in runs) else 1
 
 
+def _cmd_stress(args) -> int:
+    """Nemesis-driven continuous chaos (``repro stress``)."""
+    from .stress import (PROFILES, StressOptions, default_matrix,
+                         format_stress_report, matrix_to_dict,
+                         run_stress_matrix)
+
+    if args.nemesis_profile not in PROFILES:
+        print(f"stress: unknown nemesis profile {args.nemesis_profile!r}; "
+              f"choose from {sorted(PROFILES)}")
+        return 2
+    ops = args.ops
+    if ops is None and args.duration is None:
+        ops = 64    # CI smoke default: deterministic, ~8 ticks per cell
+    common = dict(ops=ops, duration_s=args.duration,
+                  batch_size=args.batch, seed=args.seed,
+                  nemesis_profile=args.nemesis_profile,
+                  flush_horizon=args.group_commit,
+                  baseline=not args.no_baseline,
+                  drift_check=args.drift_check)
+    try:
+        if args.preset is not None:
+            if args.preset not in extended_preset_names():
+                print(f"stress: unknown preset {args.preset!r}; "
+                      f"choose from {extended_preset_names()}")
+                return 2
+            cells = [StressOptions(preset=args.preset, shards=args.shards,
+                                   **common)]
+        else:
+            # the acceptance matrix: every recovery class at K=1 plus a
+            # K=2 group-commit cell (--shards applies to --preset runs)
+            cells = default_matrix(**common)
+    except ModelError as error:
+        print(f"stress: {error}")
+        return 2
+    reports = run_stress_matrix(cells)
+    print(format_stress_report(reports))
+    payload = matrix_to_dict(reports)
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"\nstress report : {args.report_out}")
+    totals = payload["totals"]
+    print(f"\nfaults        : {totals['faults_survived']}/"
+          f"{totals['faults_injected']} survived across "
+          f"{totals['distinct_fault_kinds']} kinds "
+          f"({totals['faults_survived_per_hour']}/hour)")
+    return 0 if payload["clean"] else 1
+
+
 def _cmd_inspect_trace(args) -> int:
     try:
         rows = aggregate_trace_file(args.trace)
@@ -468,6 +517,39 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--report-out", metavar="FILE", default=None,
                        help="write the verdict (JSON) to FILE")
     check.set_defaults(func=_cmd_check)
+
+    stress = sub.add_parser(
+        "stress",
+        help="nemesis-driven continuous chaos with live judging")
+    stress.add_argument("--preset", default=None,
+                        help="run one cell (default: the acceptance matrix "
+                             "of all four RDA classes at K=1 plus K=2)")
+    stress.add_argument("--shards", type=int, default=1,
+                        help="K for a --preset run (matrix mode sets its "
+                             "own K per cell)")
+    stress.add_argument("--group-commit", type=int, default=2,
+                        metavar="H", help="flush horizon for sharded cells")
+    stress.add_argument("--ops", type=int, default=None,
+                        help="completed transactions per cell "
+                             "(default 64: the deterministic CI smoke)")
+    stress.add_argument("--duration", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget per cell (soak mode; "
+                             "combine with --ops for whichever trips first)")
+    stress.add_argument("--batch", type=int, default=8,
+                        help="transactions per batch between nemesis ticks")
+    stress.add_argument("--seed", type=int, default=0)
+    stress.add_argument("--nemesis-profile", default="default",
+                        help="fault mix: default, aggressive, media-heavy, "
+                             "crash-only, mutation")
+    stress.add_argument("--no-baseline", action="store_true",
+                        help="skip the fault-free baseline pass "
+                             "(no chaos-ratio in the report)")
+    stress.add_argument("--drift-check", action="store_true",
+                        help="watch measured costs against the analytical "
+                             "model during chaos (alarms fail the run)")
+    stress.add_argument("--report-out", metavar="FILE", default=None,
+                        help="write the stress report (JSON) to FILE")
+    stress.set_defaults(func=_cmd_stress)
 
     inspect_trace = sub.add_parser(
         "inspect-trace",

@@ -469,6 +469,12 @@ class Database:
         forward from, or leave None if archive media recovery is not in
         use.  Returns the number of records discarded.
         """
+        if self.rda is not None:
+            # committed steals leave stale WORKING twin headers behind
+            # (commit is a memory-only flip); the crash scan resolves
+            # them against the commit records this trim may discard, so
+            # seal them durably first
+            self.rda.seal_stale_working_headers()
         candidates = [self.undo_log.last_lsn + 1]
         for txn in self.txns.active_transactions():
             lsn = self._bot_lsns.get(txn.txn_id)

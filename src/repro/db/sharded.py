@@ -510,7 +510,13 @@ class ShardedDatabase:
         return self.checkpointer.checkpoint()
 
     def trim_log(self, archive_floor: int | None = None) -> int:
-        """Trim every shard's log; returns total records discarded."""
+        """Trim every shard's log; returns total records discarded.
+
+        The coordinator is drained first: trimming records whose force
+        is still batch-deferred is safe only via the crash contract,
+        and draining keeps every log's forced horizon pointing at
+        bytes that actually exist."""
+        self.coordinator.flush()
         return sum(shard.trim_log(archive_floor=archive_floor)
                    for shard in self.shards)
 

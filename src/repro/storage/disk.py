@@ -82,6 +82,15 @@ class SimulatedDisk:
         self._written.clear()
         self._failed = False
 
+    def slot_written(self, slot: int) -> bool:
+        """True when the slot has ever stored checksummed bytes.
+
+        Corruption injected into a never-written slot is *undetectable*
+        (there is no checksum to contradict), so fault injectors that
+        need the scrubber to find their damage should target written
+        slots only."""
+        return slot in self._written
+
     def corrupt(self, slot: int) -> None:
         """Inject a latent sector error: flip bits without updating the
         checksum, so the next read raises

@@ -1,0 +1,46 @@
+"""Continuous chaos: nemesis scheduling, phased stress workloads, live
+judging and stress reporting (``repro stress``).
+
+The pieces, innermost first:
+
+* :mod:`~repro.stress.nemesis` — :class:`NemesisProfile` /
+  :class:`Nemesis` (seeded weighted fault scheduling) and
+  :class:`ActiveFaultRegistry` (attribution windows).
+* :mod:`~repro.stress.workload` — :class:`StressWorkload`, a rotating
+  phase mix (hot Zipf writes / scan reads / mixed) over the PR-2
+  :class:`~repro.sim.workload.WorkloadGenerator`.
+* :mod:`~repro.stress.runner` — :class:`StressRunner`, the chaos loop
+  wiring the PR-4 oracles (invariant engine, differential mirror,
+  structural verify) and the PR-7 recovery profile into every fault's
+  open window.
+* :mod:`~repro.stress.report` — :class:`StressReport` and its JSON /
+  table renderings.
+"""
+
+from .nemesis import (FAULT_KINDS, PROFILES, ActiveFault,
+                      ActiveFaultRegistry, Nemesis, NemesisProfile,
+                      resolve_profile)
+from .report import StressReport, format_stress_report, matrix_to_dict
+from .runner import (StressOptions, StressRunner, default_matrix,
+                     run_stress_matrix)
+from .workload import StressPhase, StressWorkload, default_phases
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROFILES",
+    "ActiveFault",
+    "ActiveFaultRegistry",
+    "Nemesis",
+    "NemesisProfile",
+    "StressOptions",
+    "StressPhase",
+    "StressReport",
+    "StressRunner",
+    "StressWorkload",
+    "default_matrix",
+    "default_phases",
+    "format_stress_report",
+    "matrix_to_dict",
+    "resolve_profile",
+    "run_stress_matrix",
+]

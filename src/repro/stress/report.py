@@ -1,0 +1,203 @@
+"""Stress-run verdicts: per-cell :class:`StressReport` and rendering.
+
+The report is the contract between the chaos loop and everything that
+consumes it (CI gates, the soak tests, a human reading the table).  Its
+headline figures follow the reliability-engineering framing rather than
+the benchmark framing:
+
+* **faults survived / hour** — how much verified chaos the configuration
+  absorbs per unit time (a fault *survives* only if injected, repaired,
+  and judged clean by every oracle);
+* **throughput under chaos vs. fault-free baseline** — committed
+  transactions per second with the nemesis on, as a fraction of the
+  same workload+judges with the nemesis off (so the ratio isolates the
+  faults, not the judging overhead);
+* **MTTR samples** — per-cycle recovery times from the PR-7
+  :class:`~repro.obs.recovery_profile.RecoveryProfile`, fed by the
+  runner's injectable clock so deterministic runs stay byte-identical.
+
+Every timestamp in a report comes from the runner's clock parameter —
+``json.dumps(report.to_dict(), sort_keys=True)`` is byte-identical
+across runs of the same seed when a deterministic clock is supplied
+(see ``tests/stress/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StressReport:
+    """Verdict for one stress cell (one preset × shard count)."""
+
+    preset: str
+    shards: int
+    seed: int
+    nemesis_profile: str
+    ticks: int = 0
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    faults_injected: int = 0
+    faults_survived: int = 0
+    injected_by_kind: Dict[str, int] = field(default_factory=dict)
+    survived_by_kind: Dict[str, int] = field(default_factory=dict)
+    violations: List[dict] = field(default_factory=list)
+    phase_batches: Dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+    baseline_duration_s: float = 0.0
+    baseline_committed: int = 0
+    mttr: Optional[dict] = None
+    drift: Optional[dict] = None
+    schedule: List[dict] = field(default_factory=list)
+    faults: List[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Zero violations and no drift alarms (when drift was checked)."""
+        if self.violations:
+            return False
+        if self.drift is not None and self.drift.get("alarms"):
+            return False
+        return True
+
+    @property
+    def faults_survived_per_hour(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.faults_survived * 3600.0 / self.duration_s
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions/second under chaos."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.committed / self.duration_s
+
+    @property
+    def baseline_throughput(self) -> float:
+        if self.baseline_duration_s <= 0:
+            return 0.0
+        return self.baseline_committed / self.baseline_duration_s
+
+    @property
+    def chaos_ratio(self) -> Optional[float]:
+        """Throughput under chaos / fault-free throughput (None when no
+        baseline was run)."""
+        baseline = self.baseline_throughput
+        if baseline <= 0:
+            return None
+        return self.throughput / baseline
+
+    def to_dict(self) -> dict:
+        ratio = self.chaos_ratio
+        return {
+            "preset": self.preset,
+            "shards": self.shards,
+            "seed": self.seed,
+            "nemesis_profile": self.nemesis_profile,
+            "ticks": self.ticks,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "deadlocks": self.deadlocks,
+            "duration_s": round(self.duration_s, 6),
+            "throughput_txn_s": round(self.throughput, 3),
+            "baseline": {
+                "committed": self.baseline_committed,
+                "duration_s": round(self.baseline_duration_s, 6),
+                "throughput_txn_s": round(self.baseline_throughput, 3),
+            },
+            "chaos_ratio": None if ratio is None else round(ratio, 4),
+            "faults": {
+                "injected": self.faults_injected,
+                "survived": self.faults_survived,
+                "injected_by_kind": dict(sorted(
+                    self.injected_by_kind.items())),
+                "survived_by_kind": dict(sorted(
+                    self.survived_by_kind.items())),
+                "survived_per_hour": round(
+                    self.faults_survived_per_hour, 2),
+                "log": self.faults,
+            },
+            "violations": self.violations,
+            "clean": self.clean,
+            "phase_batches": dict(sorted(self.phase_batches.items())),
+            "mttr": self.mttr,
+            "drift": self.drift,
+            "schedule": self.schedule,
+        }
+
+
+def matrix_to_dict(reports: List[StressReport]) -> dict:
+    """Aggregate verdict for a multi-cell run (the CLI's JSON shape)."""
+    injected: Dict[str, int] = {}
+    survived: Dict[str, int] = {}
+    for report in reports:
+        for kind, count in report.injected_by_kind.items():
+            injected[kind] = injected.get(kind, 0) + count
+        for kind, count in report.survived_by_kind.items():
+            survived[kind] = survived.get(kind, 0) + count
+    total_s = sum(report.duration_s for report in reports)
+    total_survived = sum(report.faults_survived for report in reports)
+    return {
+        "clean": all(report.clean for report in reports),
+        "cells": [report.to_dict() for report in reports],
+        "totals": {
+            "faults_injected": sum(r.faults_injected for r in reports),
+            "faults_survived": total_survived,
+            "distinct_fault_kinds": len(injected),
+            "injected_by_kind": dict(sorted(injected.items())),
+            "survived_by_kind": dict(sorted(survived.items())),
+            "faults_survived_per_hour": round(
+                total_survived * 3600.0 / total_s, 2) if total_s > 0 else 0.0,
+            "committed": sum(r.committed for r in reports),
+            "violations": sum(len(r.violations) for r in reports),
+        },
+    }
+
+
+def format_stress_report(reports: List[StressReport]) -> str:
+    """Human-readable table for one or more stress cells."""
+    lines: List[str] = []
+    header = (f"{'cell':<28} {'ticks':>5} {'txns':>6} {'faults':>9} "
+              f"{'f/hr':>8} {'chaos%':>7} {'viol':>5}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for report in reports:
+        cell = f"{report.preset} K={report.shards}"
+        faults = f"{report.faults_survived}/{report.faults_injected}"
+        ratio = report.chaos_ratio
+        chaos = f"{ratio * 100:6.1f}%" if ratio is not None else "    n/a"
+        verdict = "ok" if report.clean else "VIOLATIONS"
+        lines.append(f"{cell:<28} {report.ticks:>5} {report.committed:>6} "
+                     f"{faults:>9} {report.faults_survived_per_hour:>8.1f} "
+                     f"{chaos:>7} {len(report.violations):>5}  {verdict}")
+    injected: Dict[str, int] = {}
+    survived: Dict[str, int] = {}
+    for report in reports:
+        for kind, count in report.injected_by_kind.items():
+            injected[kind] = injected.get(kind, 0) + count
+        for kind, count in report.survived_by_kind.items():
+            survived[kind] = survived.get(kind, 0) + count
+    lines.append("")
+    lines.append("fault kinds (survived/injected): " + "  ".join(
+        f"{kind}={survived.get(kind, 0)}/{count}"
+        for kind, count in sorted(injected.items())))
+    dirty = [report for report in reports if not report.clean]
+    if dirty:
+        lines.append("")
+        for report in dirty:
+            for violation in report.violations[:10]:
+                lines.append(
+                    f"  VIOLATION [{report.preset} K={report.shards}] "
+                    f"tick={violation['tick']} {violation['kind']}: "
+                    f"{violation['detail']} "
+                    f"(active faults: "
+                    f"{', '.join(violation['active_faults']) or 'none'})")
+            extra = len(report.violations) - 10
+            if extra > 0:
+                lines.append(f"  ... and {extra} more in "
+                             f"{report.preset} K={report.shards}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Phased mixed workload for continuous chaos runs.
+
+A soak should not hammer one access pattern: the paper's two
+environments (high-update and high-retrieval, Section 5) stress
+different recovery costs, and skewed point writes stress the twin
+array's hot arms in ways a uniform mix never does.  A
+:class:`StressWorkload` therefore rotates through :class:`StressPhase`
+segments — hot/cold Zipf point writes, large scan-like read
+transactions, a mixed multi-transaction phase — re-entering each phase
+round-robin for as long as the run lasts.
+
+Each phase owns one :class:`~repro.sim.simulator.Simulator` (created on
+first entry, *reused* on every revisit so its
+:class:`~repro.sim.workload.WorkloadGenerator` stream continues instead
+of restarting), with a per-phase seed derived deterministically from
+the base seed.  Against a :class:`~repro.db.sharded.ShardedDatabase`
+the page space spans all K shards, so every phase naturally issues
+multi-shard transactions; the scan phase's 32-page scripts are all but
+guaranteed to cross shard boundaries.
+
+A *batch* — the unit between two nemesis ticks — always ends quiesced:
+``Simulator.run`` commits or aborts every in-flight transaction before
+returning, so the nemesis may crash, fail disks, or kill shards without
+racing an open transaction, and the differential mirror's committed
+state is well-defined at every judgment point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..sim.simulator import Simulator
+from ..sim.workload import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class StressPhase:
+    """One workload regime in the rotation.
+
+    Args:
+        name: phase label (appears in the stress report).
+        spec: the workload knobs driven while this phase is active.
+        batches: consecutive batches run before rotating on.
+    """
+
+    name: str
+    spec: WorkloadSpec
+    batches: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batches < 1:
+            raise ModelError("phase batches must be >= 1")
+
+
+def default_phases() -> List[StressPhase]:
+    """The standard three-regime rotation.
+
+    * ``hot-writes`` — skewed (Zipf 1.1) point updates: the high-update
+      environment concentrated on a hot set, maximizing twin/parity
+      churn on few arms.
+    * ``scan-reads`` — 32-page read-mostly transactions with low
+      communality: long scripts that sweep cold pages through the
+      buffer (and span shards when K > 1).
+    * ``mixed`` — the paper's high-update environment as-is, uniform.
+    """
+    return [
+        StressPhase(
+            name="hot-writes",
+            spec=WorkloadSpec(concurrency=4, pages_per_txn=6,
+                              update_txn_fraction=0.9,
+                              update_probability=0.9,
+                              abort_probability=0.02,
+                              communality=0.3, skew=1.1)),
+        StressPhase(
+            name="scan-reads",
+            spec=WorkloadSpec(concurrency=3, pages_per_txn=32,
+                              update_txn_fraction=0.1,
+                              update_probability=0.3,
+                              abort_probability=0.01,
+                              communality=0.1, skew=0.0)),
+        StressPhase(
+            name="mixed",
+            spec=WorkloadSpec(concurrency=6, pages_per_txn=10,
+                              update_txn_fraction=0.8,
+                              update_probability=0.9,
+                              abort_probability=0.01,
+                              communality=0.5, skew=0.0)),
+    ]
+
+
+class StressWorkload:
+    """Rotating phased driver over one database.
+
+    Args:
+        db: engine under stress (single or sharded).
+        phases: the rotation; defaults to :func:`default_phases`.
+        seed: base seed; phase ``i`` gets generator seed
+            ``seed * 1000 + i`` so phases draw independent streams.
+        conformance: optional shared mirror observing every phase's
+            operation stream (txn ids are globally unique, so one
+            mirror serves all phase simulators).
+    """
+
+    def __init__(self, db, phases: Optional[Sequence[StressPhase]] = None,
+                 seed: int = 0, conformance=None) -> None:
+        self.db = db
+        self.phases = list(phases) if phases is not None else default_phases()
+        if not self.phases:
+            raise ModelError("stress workload needs at least one phase")
+        self.seed = seed
+        self.conformance = conformance
+        self._sims: List[Optional[Simulator]] = [None] * len(self.phases)
+        self._index = 0
+        self._in_phase = 0
+        self.batches_run = 0
+        self.phase_batches: dict = {phase.name: 0 for phase in self.phases}
+
+    @property
+    def current_phase(self) -> StressPhase:
+        return self.phases[self._index]
+
+    def _simulator(self, index: int) -> Simulator:
+        sim = self._sims[index]
+        if sim is None:
+            sim = Simulator(self.db, self.phases[index].spec,
+                            seed=self.seed * 1000 + index,
+                            conformance=self.conformance)
+            self._sims[index] = sim
+        return sim
+
+    def run_batch(self, batch_size: int) -> Tuple[str, int, int]:
+        """Run one quiesced batch in the current phase, then maybe rotate.
+
+        Returns ``(phase_name, committed_delta, aborted_delta)``.
+        """
+        if batch_size < 1:
+            raise ModelError("batch_size must be >= 1")
+        phase = self.current_phase
+        sim = self._simulator(self._index)
+        committed0, aborted0 = sim.report.committed, sim.report.aborted
+        sim.run(sim.report.transactions + batch_size)
+        self.batches_run += 1
+        self.phase_batches[phase.name] += 1
+        self._in_phase += 1
+        if self._in_phase >= phase.batches:
+            self._in_phase = 0
+            self._index = (self._index + 1) % len(self.phases)
+        return (phase.name, sim.report.committed - committed0,
+                sim.report.aborted - aborted0)
+
+    @property
+    def committed(self) -> int:
+        return sum(sim.report.committed for sim in self._sims if sim)
+
+    @property
+    def aborted(self) -> int:
+        return sum(sim.report.aborted for sim in self._sims if sim)
+
+    @property
+    def deadlocks(self) -> int:
+        return sum(sim.report.deadlocks for sim in self._sims if sim)

@@ -327,6 +327,13 @@ class LogManager:
         byte_offset = sum(r.serialized_size for r in dropped)
         self._records = self._records[cut:]
         self._base_lsn += cut
+        if not self._records:
+            # the forced horizon may only point at retained records: a
+            # trim that empties the log (its tail covered by a deferred
+            # group-commit force) would otherwise leave forced_lsn
+            # beyond the tail, and the next force() has no record to
+            # re-anchor it
+            self._forced_lsn = NULL_LSN
         for device in self._devices:
             device.reset_to(device.contents[byte_offset:])
         for txn_id in [t for t, last in self._last_lsn_of_txn.items()

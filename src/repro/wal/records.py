@@ -32,8 +32,24 @@ from ..errors import LogCorruptionError, TornRecordError
 NULL_LSN = 0
 """LSN meaning "no record" (chains terminate here)."""
 
-# type, lsn, txn_id, prev_lsn, payload_len, crc32(payload)
+# type, lsn, txn_id, prev_lsn, payload_len, crc32(header prefix + payload)
 _HEADER = struct.Struct("<IqqqII")
+# the CRC-covered header fields (everything before the crc32 slot);
+# "<" packing is unpadded, so _PREFIX bytes + "<I" crc == _HEADER bytes
+_PREFIX = struct.Struct("<IqqqI")
+_CRC = struct.Struct("<I")
+
+
+def _record_crc(prefix: bytes, payload: bytes) -> int:
+    """CRC32 over the header prefix *and* the payload.
+
+    Covering only the payload would let a torn write that lands in a
+    header field (txn_id, lsn, prev_lsn) parse cleanly with silently
+    altered attribution — and win duplex healing's longest-prefix tie
+    against the intact mirror copy.  The stress nemesis found exactly
+    that hole; every header bit is covered now.
+    """
+    return zlib.crc32(payload, zlib.crc32(prefix))
 
 
 class RecordType(Enum):
@@ -70,11 +86,11 @@ class LogRecord:
         return b""
 
     def serialize(self) -> bytes:
-        """Full wire form: header (with payload CRC32) + payload."""
+        """Full wire form: header (with header+payload CRC32) + payload."""
         payload = self.payload_bytes()
-        return _HEADER.pack(self.record_type.value, self.lsn, self.txn_id,
-                            self.prev_lsn, len(payload),
-                            zlib.crc32(payload)) + payload
+        prefix = _PREFIX.pack(self.record_type.value, self.lsn, self.txn_id,
+                              self.prev_lsn, len(payload))
+        return prefix + _CRC.pack(_record_crc(prefix, payload)) + payload
 
     @property
     def serialized_size(self) -> int:
@@ -205,8 +221,8 @@ def deserialize(blob: bytes, offset: int = 0) -> tuple:
     if end > len(blob):
         raise TornRecordError("truncated log record payload")
     payload = blob[start:end]
-    if zlib.crc32(payload) != crc:
-        raise LogCorruptionError("log record payload CRC mismatch")
+    if _record_crc(blob[offset:offset + _PREFIX.size], payload) != crc:
+        raise LogCorruptionError("log record CRC mismatch (header or payload)")
     try:
         rtype = RecordType(type_value)
     except ValueError:

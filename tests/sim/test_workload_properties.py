@@ -1,0 +1,147 @@
+"""Property tests for :class:`repro.sim.workload.WorkloadGenerator`.
+
+The generator realizes the paper's workload knobs (P, s, f_u, p_u,
+p_b, C, skew); the stress tier leans on it for every phase, so its
+contract is pinned down directly here:
+
+* every script stays inside the page range and has exactly ``s``
+  accesses, with updates only in update transactions;
+* the script stream is a pure function of (spec, num_pages, seed, the
+  ``buffered_pages`` snapshots passed in) — and so are payloads;
+* communality steers references into the buffered set, Zipf skew
+  concentrates mass on low-ranked pages, and abort draws respect
+  ``p_b``'s edge values.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import ModelError  # noqa: E402
+from repro.sim.workload import WorkloadGenerator, WorkloadSpec  # noqa: E402
+from repro.storage.page import PAGE_SIZE  # noqa: E402
+
+
+@st.composite
+def specs(draw):
+    return WorkloadSpec(
+        concurrency=draw(st.integers(min_value=1, max_value=8)),
+        pages_per_txn=draw(st.integers(min_value=1, max_value=12)),
+        update_txn_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+        update_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        abort_probability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        communality=draw(st.floats(min_value=0.0, max_value=1.0)),
+        skew=draw(st.sampled_from([0.0, 0.5, 1.1])),
+    )
+
+
+def drain(generator, count, buffered=()):
+    return [generator.next_script(buffered) for _ in range(count)]
+
+
+class TestScriptValidity:
+    @given(spec=specs(),
+           num_pages=st.integers(min_value=1, max_value=64),
+           seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60)
+    def test_scripts_stay_in_page_range_with_s_accesses(
+            self, spec, num_pages, seed):
+        generator = WorkloadGenerator(spec, num_pages, seed=seed)
+        for script in drain(generator, 8):
+            assert len(script.accesses) == spec.pages_per_txn
+            for access in script.accesses:
+                assert 0 <= access.page < num_pages
+                if access.update:
+                    assert script.is_update
+            if script.wants_abort:
+                assert script.is_update
+
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=2**32),
+           buffered=st.lists(st.integers(min_value=0, max_value=19),
+                             max_size=10))
+    @settings(max_examples=60)
+    def test_buffered_snapshot_never_escapes_page_range(
+            self, spec, seed, buffered):
+        generator = WorkloadGenerator(spec, 20, seed=seed)
+        for script in drain(generator, 4, buffered=buffered):
+            for access in script.accesses:
+                assert 0 <= access.page < 20
+
+    def test_rejects_empty_database(self):
+        with pytest.raises(ModelError):
+            WorkloadGenerator(WorkloadSpec(), num_pages=0)
+
+
+class TestDeterminism:
+    @given(spec=specs(), seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40)
+    def test_script_stream_is_pure_in_the_seed(self, spec, seed):
+        streams = []
+        for _ in range(2):
+            generator = WorkloadGenerator(spec, 32, seed=seed)
+            streams.append([
+                (script.is_update, script.wants_abort,
+                 [(a.page, a.update) for a in script.accesses])
+                for script in drain(generator, 6)])
+        assert streams[0] == streams[1]
+
+    @given(page=st.integers(min_value=0, max_value=10_000),
+           version=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60)
+    def test_payload_is_pure_function_of_page_and_version(
+            self, page, version):
+        first = WorkloadGenerator(WorkloadSpec(), 8, seed=1)
+        second = WorkloadGenerator(WorkloadSpec(), 8, seed=99)
+        payload = first.payload_for(page, version)
+        assert payload == second.payload_for(page, version)
+        assert len(payload) == PAGE_SIZE
+        assert payload.startswith(f"p{page}v{version}.".encode("ascii"))
+
+
+class TestDistributionBounds:
+    def test_full_communality_draws_only_buffered_pages(self):
+        spec = WorkloadSpec(communality=1.0)
+        generator = WorkloadGenerator(spec, 100, seed=5)
+        buffered = [3, 7, 11]
+        for script in drain(generator, 20, buffered=buffered):
+            for access in script.accesses:
+                assert access.page in buffered
+
+    def test_zero_communality_ignores_buffered_set(self):
+        spec = WorkloadSpec(communality=0.0, pages_per_txn=10)
+        generator = WorkloadGenerator(spec, 100, seed=5)
+        pages = [access.page
+                 for script in drain(generator, 50, buffered=[3])
+                 for access in script.accesses]
+        # uniform over 100 pages: page 3 cannot dominate
+        assert pages.count(3) < len(pages) * 0.2
+
+    def test_zipf_skew_concentrates_on_low_ranks(self):
+        uniform = WorkloadGenerator(WorkloadSpec(skew=0.0), 64, seed=9)
+        skewed = WorkloadGenerator(WorkloadSpec(skew=1.1), 64, seed=9)
+
+        def hot_fraction(generator):
+            pages = [access.page for script in drain(generator, 120)
+                     for access in script.accesses]
+            return sum(1 for page in pages if page < 8) / len(pages)
+
+        assert hot_fraction(skewed) > hot_fraction(uniform) + 0.2
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30)
+    def test_abort_probability_edges(self, seed):
+        never = WorkloadGenerator(
+            WorkloadSpec(abort_probability=0.0), 16, seed=seed)
+        always = WorkloadGenerator(
+            WorkloadSpec(abort_probability=1.0, update_txn_fraction=1.0),
+            16, seed=seed)
+        assert not any(s.wants_abort for s in drain(never, 10))
+        assert all(s.wants_abort for s in drain(always, 10))
+
+    def test_update_fraction_edges(self):
+        readonly = WorkloadGenerator(
+            WorkloadSpec(update_txn_fraction=0.0), 16, seed=2)
+        for script in drain(readonly, 10):
+            assert not script.is_update
+            assert not script.update_pages

@@ -1,0 +1,68 @@
+"""Satellite: a deliberately broken invariant is attributed correctly.
+
+Uses the ``mutation`` nemesis profile, whose only fault kind applies
+``WalBeforeDataRule.mutate(db)`` (the PR-4 sensitivity hook: undo-log
+forces become no-ops) and leaves it active across the following batch.
+The invariant engine must fire mid-stress, and every resulting
+violation must carry the in-flight mutant's label — that attribution
+chain is the whole point of the ActiveFaultRegistry.
+
+Preset ``page-noforce-log`` logs *every* steal (no RDA parity cover),
+so a disabled force is guaranteed to surface at the next steal barrier.
+"""
+
+from repro.stress import PROFILES, StressOptions, StressRunner
+
+
+def run_mutation_cell(seed=5):
+    options = StressOptions(preset="page-noforce-log", seed=seed,
+                            ops=48, batch_size=8,
+                            nemesis_profile="mutation", baseline=False)
+    return StressRunner(options).run()
+
+
+class TestMutantAttribution:
+    def test_mutation_profile_is_mutant_only(self):
+        assert PROFILES["mutation"].enabled_kinds() == ["mutant"]
+        assert "wal-before-data" in PROFILES["mutation"].mutant_rules
+
+    def test_broken_invariant_fires_and_is_attributed(self):
+        report = run_mutation_cell()
+        wal = [v for v in report.violations
+               if v["kind"] == "wal-before-data"]
+        assert wal, "disabled undo-log force never surfaced at a steal"
+        mutant_labels = {f"mutant#{f['id']}" for f in report.faults}
+        for violation in wal:
+            assert violation["active_faults"], (
+                "violation reported with no active fault", violation)
+            assert set(violation["active_faults"]) <= mutant_labels
+
+    def test_blamed_mutants_not_counted_as_survived(self):
+        report = run_mutation_cell()
+        blamed = {label for violation in report.violations
+                  for label in violation["active_faults"]}
+        for fault in report.faults:
+            if f"mutant#{fault['id']}" in blamed:
+                assert fault["survived"] is False
+
+    def test_mutant_reverts_between_windows(self):
+        # after the campaign every mutant window is closed and the
+        # engine is healthy again: a fresh clean cell on the same
+        # preset shows the violations came from the mutants, not the
+        # engine
+        report = run_mutation_cell()
+        assert all(f["closed_tick"] is not None for f in report.faults)
+        clean = StressRunner(StressOptions(
+            preset="page-noforce-log", seed=5, ops=24, batch_size=8,
+            nemesis_profile="crash-only", baseline=False)).run()
+        assert clean.clean, clean.violations[:3]
+
+    def test_violations_outside_windows_unattributed(self):
+        report = run_mutation_cell()
+        open_ticks = {f["id"]: (f["opened_tick"], f["closed_tick"])
+                      for f in report.faults}
+        for violation in report.violations:
+            for label in violation["active_faults"]:
+                fault_id = int(label.split("#")[1])
+                opened, closed = open_ticks[fault_id]
+                assert opened <= violation["tick"] <= closed

@@ -1,0 +1,109 @@
+"""Unit tests for the nemesis scheduler and the active-fault registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stress import (FAULT_KINDS, PROFILES, ActiveFaultRegistry,
+                          Nemesis, NemesisProfile, resolve_profile)
+
+
+class TestProfiles:
+    def test_builtin_profiles_are_valid(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+            assert profile.enabled_kinds()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            NemesisProfile(name="bad", weights={"meteor": 1.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ModelError):
+            NemesisProfile(name="idle", weights={"crash": 0.0})
+
+    def test_resolve_by_name_and_passthrough(self):
+        profile = resolve_profile("default")
+        assert profile is PROFILES["default"]
+        assert resolve_profile(profile) is profile
+        with pytest.raises(ModelError):
+            resolve_profile("no-such-profile")
+
+    def test_default_profile_covers_five_plus_kinds(self):
+        # the acceptance criterion needs >=5 distinct kinds injected
+        assert len(PROFILES["default"].enabled_kinds()) >= 5
+
+    def test_fault_kinds_have_executors(self):
+        from repro.stress.runner import _Campaign
+        for kind in FAULT_KINDS:
+            assert hasattr(_Campaign, "_do_" + kind)
+
+
+class TestCoverageCycle:
+    def test_every_enabled_kind_drawn_before_any_repeats(self):
+        nemesis = Nemesis("default", seed=11)
+        kinds = nemesis.profile.enabled_kinds()
+        eligible = [k for k in kinds if k != "shard_kill"]
+        drawn = [nemesis.draw(eligible) for _ in range(len(eligible))]
+        assert sorted(drawn) == sorted(eligible)
+
+    def test_ineligible_kinds_never_drawn_and_never_block(self):
+        nemesis = Nemesis("default", seed=3)
+        eligible = ["crash", "trim"]
+        drawn = [nemesis.draw(eligible) for _ in range(10)]
+        assert set(drawn) <= {"crash", "trim"}
+
+    def test_no_eligible_kind_returns_none(self):
+        nemesis = Nemesis("crash-only", seed=0)
+        assert nemesis.draw(["shard_kill"]) is None
+
+    def test_draw_sequence_deterministic_per_seed(self):
+        eligible = [k for k in PROFILES["default"].enabled_kinds()
+                    if k != "shard_kill"]
+        runs = []
+        for _ in range(2):
+            nemesis = Nemesis("default", seed=42)
+            runs.append([nemesis.draw(eligible) for _ in range(20)])
+        assert runs[0] == runs[1]
+        other = Nemesis("default", seed=43)
+        assert [other.draw(eligible) for _ in range(20)] != runs[0]
+
+
+class TestRegistry:
+    def test_lifecycle_and_labels(self):
+        registry = ActiveFaultRegistry()
+        crash = registry.open("crash", "boom", tick=0)
+        media = registry.open("media", "disk 3", tick=0)
+        assert crash.label == "crash#0"
+        assert registry.active_labels() == ["crash#0", "media#1"]
+        registry.close(crash, tick=0, survived=True)
+        assert registry.active_labels() == ["media#1"]
+        registry.close(media, tick=1, survived=False)
+        assert registry.active_labels() == []
+        assert registry.injected == 2
+        assert registry.survived == 1
+        assert registry.injected_by_kind() == {"crash": 1, "media": 1}
+        assert registry.survived_by_kind() == {"crash": 1}
+
+    def test_double_close_rejected(self):
+        registry = ActiveFaultRegistry()
+        fault = registry.open("trim", "", tick=0)
+        registry.close(fault, tick=0, survived=True)
+        with pytest.raises(ModelError):
+            registry.close(fault, tick=1, survived=True)
+
+    def test_to_dicts_round_trip(self):
+        registry = ActiveFaultRegistry()
+        fault = registry.open("latent", "page 4", tick=2)
+        registry.close(fault, tick=2, survived=True)
+        [row] = registry.to_dicts()
+        assert row == {"id": 0, "kind": "latent", "detail": "page 4",
+                       "opened_tick": 2, "closed_tick": 2, "survived": True}
+
+
+class TestSchedule:
+    def test_record_accumulates_in_order(self):
+        nemesis = Nemesis("default", seed=0)
+        nemesis.record(0, "crash", {}, "recovered")
+        nemesis.record(1, "media", {"disk": 2}, "rebuilt")
+        assert [a["index"] for a in nemesis.schedule] == [0, 1]
+        assert nemesis.schedule[1]["params"] == {"disk": 2}

@@ -1,0 +1,131 @@
+"""Smoke tests for the stress runner, workload phases, and report math."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stress import (StressOptions, StressPhase, StressReport,
+                          StressRunner, StressWorkload, default_matrix,
+                          default_phases, format_stress_report,
+                          matrix_to_dict, run_stress_matrix)
+from repro.sim.workload import WorkloadSpec
+
+
+class TestOptions:
+    def test_needs_a_stopping_condition(self):
+        with pytest.raises(ModelError):
+            StressOptions(ops=None, duration_s=None)
+
+    def test_rejects_bad_shards_and_batch(self):
+        with pytest.raises(ModelError):
+            StressOptions(shards=0)
+        with pytest.raises(ModelError):
+            StressOptions(batch_size=0)
+
+
+class TestStressWorkload:
+    def test_phases_rotate_and_quiesce(self):
+        from repro.db import Database, preset
+        db = Database(preset("page-noforce-rda", group_size=5, num_groups=12,
+                             buffer_capacity=20))
+        workload = StressWorkload(db, seed=1)
+        names = [workload.run_batch(4)[0] for _ in range(7)]
+        # default phases run 2 batches each before rotating
+        assert names[:6] == ["hot-writes", "hot-writes", "scan-reads",
+                             "scan-reads", "mixed", "mixed"]
+        assert names[6] == "hot-writes"   # wraps around
+        assert not db.txns.active_transactions()   # quiesced between batches
+        assert workload.committed + workload.aborted >= 7 * 4
+
+    def test_default_phases_cover_the_three_regimes(self):
+        phases = default_phases()
+        assert [p.name for p in phases] == ["hot-writes", "scan-reads",
+                                            "mixed"]
+        hot = phases[0].spec
+        scan = phases[1].spec
+        assert hot.skew > 0 and hot.update_txn_fraction > 0.5
+        assert scan.pages_per_txn > hot.pages_per_txn
+        assert scan.update_txn_fraction < 0.5
+
+    def test_custom_phase_validation(self):
+        with pytest.raises(ModelError):
+            StressPhase(name="x", spec=WorkloadSpec(), batches=0)
+
+
+@pytest.mark.parametrize("preset_name", [
+    "page-force-rda", "page-noforce-rda",
+    "record-force-rda", "record-noforce-rda",
+])
+class TestRunnerPerClass:
+    def test_short_chaos_run_is_clean(self, preset_name):
+        options = StressOptions(preset=preset_name, seed=3, ops=24,
+                                batch_size=8, baseline=False)
+        report = StressRunner(options).run()
+        assert report.clean, report.violations[:3]
+        assert report.faults_injected >= 2
+        assert report.faults_survived == report.faults_injected
+        assert report.ticks == 3
+
+
+class TestRunnerSharded:
+    def test_sharded_cell_exercises_shard_kill(self):
+        options = StressOptions(preset="page-force-rda", shards=2, seed=7,
+                                ops=64, batch_size=8, baseline=False)
+        report = StressRunner(options).run()
+        assert report.clean, report.violations[:3]
+        assert "shard_kill" in report.injected_by_kind
+        assert report.injected_by_kind == report.survived_by_kind
+
+    def test_baseline_gives_chaos_ratio(self):
+        options = StressOptions(preset="page-noforce-rda", seed=2, ops=24,
+                                batch_size=8)
+        report = StressRunner(options).run()
+        assert report.baseline_committed > 0
+        assert report.chaos_ratio is not None and report.chaos_ratio > 0
+
+
+class TestReportMath:
+    def test_faults_survived_per_hour(self):
+        report = StressReport(preset="p", shards=1, seed=0,
+                              nemesis_profile="default",
+                              faults_injected=4, faults_survived=4,
+                              duration_s=2.0)
+        assert report.faults_survived_per_hour == pytest.approx(7200.0)
+
+    def test_clean_respects_drift_alarms(self):
+        report = StressReport(preset="p", shards=1, seed=0,
+                              nemesis_profile="default")
+        assert report.clean
+        report.drift = {"alarms": [{"variant": "x"}]}
+        assert not report.clean
+
+    def test_matrix_aggregation_and_table(self):
+        reports = run_stress_matrix(default_matrix(seed=3, ops=16,
+                                                   baseline=False))
+        doc = matrix_to_dict(reports)
+        assert len(doc["cells"]) == 5
+        assert {c["shards"] for c in doc["cells"]} == {1, 2}
+        table = format_stress_report(reports)
+        assert "fault kinds" in table
+        for report in reports:
+            assert f"{report.preset} K={report.shards}" in table
+
+
+class TestCli:
+    def test_stress_single_cell(self, capsys, tmp_path):
+        import json
+        from repro.cli import main
+        out_file = tmp_path / "stress.json"
+        code = main(["stress", "--preset", "page-noforce-rda", "--ops", "24",
+                     "--seed", "3", "--no-baseline",
+                     "--report-out", str(out_file)])
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["clean"] is True
+        assert doc["totals"]["faults_injected"] >= 2
+        assert "survived_per_hour" in doc["cells"][0]["faults"]
+        assert "faults        :" in capsys.readouterr().out
+
+    def test_stress_rejects_unknown_profile_and_preset(self, capsys):
+        from repro.cli import main
+        assert main(["stress", "--nemesis-profile", "meteor"]) == 2
+        assert main(["stress", "--preset", "magic"]) == 2
