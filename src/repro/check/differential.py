@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..db import (Database, ShardedDatabase, all_preset_names,
-                  extended_preset_names, preset)
+                  extended_preset_names, make_sharded, preset)
 from ..db.slotted_page import SlottedPage
 from ..db.verify import verify_database
 from ..sim import Simulator, WorkloadSpec
@@ -207,43 +207,54 @@ def run_conformance(preset_name: str, transactions: int = 40, seed: int = 0,
                     crash_every: Optional[int] = None,
                     overrides: Optional[dict] = None,
                     shards: int = 1,
-                    flush_horizon: int = 1) -> ConformanceRun:
+                    flush_horizon: int = 1,
+                    workers: Optional[bool] = None) -> ConformanceRun:
     """Run one seeded workload under full conformance checking.
 
     Builds a :class:`Database` (or, with ``shards > 1``, a
     :class:`~repro.db.sharded.ShardedDatabase` with the given
-    group-commit ``flush_horizon``) with a history recorder and an
-    attached :class:`InvariantEngine`, drives it through a
-    :class:`Simulator` with a :class:`DifferentialMirror`, then
-    aggregates: online invariant violations, read divergences,
-    final-state divergences, structural verification
-    (:func:`verify_database`) and the serializability analysis of the
-    recorded history.
+    group-commit ``flush_horizon``; with ``workers`` also true, a
+    :class:`~repro.db.workers.WorkerShardedDatabase`, so the whole
+    harness — lock oracle, differential mirror, invariant barriers,
+    final-state sweep — judges the worker-process engine end to end)
+    with a history recorder and an attached :class:`InvariantEngine`,
+    drives it through a :class:`Simulator` with a
+    :class:`DifferentialMirror`, then aggregates: online invariant
+    violations, read divergences, final-state divergences, structural
+    verification (:func:`verify_database`) and the serializability
+    analysis of the recorded history.  ``workers=None`` honors the
+    ``REPRO_WORKERS`` environment variable.
     """
     config = preset(preset_name,
                     **(_DEFAULT_OVERRIDES if overrides is None else overrides))
     recorder = HistoryRecorder()
     if shards > 1:
-        db = ShardedDatabase(config, shards=shards,
-                             flush_horizon=flush_horizon, history=recorder)
+        db = make_sharded(config, shards=shards,
+                          flush_horizon=flush_horizon, history=recorder,
+                          workers=workers)
     else:
         db = Database(config, history=recorder)
-    engine = InvariantEngine.attach(db)
-    simulator = Simulator(db, spec if spec is not None else _DEFAULT_SPEC,
-                          seed=seed)
-    mirror = DifferentialMirror(record_mode=simulator.record_mode)
-    simulator.conformance = mirror
-    if simulator.record_mode:
-        simulator.seed_records()
-        mirror.seed({(page, 0): b"seed"
-                     for page in range(db.num_data_pages)})
-    report = simulator.run(transactions, crash_every=crash_every)
-    violations: List[Violation] = []
-    violations.extend(engine.violations)
-    violations.extend(mirror.violations)
-    violations.extend(mirror.final_state_diff(db))
-    violations.extend(Violation("verify", detail)
-                      for detail in verify_database(db))
+    try:
+        engine = InvariantEngine.attach(db)
+        simulator = Simulator(db, spec if spec is not None else _DEFAULT_SPEC,
+                              seed=seed)
+        mirror = DifferentialMirror(record_mode=simulator.record_mode)
+        simulator.conformance = mirror
+        if simulator.record_mode:
+            simulator.seed_records()
+            mirror.seed({(page, 0): b"seed"
+                         for page in range(db.num_data_pages)})
+        report = simulator.run(transactions, crash_every=crash_every)
+        violations: List[Violation] = []
+        violations.extend(engine.violations)
+        violations.extend(mirror.violations)
+        violations.extend(mirror.final_state_diff(db))
+        violations.extend(Violation("verify", detail)
+                          for detail in verify_database(db))
+        barrier_counts = dict(engine.barrier_counts)
+    finally:
+        if hasattr(db, "close"):
+            db.close()
     return ConformanceRun(
         preset=preset_name,
         transactions=transactions,
@@ -252,7 +263,7 @@ def run_conformance(preset_name: str, transactions: int = 40, seed: int = 0,
         history=recorder.history,
         serializability=analyze(recorder.history),
         violations=violations,
-        barrier_counts=engine.barrier_counts,
+        barrier_counts=barrier_counts,
         reads_checked=mirror.reads_checked,
         report_summary=report.summary(),
         shards=shards,
@@ -278,7 +289,8 @@ def conformance_matrix(transactions: int = 40, seed: int = 0,
                        presets: Optional[List[str]] = None,
                        spec: Optional[WorkloadSpec] = None,
                        extended: bool = False,
-                       shards: int = 1) -> List[ConformanceRun]:
+                       shards: int = 1,
+                       workers: Optional[bool] = None) -> List[ConformanceRun]:
     """Run :func:`run_conformance` over every preset (all four recovery
     classes x RDA on/off x page/record locking).
 
@@ -296,5 +308,6 @@ def conformance_matrix(transactions: int = 40, seed: int = 0,
     return [run_conformance(name, transactions=transactions, seed=seed,
                             crash_every=crash_every, spec=spec,
                             shards=shards,
-                            flush_horizon=4 if shards > 1 else 1)
+                            flush_horizon=4 if shards > 1 else 1,
+                            workers=workers)
             for name, shards in cells]

@@ -332,6 +332,12 @@ class InvariantEngine:
         violation list and barrier counts, so ``clean`` and
         ``assert_clean`` judge the whole facade.
         """
+        # worker-process facades wire an engine inside each worker and
+        # return a facade-side collector over them (the shard engines
+        # are not in this address space)
+        remote = getattr(db, "attach_invariants", None)
+        if remote is not None:
+            return remote(rules)
         engine = cls(db, rules)
         db.invariants = engine
         shards = getattr(db, "shards", None)
@@ -379,6 +385,9 @@ def check_restart(db) -> List[Violation]:
     database (used by the fault-injection harness after every
     surviving replayed restart).  A sharded facade is checked shard by
     shard."""
+    remote = getattr(db, "check_restart_remote", None)
+    if remote is not None:
+        return remote()
     shards = getattr(db, "shards", None)
     if shards is not None:
         found: List[Violation] = []

@@ -32,7 +32,7 @@ import argparse
 import json
 
 from .db import (Database, ShardedDatabase, all_preset_names,
-                 extended_preset_names, preset)
+                 extended_preset_names, make_sharded, preset)
 from .errors import ModelError
 from .model import figures as figure_module
 from .model.reliability import paper_motivation_table
@@ -46,12 +46,20 @@ from .storage import backend_names, make_page
 
 def _build_engine(config, args, tracer=None, metrics=None):
     """One engine for the CLI: a :class:`Database`, or a K-way
-    :class:`ShardedDatabase` when ``--shards`` asks for more than one."""
+    :class:`ShardedDatabase` when ``--shards`` asks for more than one
+    (worker-process shards with ``--workers`` or ``REPRO_WORKERS``)."""
     if args.shards > 1:
-        return ShardedDatabase(config, shards=args.shards,
-                               flush_horizon=args.group_commit,
-                               tracer=tracer, metrics=metrics)
+        return make_sharded(config, shards=args.shards,
+                            flush_horizon=args.group_commit,
+                            tracer=tracer, metrics=metrics,
+                            workers=getattr(args, "workers", None))
     return Database(config, tracer=tracer, metrics=metrics)
+
+
+def _close_engine(db) -> None:
+    """Reap worker processes when the engine has any (idempotent)."""
+    if hasattr(db, "close"):
+        db.close()
 
 
 def _cmd_figures(args) -> int:
@@ -162,6 +170,7 @@ def _cmd_simulate(args) -> int:
         print(f"report        : {args.report_out}")
     bad = db.verify_parity()
     print(f"parity scrub  : {'clean' if not bad else bad}")
+    _close_engine(db)
     if bad:
         return 1
     return 1 if drift is not None and not drift.clean else 0
@@ -177,6 +186,10 @@ def _cmd_fault_sweep(args, overrides) -> int:
         print("fault-sweep: use a page-logging preset "
               "(the sweep script drives write_page)")
         return 2
+    if getattr(args, "workers", None):
+        print("fault-sweep: recovery fault hooks cannot cross the worker "
+              "pipe; running the sweep in-process")
+    args.workers = False
     modes = tuple(m.strip() for m in args.fault_modes.split(",") if m.strip())
     if args.shards > 1:
         ops = shard_aligned_fault_workload(
@@ -258,7 +271,8 @@ def _cmd_check(args) -> int:
                               crash_every=args.crash_every,
                               presets=presets,
                               extended=args.extended,
-                              shards=args.shards)
+                              shards=args.shards,
+                              workers=args.workers)
     for run in runs:
         verdict = "clean" if run.clean else \
             f"{len(run.violations)} violations"
@@ -303,7 +317,8 @@ def _cmd_stress(args) -> int:
                   nemesis_profile=args.nemesis_profile,
                   flush_horizon=args.group_commit,
                   baseline=not args.no_baseline,
-                  drift_check=args.drift_check)
+                  drift_check=args.drift_check,
+                  workers=args.workers)
     try:
         if args.preset is not None:
             if args.preset not in extended_preset_names():
@@ -427,6 +442,19 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _add_worker_flags(sub) -> None:
+    """``--workers``/``--no-workers`` (default: the REPRO_WORKERS env)."""
+    group = sub.add_mutually_exclusive_group()
+    group.add_argument("--workers", dest="workers", action="store_true",
+                       default=None,
+                       help="run each shard in its own worker process "
+                            "(sharded engines only; default honours "
+                            "REPRO_WORKERS=on)")
+    group.add_argument("--no-workers", dest="workers", action="store_false",
+                       help="force the in-process sharded engine even when "
+                            "REPRO_WORKERS=on")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -453,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="H",
                           help="group-commit flush horizon (commits per "
                                "batched log force; needs --shards > 1)")
+    _add_worker_flags(simulate)
     simulate.add_argument("--transactions", type=int, default=200)
     simulate.add_argument("--concurrency", type=int, default=4)
     simulate.add_argument("--pages-per-txn", type=int, default=6)
@@ -508,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--shards", type=int, default=1,
                        help="run every (non-extended) cell on a K-way "
                             "sharded engine")
+    _add_worker_flags(check)
     check.add_argument("--transactions", type=int, default=40)
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--crash-every", type=int, default=None,
@@ -529,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "own K per cell)")
     stress.add_argument("--group-commit", type=int, default=2,
                         metavar="H", help="flush horizon for sharded cells")
+    _add_worker_flags(stress)
     stress.add_argument("--ops", type=int, default=None,
                         help="completed transactions per cell "
                              "(default 64: the deterministic CI smoke)")

@@ -12,6 +12,8 @@ from .recovery import RecoveryManager
 from .sharded import ShardedDatabase, ShardScheduler, shard_config
 from .slotted_page import PageFullError, SlottedPage
 from .verify import verify_database
+from .workers import (WorkerCrashed, WorkerShardedDatabase, make_sharded,
+                      workers_enabled_by_env)
 
 __all__ = [
     "ArchiveCopy",
@@ -36,4 +38,8 @@ __all__ = [
     "PageFullError",
     "SlottedPage",
     "verify_database",
+    "WorkerCrashed",
+    "WorkerShardedDatabase",
+    "make_sharded",
+    "workers_enabled_by_env",
 ]

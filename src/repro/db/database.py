@@ -57,6 +57,11 @@ class LockWait(TransactionError):
         self.resource = resource
         super().__init__(f"transaction {txn_id} must wait for {resource!r}")
 
+    def __reduce__(self):
+        # survive the worker-protocol pickle round trip with both
+        # attributes intact (the driver reads .txn_id/.resource)
+        return (LockWait, (self.txn_id, self.resource))
+
 
 @dataclass
 class WriteCounters:

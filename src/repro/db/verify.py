@@ -29,6 +29,12 @@ def verify_database(db) -> list:
     shard (violations are prefixed with the shard index) plus its
     global commit log's duplex integrity.
     """
+    # worker-process facades verify each shard inside its worker (the
+    # engines live across a pipe, not in this address space); checked
+    # before the shards attribute, which they also expose (as proxies)
+    remote = getattr(db, "verify_remote", None)
+    if remote is not None:
+        return remote()
     shards = getattr(db, "shards", None)
     if shards is not None:
         problems = [f"shard {i}: {problem}"

@@ -1,0 +1,1244 @@
+"""True multicore sharding: each shard engine in its own worker process.
+
+The in-process :class:`~repro.db.sharded.ShardedDatabase` runs K shard
+engines on one Python thread, taking turns.  This module keeps the
+exact same facade API and semantics but hosts each shard
+:class:`~repro.db.database.Database` in a separate OS process, driven
+over a typed command/reply protocol — Wu et al.'s per-core-logging
+blueprint (*Fast Failure Recovery for Main-Memory DBMSs on
+Multicores*): per-shard WALs, one cross-shard barrier, and restart
+recovery that fans out to every worker concurrently.
+
+**Protocol.**  One duplex pipe per worker.  A command is
+``(op, args)``; a reply is ``(status, value, events, gc)`` where
+``status`` is ``"ok"``/``"err"`` (``value`` is the result or the
+pickled exception, re-raised at the facade), ``events`` is the batch of
+tracer events the command produced (merged into the facade trace via
+:meth:`~repro.obs.tracer.Tracer.ingest`, in dispatch order, so the
+merge is deterministic), and ``gc`` is the worker coordinator's
+cumulative deferred-force count (folded into the facade coordinator's
+accounting against a per-worker watermark).  Cross-shard operations
+(begin/commit/abort/crash/recover/flush) are *scatter-gather*: the
+facade sends the command to every worker before collecting any reply,
+so all K engines execute concurrently; replies are consumed in
+scheduler order, which keeps the observable stream byte-identical to
+the in-process engine.
+
+**The coordinator is the only barrier.**  Each worker owns a *local*
+:class:`~repro.wal.group_commit.GroupCommitCoordinator`; the worker's
+own ``commit`` handler opens the deferral window around its shard
+commit, so WAL-rule forces stay synchronous inside the worker and
+``durable_lsn``/``covers`` semantics are evaluated where the log lives
+— no per-force message crosses a process boundary.  The facade-side
+:class:`_FacadeCoordinator` counts commits against the flush horizon
+and, on flush, broadcasts one ``gc_flush`` to the workers (draining
+their local pendings) before forcing its own pending global commit log.
+
+**Crash propagation.**  Every state-changing command is journaled at
+the facade *before* it is sent.  If a worker dies (nemesis kill, fault
+injection), the supervisor respawns it and replays the journal — the
+engines are deterministic, so the rebuilt worker converges to the state
+in which every journaled command, including one in flight at death,
+has fully executed; a scatter command therefore executes on *all*
+shards or is never sent, preserving cross-shard commit atomicity.  The
+interrupted facade call then raises :class:`WorkerCrashed`, which
+drivers treat like a crash signal: run :meth:`crash` (the group-commit
+drain contract — the healed worker's replayed pending forces are
+flushed before memory is lost) and :meth:`recover`, then resolve any
+in-doubt commit against the recovered winner set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import weakref
+
+from ..errors import ModelError, RecoveryError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..storage import IOStats
+from ..storage.iostats import TransferCounts
+from ..wal import CommitRecord, GroupCommitCoordinator, GroupCommitLog
+from .config import DBConfig
+from .database import Database
+from .sharded import (ShardedDatabase, ShardScheduler, _ShardedMetrics,
+                      shard_config)
+
+
+def _truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() in ("1", "on", "true", "yes")
+
+
+def workers_enabled_by_env() -> bool:
+    """True when ``REPRO_WORKERS`` asks for worker-process shards."""
+    return _truthy(os.environ.get("REPRO_WORKERS"))
+
+
+def make_sharded(config: DBConfig, shards: int = 2, flush_horizon: int = 1,
+                 tracer=None, metrics=None, history=None,
+                 workers: bool | None = None):
+    """Build the K-way engine: in-process or worker-process shards.
+
+    ``workers=None`` honors the ``REPRO_WORKERS`` environment variable
+    (the CI worker-mode leg runs the whole suite with it set).
+    """
+    if workers is None:
+        workers = workers_enabled_by_env()
+    cls = WorkerShardedDatabase if workers else ShardedDatabase
+    return cls(config, shards=shards, flush_horizon=flush_horizon,
+               tracer=tracer, metrics=metrics, history=history)
+
+
+class WorkerCrashed(RecoveryError):
+    """A shard worker process died under a facade call.
+
+    By the time this surfaces the supervisor has already respawned the
+    worker and replayed its command journal, so the engine is whole;
+    the *reply* of the interrupted command is what was lost.  Treat it
+    like a crash signal: run ``crash()`` + ``recover()`` and resolve an
+    in-doubt commit against the recovered winners.
+    """
+
+    def __init__(self, shard: int, op: str | None = None) -> None:
+        self.shard = shard
+        self.op = op
+        suffix = f" during {op!r}" if op else ""
+        super().__init__(f"shard {shard} worker died{suffix}")
+
+    def __reduce__(self):
+        return (WorkerCrashed, (self.shard, self.op))
+
+
+# ---------------------------------------------------------------- worker side
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to build its shard engine."""
+
+    shard: int
+    config: DBConfig            # already split via shard_config
+    traced: bool
+    with_metrics: bool
+
+
+class _ListSink:
+    """Per-command event buffer: drained into each reply."""
+
+    def __init__(self) -> None:
+        self._events: list = []
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+
+    def drain(self) -> list:
+        events, self._events = self._events, []
+        return events
+
+    def close(self) -> None:
+        pass
+
+
+class _WorkerState:
+    """The worker loop's context: engine, coordinator, sink, fault arm."""
+
+    def __init__(self, db: Database, coordinator: GroupCommitCoordinator,
+                 sink: _ListSink | None) -> None:
+        self.db = db
+        self.coordinator = coordinator
+        self.sink = sink
+        self.die_on: str | None = None      # test seam: exit inside a handler
+
+
+def _die() -> None:
+    """Simulated worker death: immediate, no cleanup, no reply."""
+    os._exit(17)
+
+
+def _h_commit(state: _WorkerState, txn_id: int) -> None:
+    if state.die_on == "before_commit":
+        _die()                      # mid-commit-window: others may commit
+    with state.coordinator.deferred():
+        state.db.commit(txn_id)
+    if state.die_on == "after_commit":
+        _die()                      # committed locally, reply never sent
+
+
+def _h_gc_flush(state: _WorkerState) -> int:
+    if state.die_on == "mid_flush" and state.coordinator._pending:
+        # force one pending log, then die mid-batch: a torn batched
+        # flush, finished by journal replay (the drain contract)
+        state.coordinator._pending[0].force_now()
+        state.coordinator._pending.pop(0)
+        _die()
+    return state.coordinator.flush()
+
+
+def _h_recover(state: _WorkerState) -> dict:
+    return state.db.recover()
+
+
+def _h_txn_flags(state: _WorkerState, txn_id: int) -> dict:
+    txn = state.db.txns.get(txn_id)
+    return {"must_commit": txn.must_commit, "is_active": txn.is_active,
+            "state": txn.state, "is_update": txn.is_update_transaction}
+
+
+def _h_snap(state: _WorkerState) -> dict:
+    db = state.db
+    buf = db.buffer.stats
+    counters = dataclasses.asdict(db.counters)
+    return {
+        "reads": db.stats.reads,
+        "writes": db.stats.writes,
+        "log_transfers": db.stats.log_transfers,
+        "hits": buf.hits,
+        "misses": buf.misses,
+        "evictions": buf.evictions,
+        "dirty_evictions": buf.dirty_evictions,
+        "buffer_steals": buf.steals,
+        **counters,
+        "active_transactions": len(db.txns.active_transactions()),
+        "undo_log_bytes": db.undo_log.size_bytes,
+        "redo_log_bytes": db.redo_log.size_bytes,
+        "dirty_groups": (len(db.rda.dirty_set)
+                         if db.rda is not None else 0),
+    }
+
+
+def _h_attach_invariants(state: _WorkerState, rules) -> bool:
+    from ..check.invariants import InvariantEngine
+    InvariantEngine.attach(state.db, rules)
+    return True
+
+
+def _h_invariant_state(state: _WorkerState) -> tuple:
+    engine = state.db.invariants
+    if engine is None:
+        return [], {}
+    return list(engine.violations), dict(engine.barrier_counts)
+
+
+def _h_check_restart(state: _WorkerState) -> list:
+    from ..check.invariants import check_restart
+    return check_restart(state.db)
+
+
+def _h_verify(state: _WorkerState) -> list:
+    from .verify import verify_database
+    return verify_database(state.db)
+
+
+_HANDLERS = {
+    # transaction API
+    "begin": lambda s, txn_id: s.db.begin(txn_id=txn_id),
+    "grants_for": lambda s, txn_id: s.db.grants_for(txn_id),
+    "read_page": lambda s, t, p: s.db.read_page(t, p),
+    "write_page": lambda s, t, p, d: s.db.write_page(t, p, d),
+    "read_record": lambda s, t, p, sl: s.db.read_record(t, p, sl),
+    "update_record": lambda s, t, p, sl, d: s.db.update_record(t, p, sl, d),
+    "insert_record": lambda s, t, p, d: s.db.insert_record(t, p, d),
+    "delete_record": lambda s, t, p, sl: s.db.delete_record(t, p, sl),
+    "commit": _h_commit,
+    "abort": lambda s, txn_id: s.db.abort(txn_id),
+    # checkpoints / log hygiene
+    "ckpt_note": lambda s, cost: s.db.checkpointer.note_work(cost),
+    "ckpt_maybe": lambda s: s.db.checkpointer.maybe_checkpoint(),
+    "ckpt_do": lambda s: s.db.checkpointer.checkpoint(),
+    "trim": lambda s, floor: s.db.trim_log(archive_floor=floor),
+    # group commit barrier
+    "gc_flush": _h_gc_flush,
+    # failures
+    "crash": lambda s: s.db.crash(),
+    "recover": _h_recover,
+    "media_failure": lambda s, disk: s.db.media_failure(disk),
+    "media_recover": lambda s, disk, mode: s.db.media_recover(
+        disk, on_lost_undo=mode),
+    # bulk loading
+    "load_pages": lambda s, payloads: s.db.load_pages(payloads),
+    "format_pages": lambda s, pages: s.db.format_record_pages(pages),
+    # inspection / conformance
+    "snap": _h_snap,
+    "txn_flags": _h_txn_flags,
+    "active_txns": lambda s: [t.txn_id
+                              for t in s.db.txns.active_transactions()],
+    "resident_pages": lambda s: s.db.buffer.resident_pages(),
+    "in_buffer": lambda s, page: page in s.db.buffer,
+    "disk_page": lambda s, page: s.db.disk_page(page),
+    "committed_view": lambda s, page: s.db.committed_view(page),
+    "verify_parity": lambda s: s.db.verify_parity(),
+    "verify": _h_verify,
+    "metrics_snapshot": lambda s: (s.db.metrics.snapshot()
+                                   if s.db.metrics is not None else {}),
+    "attach_invariants": _h_attach_invariants,
+    "invariant_state": _h_invariant_state,
+    "check_restart": _h_check_restart,
+    "ping": lambda s: "pong",
+}
+
+# Commands that change engine state are journaled by the facade and
+# replayed after a worker death; everything else is a pure query whose
+# reply the caller can simply re-request.  Reads are state-changing:
+# they touch the lock table, the buffer's replacement state, and the
+# hit counters.  ``committed_view`` reads through the buffer (hit
+# accounting), so it is journaled too.
+_MUTATING = frozenset({
+    "begin", "read_page", "write_page", "read_record", "update_record",
+    "insert_record", "delete_record", "commit", "abort",
+    "ckpt_note", "ckpt_maybe", "ckpt_do", "trim", "gc_flush",
+    "crash", "recover", "media_failure", "media_recover",
+    "load_pages", "format_pages", "committed_view", "attach_invariants",
+})
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn, spec: WorkerSpec) -> None:
+    """The worker process entry point: build the shard engine, serve
+    commands until shutdown.  Importable at module level so the spawn
+    start method works everywhere fork does."""
+    # a forked child inherits the parent's live tracers (and their
+    # buffered sinks); drop them so nothing in this process can flush
+    # a duplicate tail into the parent's trace file
+    from ..obs import tracer as tracer_mod
+    tracer_mod._LIVE_TRACERS.clear()
+
+    sink = _ListSink() if spec.traced else None
+    tracer = Tracer(sink) if spec.traced else NULL_TRACER
+    metrics = MetricsRegistry() if spec.with_metrics else None
+    coordinator = GroupCommitCoordinator(flush_horizon=1)
+
+    def log_factory(db: Database, name: str) -> GroupCommitLog:
+        return GroupCommitLog(
+            name=name, page_size=db.config.log_page_size,
+            transfers_per_log_page=db.config.log_transfers_per_page,
+            stats=db.stats, metrics=db.metrics, coordinator=coordinator)
+
+    db = Database(spec.config, tracer=tracer, metrics=metrics,
+                  log_factory=log_factory)
+    state = _WorkerState(db, coordinator, sink)
+
+    info = {
+        "num_data_pages": db.num_data_pages,
+        "disks_per_shard": len(db.array.disks),
+        "has_checkpointer": db.checkpointer is not None,
+    }
+    events = sink.drain() if sink is not None else ()
+    conn.send(("ok", info, events, coordinator.deferred_forces))
+
+    # clean exits *return* rather than os._exit: the multiprocessing
+    # bootstrap then finishes normally, letting subprocess coverage
+    # (and any other bootstrap-level finalizer) flush before the
+    # start-method machinery calls os._exit itself.  Only the injected
+    # deaths (_die) take the hard-exit path.
+    while True:
+        try:
+            op, args = conn.recv()
+        except (EOFError, OSError):
+            return
+        if op == "shutdown":
+            try:
+                conn.send(("ok", None, (), coordinator.deferred_forces))
+            except (BrokenPipeError, OSError):
+                pass
+            return
+        if op == "die":
+            when, = args
+            if when == "now":
+                _die()
+            state.die_on = when
+            conn.send(("ok", when, (), coordinator.deferred_forces))
+            continue
+        if state.die_on == "next_command":
+            _die()
+        try:
+            value = _HANDLERS[op](state, *args)
+            status = "ok"
+        except Exception as exc:                    # noqa: BLE001
+            value = _picklable(exc)
+            status = "err"
+        events = sink.drain() if sink is not None else ()
+        try:
+            conn.send((status, value, events, coordinator.deferred_forces))
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------- supervisor
+
+
+def _mp_context():
+    """fork where available (Linux), spawn elsewhere; ``REPRO_MP_START``
+    overrides (the per-platform pin tests/conftest.py applies to the
+    *global* start method does not bind this private context)."""
+    name = os.environ.get("REPRO_MP_START")
+    if not name:
+        name = ("fork" if "fork" in mp.get_all_start_methods()
+                else "spawn")
+    return mp.get_context(name)
+
+
+def _reap(procs: list) -> None:
+    """Hard-stop any still-running worker processes (GC/exit backstop)."""
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        except Exception:                           # noqa: BLE001
+            pass
+
+
+class _WorkerHandle:
+    """One worker: process + pipe + command journal.
+
+    The journal holds every state-changing command ever sent.  On
+    death, :meth:`heal` respawns the process and replays it — replies
+    (and their event batches) are discarded, because the facade already
+    consumed the acknowledged prefix and the in-flight command's reply
+    is reported lost via :class:`WorkerCrashed`.
+    """
+
+    def __init__(self, supervisor: "WorkerSupervisor", shard: int,
+                 spec: WorkerSpec) -> None:
+        self.supervisor = supervisor
+        self.shard = shard
+        self.spec = spec
+        self.journal: list = []
+        self.info: dict = {}
+        self._proc = None
+        self._conn = None
+        self._reply_lost = False
+        self._gc_seen = 0
+        self._spawn(replaying=False)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, replaying: bool) -> None:
+        ctx = self.supervisor.ctx
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=_worker_main, args=(child_conn, self.spec),
+                           name=f"repro-shard-{self.shard}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._proc = proc
+        self._conn = parent_conn
+        self.supervisor.track(proc)
+        # handshake: static shard facts + construction events
+        status, info, events, gc = self._conn.recv()
+        if status != "ok":                          # pragma: no cover
+            raise RecoveryError(f"shard {self.shard} worker failed to start")
+        self.info = info
+        if not replaying:
+            self._absorb(events, gc)
+
+    def heal(self) -> None:
+        """Respawn the dead worker and replay its journal.
+
+        Deterministic engines make the replayed worker converge to the
+        state where every journaled command has fully executed —
+        including one that was in flight when the process died."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.kill()
+        if self._proc is not None:
+            self._proc.join(timeout=5.0)
+        if self._conn is not None:
+            self._conn.close()
+        before = self._gc_seen
+        self._gc_seen = 0
+        self._spawn(replaying=True)
+        # windowed replay: keep at most a handful of commands in flight
+        # so neither direction of the pipe fills up (an unbounded send
+        # loop deadlocks once both OS pipe buffers are full)
+        gc = 0
+        outstanding = 0
+        for op, args in self.journal:
+            self._conn.send((op, args))
+            outstanding += 1
+            if outstanding >= 16:
+                _, _, _, gc = self._conn.recv()
+                outstanding -= 1
+        while outstanding:
+            _, _, _, gc = self._conn.recv()
+            outstanding -= 1
+            # replies discarded: already consumed before the death
+        # the in-flight command's deferral delta was lost with its
+        # reply; reconcile the facade coordinator against the replayed
+        # cumulative count so the accounting stays exact
+        self._gc_seen = before
+        self._absorb((), gc)
+        self.supervisor.on_heal(self.shard)
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the ``worker_kill`` nemesis)."""
+        if self._proc is not None and self._proc.is_alive():
+            os.kill(self._proc.pid, signal.SIGKILL)
+            self._proc.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        try:
+            self._conn.send(("shutdown", ()))
+            self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        if self._proc is not None:
+            self._proc.join(timeout=2.0)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(timeout=1.0)
+        if self._conn is not None:
+            self._conn.close()
+
+    # -- protocol ------------------------------------------------------------
+
+    def send(self, op: str, args: tuple) -> None:
+        if op in _MUTATING:
+            self.journal.append((op, args))
+        try:
+            self._conn.send((op, args))
+        except (BrokenPipeError, OSError):
+            # journaled first, so the command lands during replay; the
+            # reply is lost either way
+            self.heal()
+            self._reply_lost = True
+
+    def recv(self, op: str):
+        if self._reply_lost:
+            self._reply_lost = False
+            raise WorkerCrashed(self.shard, op)
+        try:
+            status, value, events, gc = self._conn.recv()
+        except (EOFError, OSError):
+            self.heal()
+            raise WorkerCrashed(self.shard, op) from None
+        self._absorb(events, gc)
+        if status == "err":
+            raise value
+        return value
+
+    def call(self, op: str, *args):
+        self.send(op, args)
+        return self.recv(op)
+
+    def _absorb(self, events, gc_cumulative: int) -> None:
+        self.supervisor.absorb(self.shard, events)
+        delta = gc_cumulative - self._gc_seen
+        self._gc_seen = gc_cumulative
+        if delta > 0:
+            self.supervisor.coordinator.absorb_deferred(delta)
+
+
+class WorkerSupervisor:
+    """Owns the K worker processes: lifecycle, scatter-gather dispatch,
+    death detection, and journal-replay healing."""
+
+    def __init__(self, per_shard: DBConfig, shards: int, tracer,
+                 coordinator: GroupCommitCoordinator,
+                 with_metrics: bool) -> None:
+        self.ctx = _mp_context()
+        self.tracer = tracer
+        self.coordinator = coordinator
+        self.procs: list = []       # mutated in place; _reap sees updates
+        self.worker_deaths = 0
+        self.handles = [
+            _WorkerHandle(self, i, WorkerSpec(
+                shard=i, config=per_shard, traced=tracer.enabled,
+                with_metrics=with_metrics))
+            for i in range(shards)
+        ]
+
+    def track(self, proc) -> None:
+        self.procs[:] = [p for p in self.procs if p.is_alive()]
+        self.procs.append(proc)
+
+    def absorb(self, shard: int, events) -> None:
+        if events and self.tracer.enabled:
+            base = (shard + 1) * 1_000_000
+            for event in events:
+                self.tracer.ingest(event, span_base=base, shard=shard)
+
+    def on_heal(self, shard: int) -> None:
+        self.worker_deaths += 1
+        if self.tracer.enabled:
+            self.tracer.emit("worker.respawn", shard=shard,
+                             replayed=len(self.handles[shard].journal))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def scatter(self, order, op: str, args: tuple = (),
+                args_for=None) -> dict:
+        """Send ``op`` to every shard in ``order`` before collecting any
+        reply (all workers execute concurrently); gather in the same
+        order.  If a worker dies, the remaining replies are still
+        drained — the pipes stay in lockstep — and the first death is
+        re-raised after the sweep."""
+        handles = self.handles
+        for i in order:
+            handles[i].send(op, args_for(i) if args_for is not None else args)
+        results: dict = {}
+        death: WorkerCrashed | None = None
+        error: BaseException | None = None
+        for i in order:
+            try:
+                results[i] = handles[i].recv(op)
+            except WorkerCrashed as crash:
+                if death is None:
+                    death = crash
+            except Exception as exc:                # noqa: BLE001
+                if error is None:
+                    error = exc
+        if death is not None:
+            raise death
+        if error is not None:
+            raise error
+        return results
+
+    def broadcast_flush(self) -> int:
+        """Drain every worker's local coordinator; returns how many logs
+        were forced across all workers."""
+        results = self.scatter(range(len(self.handles)), "gc_flush")
+        return sum(results.values())
+
+    def arm_death(self, shard: int, when: str) -> str:
+        """Fault-injection seam: make one worker exit at a chosen point.
+
+        ``when``: ``"now"`` (exit immediately), ``"next_command"``,
+        ``"before_commit"`` / ``"after_commit"`` (around the shard
+        commit inside the commit window), or ``"mid_flush"`` (force one
+        pending log of a batched flush, then die — a torn batch the
+        journal-replay drain must finish)."""
+        return self.handles[shard].call("die", when)
+
+    def heal_dead(self) -> int:
+        """Bring any dead workers back (journal replay), quietly —
+        the crash path calls this before the drain so the contract
+        covers workers lost between facade calls."""
+        healed = 0
+        for handle in self.handles:
+            if not handle.alive():
+                handle.heal()
+                healed += 1
+        return healed
+
+    def kill(self, shard: int) -> None:
+        self.handles[shard].kill()
+
+    def close(self) -> None:
+        for handle in self.handles:
+            handle.shutdown()
+        _reap(self.procs)
+
+
+# ---------------------------------------------------------------- proxies
+
+
+class ShardProxy:
+    """The slice of the ``Database`` API the facade's inherited routed
+    paths use, forwarded over the worker pipe one command per call."""
+
+    def __init__(self, handle: _WorkerHandle) -> None:
+        self._handle = handle
+        self.num_data_pages = handle.info["num_data_pages"]
+
+    def begin(self, txn_id=None):
+        return self._handle.call("begin", txn_id)
+
+    def grants_for(self, txn_id):
+        return self._handle.call("grants_for", txn_id)
+
+    def read_page(self, txn_id, page):
+        return self._handle.call("read_page", txn_id, page)
+
+    def write_page(self, txn_id, page, payload):
+        return self._handle.call("write_page", txn_id, page, payload)
+
+    def read_record(self, txn_id, page, slot):
+        return self._handle.call("read_record", txn_id, page, slot)
+
+    def update_record(self, txn_id, page, slot, data):
+        return self._handle.call("update_record", txn_id, page, slot, data)
+
+    def insert_record(self, txn_id, page, data):
+        return self._handle.call("insert_record", txn_id, page, data)
+
+    def delete_record(self, txn_id, page, slot):
+        return self._handle.call("delete_record", txn_id, page, slot)
+
+    def commit(self, txn_id):
+        return self._handle.call("commit", txn_id)
+
+    def abort(self, txn_id):
+        return self._handle.call("abort", txn_id)
+
+    def trim_log(self, archive_floor=None):
+        return self._handle.call("trim", archive_floor)
+
+    def crash(self):
+        return self._handle.call("crash")
+
+    def recover(self, fault_hook=None):
+        if fault_hook is not None:
+            raise ModelError(
+                "worker-process shards cannot ship a fault_hook across "
+                "the pipe; use the in-process ShardedDatabase for "
+                "recovery fault injection")
+        return self._handle.call("recover")
+
+    def media_failure(self, disk_id):
+        return self._handle.call("media_failure", disk_id)
+
+    def media_recover(self, disk_id, on_lost_undo="raise"):
+        return self._handle.call("media_recover", disk_id, on_lost_undo)
+
+    def load_pages(self, payloads):
+        return self._handle.call("load_pages", payloads)
+
+    def format_record_pages(self, pages):
+        return self._handle.call("format_pages", list(pages))
+
+    def disk_page(self, page):
+        return self._handle.call("disk_page", page)
+
+    def committed_view(self, page):
+        return self._handle.call("committed_view", page)
+
+    def verify_parity(self):
+        return self._handle.call("verify_parity")
+
+    def snap(self) -> dict:
+        return self._handle.call("snap")
+
+
+# ---------------------------------------------------------------- facade views
+
+
+class _WStatsView:
+    """`_StatsView` shape over one scatter-gathered worker snapshot."""
+
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def _sum(self, *keys):
+        snaps = self._owner._snaps()
+        commit = self._owner._commit_stats
+        own = {"reads": commit.reads, "writes": commit.writes,
+               "log_transfers": commit.log_transfers}
+        values = [sum(snap[key] for snap in snaps) + own[key]
+                  for key in keys]
+        return values[0] if len(values) == 1 else values
+
+    @property
+    def reads(self) -> int:
+        return self._sum("reads")
+
+    @property
+    def writes(self) -> int:
+        return self._sum("writes")
+
+    @property
+    def total(self) -> int:
+        reads, writes = self._sum("reads", "writes")
+        return reads + writes
+
+    @property
+    def log_transfers(self) -> int:
+        return self._sum("log_transfers")
+
+    def snapshot(self) -> TransferCounts:
+        reads, writes = self._sum("reads", "writes")
+        return TransferCounts(reads, writes)
+
+
+class _WBufferStatsView:
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def _sum(self, *keys):
+        snaps = self._owner._snaps()
+        values = [sum(snap[key] for snap in snaps) for key in keys]
+        return values[0] if len(values) == 1 else values
+
+    hits = property(lambda self: self._sum("hits"))
+    misses = property(lambda self: self._sum("misses"))
+    evictions = property(lambda self: self._sum("evictions"))
+    dirty_evictions = property(lambda self: self._sum("dirty_evictions"))
+    steals = property(lambda self: self._sum("buffer_steals"))
+
+    @property
+    def references(self) -> int:
+        hits, misses = self._sum("hits", "misses")
+        return hits + misses
+
+    @property
+    def hit_ratio(self) -> float:
+        hits, misses = self._sum("hits", "misses")
+        if hits + misses == 0:
+            return 0.0
+        return hits / (hits + misses)
+
+
+class _WBufferFacade:
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+        self.stats = _WBufferStatsView(owner)
+
+    def resident_pages(self) -> list:
+        owner = self._owner
+        results = owner.supervisor.scatter(range(owner.num_shards),
+                                           "resident_pages")
+        return sorted(local * owner.num_shards + i
+                      for i, locals_ in sorted(results.items())
+                      for local in locals_)
+
+    def __contains__(self, page: int) -> bool:
+        shard, local = self._owner._route(page)
+        return self._owner.shards[shard]._handle.call("in_buffer", local)
+
+
+class _WTxnView:
+    """Live view of one global transaction across the workers."""
+
+    def __init__(self, owner: "WorkerShardedDatabase", txn_id: int) -> None:
+        self._owner = owner
+        self.txn_id = txn_id
+
+    def _flags(self) -> list:
+        results = self._owner.supervisor.scatter(
+            range(self._owner.num_shards), "txn_flags", (self.txn_id,))
+        return [results[i] for i in sorted(results)]
+
+    @property
+    def must_commit(self) -> bool:
+        return any(f["must_commit"] for f in self._flags())
+
+    @property
+    def is_active(self) -> bool:
+        return self._owner.shards[0]._handle.call(
+            "txn_flags", self.txn_id)["is_active"]
+
+    @property
+    def state(self):
+        return self._owner.shards[0]._handle.call(
+            "txn_flags", self.txn_id)["state"]
+
+    @property
+    def is_update_transaction(self) -> bool:
+        return any(f["is_update"] for f in self._flags())
+
+
+class _WTxnFacade:
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def get(self, txn_id: int) -> _WTxnView:
+        # raise on unknown id, like the in-process facade (shard 0 is
+        # canonical: every global txn registers on every shard)
+        self._owner.shards[0]._handle.call("txn_flags", txn_id)
+        return _WTxnView(self._owner, txn_id)
+
+    def active_transactions(self) -> list:
+        ids = self._owner.shards[0]._handle.call("active_txns")
+        return [_WTxnView(self._owner, txn_id) for txn_id in ids]
+
+
+class _WCountersView:
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def _sum(self, key: str) -> int:
+        return sum(snap[key] for snap in self._owner._snaps())
+
+    unlogged_steals = property(lambda self: self._sum("unlogged_steals"))
+    logged_steals = property(lambda self: self._sum("logged_steals"))
+    committed_writebacks = property(
+        lambda self: self._sum("committed_writebacks"))
+    before_images_logged = property(
+        lambda self: self._sum("before_images_logged"))
+    promotions = property(lambda self: self._sum("promotions"))
+
+    @property
+    def transactions_committed(self) -> int:
+        return self._owner._snaps()[0]["transactions_committed"]
+
+    @property
+    def transactions_aborted(self) -> int:
+        return self._owner._snaps()[0]["transactions_aborted"]
+
+    @property
+    def steals(self) -> int:
+        snaps = self._owner._snaps()
+        return sum(s["unlogged_steals"] + s["logged_steals"] for s in snaps)
+
+    @property
+    def unlogged_fraction(self) -> float:
+        snaps = self._owner._snaps()
+        unlogged = sum(s["unlogged_steals"] for s in snaps)
+        logged = sum(s["logged_steals"] for s in snaps)
+        if unlogged + logged == 0:
+            return 0.0
+        return unlogged / (unlogged + logged)
+
+
+class _WCheckpointerFacade:
+    """Scatter-gather ACC checkpoints: all workers fire concurrently."""
+
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def note_work(self, cost: float) -> None:
+        self._owner.supervisor.scatter(range(self._owner.num_shards),
+                                       "ckpt_note", (cost,))
+
+    def maybe_checkpoint(self):
+        results = self._owner.supervisor.scatter(
+            range(self._owner.num_shards), "ckpt_maybe")
+        fired = [lsn for _, lsn in sorted(results.items())
+                 if lsn is not None]
+        return fired or None
+
+    def checkpoint(self) -> list:
+        results = self._owner.supervisor.scatter(
+            range(self._owner.num_shards), "ckpt_do")
+        return [results[i] for i in sorted(results)]
+
+
+class _RemoteRegistry:
+    """`.snapshot()`-shaped handle on one worker's metrics registry."""
+
+    def __init__(self, handle: _WorkerHandle) -> None:
+        self._handle = handle
+
+    def snapshot(self) -> dict:
+        return self._handle.call("metrics_snapshot")
+
+
+class WorkerInvariantCollector:
+    """Facade-side view of the per-worker invariant engines.
+
+    Duck-types the slice of :class:`~repro.check.invariants.
+    InvariantEngine` the conformance and stress harnesses read
+    (``violations``/``barrier_counts``/``clean``/``assert_clean``);
+    state is pulled from the workers on access, concatenated in shard
+    order (in-process children interleave into one shared list instead,
+    so ordering — not membership — can differ on unclean runs).
+    """
+
+    def __init__(self, owner: "WorkerShardedDatabase") -> None:
+        self._owner = owner
+
+    def _state(self) -> list:
+        results = self._owner.supervisor.scatter(
+            range(self._owner.num_shards), "invariant_state")
+        return [results[i] for i in sorted(results)]
+
+    @property
+    def violations(self) -> list:
+        return [violation for violations, _ in self._state()
+                for violation in violations]
+
+    @property
+    def barrier_counts(self) -> dict:
+        counts: dict = {}
+        for _, per_shard in self._state():
+            for name, count in per_shard.items():
+                counts[name] = counts.get(name, 0) + count
+        return counts
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        violations = self.violations
+        if violations:
+            raise AssertionError(
+                f"{len(violations)} invariant violations, first: "
+                f"{violations[0]}")
+
+
+class _FacadeCoordinator(GroupCommitCoordinator):
+    """The facade's coordinator: the single cross-shard barrier.
+
+    Horizon counting and the global commit log's deferral stay here;
+    the drain additionally broadcasts one ``gc_flush`` so every
+    worker's local coordinator forces its pendings first (the same
+    order the in-process coordinator uses: shard WALs before the
+    commit log it appended after them)."""
+
+    def __init__(self, flush_horizon: int = 1, metrics=None) -> None:
+        super().__init__(flush_horizon=flush_horizon, metrics=metrics)
+        self.supervisor: WorkerSupervisor | None = None
+
+    def _drain(self) -> int:
+        flushed = 0
+        if self.supervisor is not None:
+            flushed += self.supervisor.broadcast_flush()
+        return flushed + super()._drain()
+
+
+# ---------------------------------------------------------------- the facade
+
+
+class WorkerShardedDatabase(ShardedDatabase):
+    """`ShardedDatabase` semantics with one OS process per shard.
+
+    Construction, cross-shard dispatch, and aggregation are replaced
+    with scatter-gather over the worker supervisor; routing, history,
+    and the crash/recover contracts are inherited unchanged.  Use as a
+    context manager (or call :meth:`close`) to reap the workers; a GC
+    finalizer backstops leaked instances.
+    """
+
+    def __init__(self, config: DBConfig, shards: int = 2,
+                 flush_horizon: int = 1, tracer=None, metrics=None,
+                 history=None) -> None:
+        if shards < 1:
+            raise ModelError("shards (K) must be at least 1")
+        self.config = config
+        self.num_shards = shards
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.history = history
+        self.scheduler = ShardScheduler(shards)
+        self.coordinator = _FacadeCoordinator(
+            flush_horizon=flush_horizon, metrics=metrics)
+        self._own_metrics = metrics
+
+        per_shard = shard_config(config, shards)
+        self.supervisor = WorkerSupervisor(
+            per_shard, shards, tracer=self.tracer,
+            coordinator=self.coordinator,
+            with_metrics=metrics is not None)
+        self.coordinator.supervisor = self.supervisor
+        self.shards = [ShardProxy(handle)
+                       for handle in self.supervisor.handles]
+        self.metrics = (_ShardedMetrics(
+            metrics, [_RemoteRegistry(h) for h in self.supervisor.handles])
+            if metrics is not None else None)
+
+        self._commit_stats = IOStats()
+        self.commit_log = GroupCommitLog(
+            name="gcommit", page_size=config.log_page_size,
+            transfers_per_log_page=config.log_transfers_per_page,
+            stats=self._commit_stats, metrics=metrics,
+            coordinator=self.coordinator)
+
+        self.stats = _WStatsView(self)
+        self.buffer = _WBufferFacade(self)
+        self.txns = _WTxnFacade(self)
+        self.counters = _WCountersView(self)
+        self.checkpointer = (
+            _WCheckpointerFacade(self)
+            if self.supervisor.handles[0].info["has_checkpointer"]
+            else None)
+        self._next_txn = 1
+        self._finalizer = weakref.finalize(self, _reap, self.supervisor.procs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._finalizer.alive:
+            self.supervisor.close()
+            self._finalizer.detach()
+
+    def __enter__(self) -> "WorkerShardedDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def worker_deaths(self) -> int:
+        """Worker processes lost and healed so far."""
+        return self.supervisor.worker_deaths
+
+    # -- helpers -------------------------------------------------------------
+
+    def _snaps(self) -> list:
+        """One statistics snapshot per shard, gathered in one scatter."""
+        results = self.supervisor.scatter(range(self.num_shards), "snap")
+        return [results[i] for i in sorted(results)]
+
+    @property
+    def disks_per_shard(self) -> int:
+        return self.supervisor.handles[0].info["disks_per_shard"]
+
+    # -- cross-shard operations (scatter-gather) -----------------------------
+
+    def begin(self, txn_id: int | None = None) -> int:
+        if txn_id is None:
+            txn_id = self._next_txn
+        self._next_txn = max(self._next_txn, txn_id + 1)
+        self.supervisor.scatter(range(self.num_shards), "begin", (txn_id,))
+        self._h("begin", txn=txn_id)
+        return txn_id
+
+    def grants_for(self, txn_id: int) -> bool:
+        results = self.supervisor.scatter(range(self.num_shards),
+                                          "grants_for", (txn_id,))
+        return all(results.values())
+
+    def commit(self, txn_id: int) -> None:
+        """Commit on every shard inside one group-commit window.
+
+        The scatter puts all K workers into commit processing
+        concurrently; each worker's local coordinator absorbs its log
+        forces, the facade appends + defers the global commit record,
+        and the horizon flush later drains workers-then-commit-log."""
+        with self.coordinator.deferred():
+            self.supervisor.scatter(self.scheduler.order(), "commit",
+                                    (txn_id,))
+            self.commit_log.append(CommitRecord(txn_id=txn_id))
+            self.commit_log.force()
+        self.coordinator.note_commit()
+        self._h("commit", txn=txn_id)
+
+    def abort(self, txn_id: int) -> None:
+        """Roll back on every shard — never deferred (the WAL rule):
+        each worker forces its abort records before replying."""
+        self.supervisor.scatter(self.scheduler.order(), "abort", (txn_id,))
+        self._h("abort", txn=txn_id)
+
+    def trim_log(self, archive_floor: int | None = None) -> int:
+        self.coordinator.flush()
+        results = self.supervisor.scatter(range(self.num_shards), "trim",
+                                          (archive_floor,))
+        return sum(results.values())
+
+    def crash(self) -> None:
+        """Lose main memory on every shard, coordinator drained first.
+
+        Dead workers are healed (journal replay) *before* the drain, so
+        the battery-backed-buffer contract covers commits acknowledged
+        right up to a worker's death."""
+        self.supervisor.heal_dead()
+        self.tracer.emit("db.crash")
+        self._h("crash")
+        self.coordinator.flush()
+        self.supervisor.scatter(range(self.num_shards), "crash")
+        self.commit_log.crash()
+
+    def recover(self, fault_hook=None) -> dict:
+        """Parallel restart: every shard runs analysis/media-scan/redo/
+        undo concurrently in its worker; the facade span still reads as
+        one crash-to-ready MTTR interval."""
+        if fault_hook is not None:
+            raise ModelError(
+                "worker-process shards cannot ship a fault_hook across "
+                "the pipe; use the in-process ShardedDatabase for "
+                "recovery fault injection")
+        with self.tracer.span("recovery.restart", stats=self.stats,
+                              log_split=True, shards=self.num_shards,
+                              workers=True):
+            self.commit_log.after_crash()
+            global_winners = {r.txn_id
+                              for r in self.commit_log.scan(CommitRecord)}
+            results = self.supervisor.scatter(self.scheduler.order(),
+                                              "recover")
+            per_shard = sorted(results.items())
+
+            winners: set = set(global_winners)
+            losers: set = set()
+            totals = dict.fromkeys(
+                ("sectors_repaired", "parity_resynced",
+                 "parity_undone_pages", "redo_applied", "log_undo_applied",
+                 "page_transfers"), 0)
+            for i, stats in per_shard:
+                winners.update(stats["winners"])
+                losers.update(stats["losers"])
+                for key in totals:
+                    totals[key] += stats[key]
+                torn = global_winners.intersection(stats["losers"])
+                if torn:
+                    raise RecoveryError(
+                        f"shard {i} lost globally committed transaction(s) "
+                        f"{sorted(torn)}: the group-commit crash contract "
+                        "was violated")
+            self._h("restart")
+        return {
+            "winners": sorted(winners),
+            "losers": sorted(losers - winners),
+            **totals,
+            "shards": {i: stats for i, stats in per_shard},
+        }
+
+    # -- conformance seams ---------------------------------------------------
+
+    def attach_invariants(self, rules=None) -> WorkerInvariantCollector:
+        """Wire an :class:`~repro.check.invariants.InvariantEngine` into
+        every worker (``InvariantEngine.attach`` delegates here); rules
+        cross the pipe by pickle, so they must be module-level classes."""
+        self.supervisor.scatter(range(self.num_shards),
+                                "attach_invariants", (rules,))
+        collector = WorkerInvariantCollector(self)
+        self.invariants = collector
+        return collector
+
+    def verify_remote(self) -> list:
+        """`verify_database` delegate: each worker verifies its shard
+        in-process; the facade checks the global commit log."""
+        from .verify import _check_log
+        results = self.supervisor.scatter(range(self.num_shards), "verify")
+        problems = [f"shard {i}: {problem}"
+                    for i in sorted(results)
+                    for problem in results[i]]
+        problems += _check_log(self.commit_log)
+        return problems
+
+    def check_restart_remote(self) -> list:
+        """`check_restart` delegate: one-shot restart barrier per worker."""
+        results = self.supervisor.scatter(range(self.num_shards),
+                                          "check_restart")
+        return [violation for i in sorted(results)
+                for violation in results[i]]
+
+    # -- monitoring ----------------------------------------------------------
+
+    def statistics(self) -> dict:
+        snaps = self._snaps()
+
+        def total(key):
+            return sum(snap[key] for snap in snaps)
+
+        commit = self._commit_stats
+        references = total("hits") + total("misses")
+        return {
+            "page_transfers": (total("reads") + total("writes")
+                               + commit.reads + commit.writes),
+            "reads": total("reads") + commit.reads,
+            "writes": total("writes") + commit.writes,
+            "buffer_hit_ratio": (total("hits") / references
+                                 if references else 0.0),
+            "buffer_steals": total("buffer_steals"),
+            "unlogged_steals": total("unlogged_steals"),
+            "logged_steals": total("logged_steals"),
+            "before_images_logged": total("before_images_logged"),
+            "promotions": total("promotions"),
+            "transactions_committed": snaps[0]["transactions_committed"],
+            "transactions_aborted": snaps[0]["transactions_aborted"],
+            "active_transactions": snaps[0]["active_transactions"],
+            "undo_log_bytes": total("undo_log_bytes"),
+            "redo_log_bytes": total("redo_log_bytes"),
+            "dirty_groups": total("dirty_groups"),
+            "shards": self.num_shards,
+            "flush_horizon": self.coordinator.flush_horizon,
+            "commit_log_bytes": self.commit_log.size_bytes,
+            "deferred_forces": self.coordinator.deferred_forces,
+            "batched_flushes": self.coordinator.flushes,
+            "workers": True,
+            "worker_deaths": self.worker_deaths,
+        }

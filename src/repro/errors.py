@@ -3,6 +3,11 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch one base class.  Subsystems raise the narrowest type
 that describes the failure.
+
+Errors with multi-argument constructors define ``__reduce__`` so they
+survive a pickle round trip unchanged — the worker protocol
+(:mod:`repro.db.workers`) ships exceptions raised inside a shard
+worker process back to the facade and re-raises them verbatim.
 """
 
 from __future__ import annotations
@@ -23,6 +28,9 @@ class DiskFailedError(StorageError):
         self.disk_id = disk_id
         self.operation = operation
         super().__init__(f"disk {disk_id} is failed; cannot {operation}")
+
+    def __reduce__(self):
+        return (DiskFailedError, (self.disk_id, self.operation))
 
 
 class AddressError(StorageError):
@@ -45,6 +53,9 @@ class LatentSectorError(StorageError):
         self.slot = slot
         super().__init__(
             f"checksum mismatch reading disk {disk_id} slot {slot}")
+
+    def __reduce__(self):
+        return (LatentSectorError, (self.disk_id, self.slot))
 
 
 class BufferError_(ReproError):
@@ -72,6 +83,9 @@ class TransactionAborted(TransactionError):
         self.reason = reason
         super().__init__(f"transaction {txn_id} {reason}")
 
+    def __reduce__(self):
+        return (TransactionAborted, (self.txn_id, self.reason))
+
 
 class InvalidTransactionState(TransactionError):
     """An operation was issued against a finished or unknown transaction."""
@@ -84,6 +98,9 @@ class DeadlockError(TransactionError):
         self.txn_id = txn_id
         self.cycle = cycle
         super().__init__(f"deadlock: transaction {txn_id} in cycle {cycle}")
+
+    def __reduce__(self):
+        return (DeadlockError, (self.txn_id, self.cycle))
 
 
 class LockError(TransactionError):

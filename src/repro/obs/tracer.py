@@ -366,6 +366,48 @@ class Tracer:
         if self._observers:
             self._notify(event)
 
+    def ingest(self, event: dict, span_base: int = 0, **labels) -> None:
+        """Re-emit an event recorded by *another* tracer into this
+        stream (no-op when disabled).
+
+        This is the worker-merge path: each shard worker process traces
+        into a private in-memory sink and ships event batches back over
+        the command pipe; the facade ingests them here so one trace
+        interleaves every worker deterministically (batches arrive in
+        dispatch order).  ``seq`` and ``ts`` are re-stamped against this
+        tracer (a worker's clock is not ours); ``span``/``parent`` ids
+        are shifted by ``span_base`` so ids from different workers never
+        collide; ``labels`` are merged in front of the event's own
+        attributes (the facade stamps ``shard=i``, mirroring what
+        :class:`LabelledTracer` does for in-process shards).  A foreign
+        span-close event with no parent is nested under the current
+        lexical span, so worker recovery spans group under the facade's
+        ``recovery.restart`` umbrella exactly like in-process shards.
+        """
+        if not self.enabled:
+            return
+        self._seq += 1
+        event = dict(event)
+        event["seq"] = self._seq
+        event["ts"] = (time.perf_counter_ns() - self._t0_ns) // 1000 / 1e6
+        if span_base:
+            if "span" in event:
+                event["span"] += span_base
+            if "parent" in event:
+                event["parent"] += span_base
+        if labels:
+            attrs = event.get("attrs")
+            event["attrs"] = {**labels, **attrs} if attrs else dict(labels)
+        if "span" not in event:
+            if self._stack:
+                event["span"] = self._stack[-1]
+        elif "parent" not in event and self._stack \
+                and "dur_ms" in (event.get("attrs") or ()):
+            event["parent"] = self._stack[-1]
+        self.sink.emit(event)
+        if self._observers:
+            self._notify(event)
+
     # -- spans ---------------------------------------------------------------
 
     def span(self, name: str, stats=None, log_split: bool = False, **attrs):
@@ -458,6 +500,10 @@ class LabelledTracer:
                    **attrs):
         return self._inner.start_span(name, stats=stats, log_split=log_split,
                                       **{**self._labels, **attrs})
+
+    def ingest(self, event: dict, span_base: int = 0, **labels) -> None:
+        self._inner.ingest(event, span_base=span_base,
+                           **{**self._labels, **labels})
 
     def add_observer(self, observe) -> None:
         self._inner.add_observer(observe)

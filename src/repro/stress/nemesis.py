@@ -35,7 +35,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..errors import ModelError
 
 FAULT_KINDS = ("crash", "media", "latent", "torn_log", "trim",
-               "shard_kill", "mutant")
+               "shard_kill", "mutant", "worker_kill")
 """Every fault kind an executor exists for.
 
 ``crash``
@@ -63,6 +63,12 @@ FAULT_KINDS = ("crash", "media", "latent", "torn_log", "trim",
     judges are *expected* to fire, and the violation must be attributed
     to this fault.  Weight 0 in every production profile; the
     ``mutation`` profile and the attribution tests enable it.
+``worker_kill``
+    Worker-process mode only: SIGKILL one shard's worker process with
+    no warning (possibly mid-commit-window or mid-flush), then drive
+    the facade crash contract — the supervisor heals the worker by
+    journal replay, the group-commit drain makes every acknowledged
+    commit durable, and restart recovery must cross-check clean.
 """
 
 
@@ -108,11 +114,13 @@ PROFILES: Dict[str, NemesisProfile] = {
     "default": NemesisProfile(
         name="default",
         weights={"crash": 3.0, "media": 2.0, "latent": 2.0,
-                 "torn_log": 2.0, "trim": 1.0, "shard_kill": 2.0}),
+                 "torn_log": 2.0, "trim": 1.0, "shard_kill": 2.0,
+                 "worker_kill": 2.0}),
     "aggressive": NemesisProfile(
         name="aggressive",
         weights={"crash": 3.0, "media": 3.0, "latent": 3.0,
-                 "torn_log": 3.0, "trim": 1.0, "shard_kill": 3.0},
+                 "torn_log": 3.0, "trim": 1.0, "shard_kill": 3.0,
+                 "worker_kill": 3.0},
         injections_per_tick=2),
     "media-heavy": NemesisProfile(
         name="media-heavy",

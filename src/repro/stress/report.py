@@ -36,6 +36,8 @@ class StressReport:
     shards: int
     seed: int
     nemesis_profile: str
+    workers: bool = False
+    worker_deaths: int = 0
     ticks: int = 0
     committed: int = 0
     aborted: int = 0
@@ -98,6 +100,8 @@ class StressReport:
             "shards": self.shards,
             "seed": self.seed,
             "nemesis_profile": self.nemesis_profile,
+            "workers": self.workers,
+            "worker_deaths": self.worker_deaths,
             "ticks": self.ticks,
             "committed": self.committed,
             "aborted": self.aborted,

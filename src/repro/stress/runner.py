@@ -42,8 +42,8 @@ from ..check.differential import DifferentialMirror
 from ..check.invariants import InvariantEngine, MutantError, default_rules
 from ..db.config import preset
 from ..db.database import Database
-from ..db.sharded import ShardedDatabase
 from ..db.verify import verify_database
+from ..db.workers import WorkerShardedDatabase, make_sharded
 from ..errors import ModelError, RecoveryError, UnrecoverableDataError
 from ..obs.recovery_profile import RecoveryProfile
 from ..sim.faultplan import Violation, engines_of
@@ -75,11 +75,15 @@ class StressOptions:
     ``ops`` bounds completed transactions; ``duration_s`` (soak mode)
     bounds wall-clock instead — whichever trips first ends the
     campaign.  ``clock`` is injectable for deterministic reports.
+    ``workers`` (sharded cells only) hosts each shard engine in its own
+    worker process and enables the ``worker_kill`` fault kind; ``None``
+    honors the ``REPRO_WORKERS`` environment variable.
     """
 
     preset: str = "page-noforce-rda"
     shards: int = 1
     flush_horizon: int = 2
+    workers: Optional[bool] = None
     ops: Optional[int] = 64
     duration_s: Optional[float] = None
     batch_size: int = 8
@@ -125,11 +129,12 @@ class _Campaign:
             tracer = Tracer(NullSink())
             self.drift = DriftDetector().attach(tracer)
         if options.shards > 1:
-            self.db = ShardedDatabase(config, shards=options.shards,
-                                      flush_horizon=options.flush_horizon,
-                                      tracer=tracer)
+            self.db = make_sharded(config, shards=options.shards,
+                                   flush_horizon=options.flush_horizon,
+                                   tracer=tracer, workers=options.workers)
         else:
             self.db = Database(config, tracer=tracer)
+        self.worker_mode = isinstance(self.db, WorkerShardedDatabase)
         self.engine = InvariantEngine.attach(self.db)
         self.mirror = DifferentialMirror(record_mode=config.record_logging)
         if config.record_logging:
@@ -232,13 +237,22 @@ class _Campaign:
             getattr(self, "_do_" + kind)(tick)
 
     def _eligible_kinds(self) -> List[str]:
-        eligible = ["crash", "media", "latent", "trim"]
-        if any(log.size_bytes > 0 for log in self._logs()):
-            eligible.append("torn_log")
+        eligible = ["crash", "media", "trim"]
+        if self.worker_mode:
+            # latent/torn_log/mutant reach directly into shard engine
+            # internals (disk slots, log bytes, instance dicts), which
+            # live across a process boundary here; worker_kill is the
+            # worker-mode-native fault instead
+            eligible.append("worker_kill")
+        else:
+            eligible.append("latent")
+            if any(log.size_bytes > 0 for log in self._logs()):
+                eligible.append("torn_log")
         if self.options.shards >= 2:
             eligible.append("shard_kill")
         profile = self.nemesis.profile
-        if profile.mutant_rules and not self._open_mutants:
+        if (not self.worker_mode and profile.mutant_rules
+                and not self._open_mutants):
             unknown = [rule for rule in profile.mutant_rules
                        if rule not in _MUTANT_REVERTS]
             if unknown:
@@ -436,6 +450,30 @@ class _Campaign:
                             "restarted" if repaired else "failed")
         self._close(fault, tick, repaired)
 
+    def _do_worker_kill(self, tick: int) -> None:
+        """SIGKILL one shard's worker process, then drive the crash
+        contract.
+
+        The kill is unceremonious — whatever the worker was holding
+        (deferred group-commit forces, buffered state) dies with it.
+        The facade's ``crash()`` heals the worker first (journal
+        replay rebuilds the engine to the state where every journaled
+        command fully executed), *then* drains the coordinator, so the
+        battery-backed-buffer contract still covers every acknowledged
+        commit; restart recovery's global-winner cross-check is the
+        judge of record for the atomicity claim.
+        """
+        rng = self.nemesis.rng
+        victim = rng.randrange(self.options.shards)
+        fault = self.registry.open(
+            "worker_kill", f"SIGKILL shard {victim} worker + heal "
+                           "+ restart", tick)
+        self.db.supervisor.kill(victim)
+        repaired = self._crash_recover(tick, fault, damage=None)
+        self.nemesis.record(tick, "worker_kill", {"shard": victim},
+                            "healed" if repaired else "failed")
+        self._close(fault, tick, repaired)
+
     def _do_mutant(self, tick: int) -> None:
         rng = self.nemesis.rng
         rules = {rule.name: rule for rule in default_rules()}
@@ -482,12 +520,20 @@ class StressRunner:
 
     def run(self) -> StressReport:
         options = self.options
-        chaos = _Campaign(options, self.nemesis).run()
+        chaos = _Campaign(options, self.nemesis)
+        try:
+            chaos.run()
+        finally:
+            worker_deaths = getattr(chaos.db, "worker_deaths", 0)
+            if hasattr(chaos.db, "close"):
+                chaos.db.close()
         report = StressReport(
             preset=options.preset,
             shards=options.shards,
             seed=options.seed,
             nemesis_profile=self.nemesis.profile.name,
+            workers=chaos.worker_mode,
+            worker_deaths=worker_deaths,
             ticks=chaos.ticks,
             committed=chaos.workload.committed,
             aborted=chaos.workload.aborted,
@@ -505,7 +551,12 @@ class StressRunner:
             faults=chaos.registry.to_dicts(),
         )
         if options.baseline and not chaos.fatal:
-            baseline = _Campaign(options, nemesis=None).run()
+            baseline = _Campaign(options, nemesis=None)
+            try:
+                baseline.run()
+            finally:
+                if hasattr(baseline.db, "close"):
+                    baseline.db.close()
             report.baseline_committed = baseline.workload.committed
             report.baseline_duration_s = baseline.duration_s
             # a baseline violation means the judges (or the engine) are

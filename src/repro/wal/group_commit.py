@@ -103,16 +103,38 @@ class GroupCommitCoordinator:
         cut keeps the rest pending and the crash drain finishes the
         job (acknowledged commits stay durable)."""
         self._commits_since_flush = 0
-        flushed = 0
-        while self._pending:
-            self._pending[0].force_now()
-            self._pending.pop(0)
-            flushed += 1
+        flushed = self._drain()
         if flushed:
             self.flushes += 1
             if self._m_flushes is not None:
                 self._m_flushes.inc()
         return flushed
+
+    def _drain(self) -> int:
+        """Force the pending logs; returns how many were forced.
+
+        Split out of :meth:`flush` so coordinators spanning process
+        boundaries (the worker facade's) can extend the drain to remote
+        participants while keeping the horizon/counter bookkeeping in
+        one place.
+        """
+        flushed = 0
+        while self._pending:
+            self._pending[0].force_now()
+            self._pending.pop(0)
+            flushed += 1
+        return flushed
+
+    def absorb_deferred(self, count: int) -> None:
+        """Fold ``count`` deferral events performed by a *remote*
+        participant (a shard worker's local coordinator) into this
+        coordinator's accounting, so facade-level statistics and
+        metrics match the in-process engine exactly."""
+        if count <= 0:
+            return
+        self.deferred_forces += count
+        if self._m_deferred is not None:
+            self._m_deferred.inc(count)
 
 
 class GroupCommitLog(LogManager):

@@ -1,13 +1,29 @@
-"""Shared test configuration: hypothesis profiles.
+"""Shared test configuration: hypothesis profiles and multiprocessing.
 
 The ``ci`` profile (selected via ``HYPOTHESIS_PROFILE=ci``) is
 derandomized so CI failures reproduce exactly; ``dev`` is the local
 default.  ``soak`` raises the example budget for the nightly tier.
+
+The worker-process tests (``tests/db/test_workers_determinism.py`` and
+friends) spawn shard engines via :mod:`repro.db.workers`, which asks
+for the ``fork`` start method where the platform has it (cheap, and the
+worker re-imports nothing) and ``spawn`` elsewhere.  Pinning the global
+default here keeps every test file deterministic about which method it
+gets regardless of import order or what an earlier test set; the
+``REPRO_MP_START`` env override still wins inside the engine itself.
 """
 
+import multiprocessing
 import os
 
 from hypothesis import settings
+
+_PREFERRED_START = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn")
+try:
+    multiprocessing.set_start_method(_PREFERRED_START)
+except RuntimeError:       # already set by the embedding process: keep it
+    pass
 
 settings.register_profile("dev", max_examples=100)
 settings.register_profile("ci", max_examples=100, derandomize=True,

@@ -1,0 +1,98 @@
+"""Parallel restart recovery: per-shard fan-out, observed and timed.
+
+Two halves.  The tier-1 half checks the *accounting*: a worker-mode
+restart is K concurrent shard recoveries whose tracer events (stamped
+``shard=i`` by ``Tracer.ingest``) must roll up into one facade-level
+crash-to-ready cycle, with the per-shard phase rows summing exactly to
+the merged phase totals.  The ``scaling``-marked half checks the
+*wall clock*: on a multi-core box the fanned-out K=4 worker restart
+must beat the in-process serial K=4 restart on the same fault plan.
+That comparison is meaningless on a single core (the processes just
+time-slice), so it lives outside tier-1 and skips itself there.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.db import ShardedDatabase, WorkerShardedDatabase, preset
+from repro.obs import RecoveryProfile, RingBufferSink, Tracer
+from repro.storage.page import make_page
+
+OVERRIDES = dict(group_size=5, num_groups=16, buffer_capacity=16)
+
+
+def crash_with_work(db, pages):
+    """Commit ``pages`` writes, leave a loser over the same pages, crash.
+    Every shard ends up with redo work (committed log records) and undo
+    work (stolen loser pages) to chew through at restart."""
+    winner = db.begin()
+    for page in range(pages):
+        db.write_page(winner, page, make_page(b"w%d" % (page % 10)))
+    db.commit(winner)
+    loser = db.begin()
+    for page in range(pages):
+        db.write_page(loser, page, make_page(b"doomed"))
+    db.crash()
+    return winner, loser
+
+
+def test_worker_recovery_phase_rows_sum_across_shards():
+    tracer = Tracer(RingBufferSink())
+    profile = RecoveryProfile().attach(tracer)
+    config = preset("page-noforce-rda", **OVERRIDES)
+    with WorkerShardedDatabase(config, shards=4, tracer=tracer) as db:
+        # enough pages that every shard steals dirty loser pages (the
+        # per-shard buffer is 4 frames), so undo work is guaranteed
+        winner, loser = crash_with_work(db, pages=32)
+        stats = db.recover()
+        assert winner in stats["winners"]
+        assert loser in stats["losers"]
+    doc = profile.to_dict()
+    # one facade-level cycle: the four concurrent shard restarts must
+    # not each close an MTTR interval of their own
+    assert doc["crashes"] == 1
+    assert set(doc["shards"]) == {"0", "1", "2", "3"}
+    assert doc["phases"], "no recovery phases observed"
+    for phase, total in doc["phases"].items():
+        rows = [per_shard[phase] for per_shard in doc["shards"].values()
+                if phase in per_shard]
+        assert rows, f"phase {phase} has no per-shard rows"
+        assert sum(row["count"] for row in rows) == total["count"]
+        assert sum(row["transfers"] for row in rows) == total["transfers"]
+        assert (sum(row["log_transfers"] for row in rows)
+                == total["log_transfers"])
+
+
+def _timed_restart(db, pages):
+    crash_with_work(db, pages)
+    t0 = time.perf_counter()
+    stats = db.recover()
+    return time.perf_counter() - t0, stats
+
+
+@pytest.mark.scaling
+def test_k4_worker_restart_beats_serial_restart():
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("parallel restart needs >1 CPU core to win wall-clock")
+    config = preset("page-noforce-rda", group_size=5, num_groups=64,
+                    buffer_capacity=64)
+    pages = 160
+    serial_walls, worker_walls = [], []
+    for _ in range(3):
+        db = ShardedDatabase(config, shards=4)
+        wall, serial_stats = _timed_restart(db, pages)
+        serial_walls.append(wall)
+        with WorkerShardedDatabase(config, shards=4) as db:
+            wall, worker_stats = _timed_restart(db, pages)
+        worker_walls.append(wall)
+    # same fault plan, same recovery outcome ...
+    assert worker_stats["winners"] == serial_stats["winners"]
+    assert worker_stats["losers"] == serial_stats["losers"]
+    assert (worker_stats["page_transfers"]
+            == serial_stats["page_transfers"])
+    # ... but the fanned-out restart finishes first
+    assert min(worker_walls) < min(serial_walls), (
+        f"worker restart {min(worker_walls):.4f}s not faster than "
+        f"serial {min(serial_walls):.4f}s")
