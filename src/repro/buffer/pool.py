@@ -101,6 +101,11 @@ class BufferPool:
         # memoized sorted(self._table); dropped whenever residency changes
         self._resident_cache = None
         self._writeback_batch = None
+        # write-behind propagation gate (REDO-only recovery class):
+        # when set, a dirty frame may only be written back if
+        # filter(page_id, frame) is True — pages whose redo chain is
+        # not yet durable stay in the buffer
+        self._writeback_filter = None
 
     # -- lookups -----------------------------------------------------------------
 
@@ -191,6 +196,16 @@ class BufferPool:
         """
         self._writeback_batch = writeback_batch_fn
 
+    def set_writeback_filter(self, filter_fn) -> None:
+        """Install the write-behind propagation gate: ``filter_fn(page_id,
+        frame) -> bool`` is consulted before any dirty frame is written
+        back (eviction, flush, checkpoint).  A refused frame is skipped —
+        it stays dirty and resident; eviction picks another victim.  The
+        REDO-only recovery class uses this to replace the steal/undo
+        contract: a page may reach disk only once its redo chain is
+        durable."""
+        self._writeback_filter = filter_fn
+
     def mark_clean(self, page_id: int) -> None:
         """The page was just written back (batched path): its frame
         stays resident and becomes clean."""
@@ -220,6 +235,9 @@ class BufferPool:
         frame = self._frames[index]
         if not frame.dirty:
             return False
+        if self._writeback_filter is not None \
+                and not self._writeback_filter(page_id, frame):
+            return False
         self._writeback(page_id, frame.payload, frozenset(frame.modifiers))
         frame.dirty = False
         if frame.modifiers:
@@ -234,11 +252,12 @@ class BufferPool:
             return []
         table = self._table
         flushed = sorted(pages, key=table.__getitem__)   # frame order
+        gate = self._writeback_filter
         if self._writeback_batch is not None:
             entries = []
             for page_id in flushed:
                 frame = self._frames[table[page_id]]
-                if frame.dirty:
+                if frame.dirty and (gate is None or gate(page_id, frame)):
                     entries.append((page_id, frame.payload,
                                     frozenset(frame.modifiers)))
             if entries:
@@ -249,12 +268,15 @@ class BufferPool:
         return flushed
 
     def flush_all_dirty(self) -> list:
-        """Checkpoint helper: write back every dirty frame."""
+        """Checkpoint helper: write back every dirty frame (frames the
+        write-behind gate refuses are skipped and stay dirty)."""
+        gate = self._writeback_filter
         if self._writeback_batch is not None:
             entries = []
             flushed = []
             for frame in self._frames:
-                if frame.in_use and frame.dirty:
+                if frame.in_use and frame.dirty \
+                        and (gate is None or gate(frame.page_id, frame)):
                     entries.append((frame.page_id, frame.payload,
                                     frozenset(frame.modifiers)))
                     flushed.append(frame.page_id)
@@ -263,7 +285,8 @@ class BufferPool:
             return flushed
         flushed = []
         for frame in list(self._frames):
-            if frame.in_use and frame.dirty:
+            if frame.in_use and frame.dirty \
+                    and (gate is None or gate(frame.page_id, frame)):
                 self.flush_page(frame.page_id)
                 flushed.append(frame.page_id)
         return flushed
@@ -340,11 +363,15 @@ class BufferPool:
         return self._evict()
 
     def _evictable(self) -> list:
+        gate = self._writeback_filter
         out = []
         for index, frame in enumerate(self._frames):
             if not frame.in_use or frame.pin_count > 0:
                 continue
             if frame.uncommitted and frame.dirty and not self.steal:
+                continue
+            if frame.dirty and gate is not None \
+                    and not gate(frame.page_id, frame):
                 continue
             out.append(index)
         return out
@@ -357,16 +384,21 @@ class BufferPool:
             # is the same victim choose_victim would pick — without
             # materializing the candidate list
             steal = self.steal
+            gate = self._writeback_filter
             for index in policy.iter_order():
                 frame = self._frames[index]
                 if frame.pin_count > 0:
                     continue
                 if frame.dirty and not steal and frame.modifiers:
                     continue
+                if frame.dirty and gate is not None \
+                        and not gate(frame.page_id, frame):
+                    continue
                 return index
             raise BufferFullError(
                 "buffer full: every frame is pinned"
                 + ("" if steal else " or protected by NO-STEAL")
+                + ("" if gate is None else " or held by the write-behind gate")
             )
         candidates = self._evictable()
         if not candidates:

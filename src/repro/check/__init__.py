@@ -32,7 +32,7 @@ from .history import History, HistoryEvent, HistoryRecorder, history_from_trace
 from .invariants import (DirtySetBoundRule, InvariantEngine,
                          LsnMonotonicityRule, MutantError,
                          TwinParityIdentityRule, WalBeforeDataRule,
-                         check_restart, default_rules)
+                         WriteBehindRule, check_restart, default_rules)
 from .serializability import SerializabilityReport, analyze
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "SerializabilityReport",
     "TwinParityIdentityRule",
     "WalBeforeDataRule",
+    "WriteBehindRule",
     "analyze",
     "check_restart",
     "conformance_matrix",

@@ -280,7 +280,8 @@ def extended_matrix_cells() -> List[Tuple[str, int]]:
     cells: List[Tuple[str, int]] = [(name, 1)
                                     for name in extended_preset_names()]
     cells += [("page-force-rda", 2), ("page-noforce-log", 2),
-              ("record-noforce-rda", 2), ("page-force-rda", 4)]
+              ("record-noforce-rda", 2), ("record-noforce-rda-redo", 2),
+              ("page-force-rda", 4)]
     return cells
 
 

@@ -305,9 +305,58 @@ class LsnMonotonicityRule(InvariantRule):
         return "rewound the last undo-log record's LSN"
 
 
+class WriteBehindRule(InvariantRule):
+    """REDO-only write-behind propagation: with no undo log, a page may
+    reach disk only once the redo chain that rebuilds it is durable.
+    Concretely: no steal ever logs undo records (the class has nowhere
+    to put them), the *pure* class never steals at all (the hybrid's
+    steals must ride twin-parity cover, which :class:`WalBeforeDataRule`
+    checks), and every on-disk page-LSN marker sits at or below the
+    redo log's durable horizon."""
+
+    name = "write-behind"
+    barriers = ("steal", "commit", "abort", "checkpoint", "restart")
+
+    def check(self, db, barrier: str, ctx: dict) -> List[Violation]:
+        if not getattr(db.config, "redo_only", False):
+            return []
+        violations: List[Violation] = []
+        if barrier == "steal":
+            if ctx.get("logged"):
+                violations.append(Violation(
+                    "write-behind",
+                    f"steal of page {ctx['page']} logged undo records "
+                    f"under a REDO-only configuration"))
+            if db.rda is None:
+                violations.append(Violation(
+                    "write-behind",
+                    f"page {ctx['page']} stolen under the pure REDO-only "
+                    f"class (uncommitted data must never reach disk)"))
+        durable = db.redo_log.durable_lsn
+        for page, lsn in sorted(db._durable_page_lsn.items()):
+            if lsn > durable:
+                violations.append(Violation(
+                    "write-behind",
+                    f"page {page} reached disk with chain head {lsn} "
+                    f"beyond the durable redo horizon {durable} "
+                    f"({barrier})"))
+        return violations
+
+    def mutate(self, db) -> str:
+        if not getattr(db.config, "redo_only", False):
+            raise MutantError(
+                "write-behind only governs REDO-only configurations")
+        if not db._durable_page_lsn:
+            raise MutantError("no committed page has reached disk yet")
+        page = next(iter(db._durable_page_lsn))
+        db._durable_page_lsn[page] = db.redo_log.durable_lsn + 1_000_000
+        return (f"forged page {page}'s on-disk chain head beyond the "
+                f"durable redo horizon")
+
+
 def default_rules() -> List[InvariantRule]:
     return [TwinParityIdentityRule(), DirtySetBoundRule(),
-            WalBeforeDataRule(), LsnMonotonicityRule()]
+            WalBeforeDataRule(), LsnMonotonicityRule(), WriteBehindRule()]
 
 
 class InvariantEngine:

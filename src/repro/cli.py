@@ -73,7 +73,46 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _preset_blurb(config) -> str:
+    """One-line description of a preset's recovery scheme."""
+    if config.redo_only and config.rda:
+        return ("RDA+REDO hybrid: twin-parity undo for losers, "
+                "per-page redo chains for winners")
+    if config.redo_only:
+        return ("REDO-only: no undo log; write-behind gate, "
+                "chain replay at restart")
+    logging = ("record before-images" if config.record_logging
+               else "page before-images")
+    discipline = ("FORCE/TOC (force dirty pages at commit)" if config.force
+                  else "¬FORCE/ACC (checkpointed write-back)")
+    undo = ("twin-parity undo" if config.rda else "log undo")
+    return f"{logging}, {discipline}, {undo}"
+
+
+def _cmd_list_presets() -> int:
+    """``--list-presets``: the preset x backend x shards matrix."""
+    paper = set(all_preset_names())
+    rows = []
+    for name in extended_preset_names():
+        config = preset(name)
+        tier = "paper" if name in paper else "extended"
+        backends = ("twin" if config.rda
+                    else "single, raid6" if config.backend is None
+                    else config.backend)
+        rows.append((name, tier, backends, _preset_blurb(config)))
+    width = max(len(row[0]) for row in rows)
+    print(f"{'preset':<{width}}  {'tier':<8}  {'backends':<13}  description")
+    for name, tier, backends, blurb in rows:
+        print(f"{name:<{width}}  {tier:<8}  {backends:<13}  {blurb}")
+    print(f"\n{len(rows)} presets; every cell also runs K-way sharded "
+          "(--shards K, worker processes with --workers) and, under "
+          "simulate, on any listed backend via --backend.")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
+    if args.list_presets:
+        return _cmd_list_presets()
     overrides = dict(group_size=args.group_size, num_groups=args.num_groups,
                      buffer_capacity=args.buffer)
     if "noforce" in args.preset:
@@ -179,22 +218,28 @@ def _cmd_simulate(args) -> int:
 def _cmd_fault_sweep(args, overrides) -> int:
     """Exhaustive crash-point enumeration (``simulate --fault-sweep``)."""
     from .sim import default_fault_workload, run_sweep
-    from .sim.faultplan import shard_aligned_fault_workload
+    from .sim.faultplan import (record_fault_setup, record_fault_workload,
+                                shard_aligned_fault_workload)
 
     config = preset(args.preset, **overrides)
-    if config.record_logging:
-        print("fault-sweep: use a page-logging preset "
-              "(the sweep script drives write_page)")
+    if config.record_logging and args.shards > 1:
+        print("fault-sweep: the sharded script drives write_page; "
+              "record-logging presets sweep at --shards 1")
         return 2
     if getattr(args, "workers", None):
         print("fault-sweep: recovery fault hooks cannot cross the worker "
               "pipe; running the sweep in-process")
     args.workers = False
     modes = tuple(m.strip() for m in args.fault_modes.split(",") if m.strip())
+    setup = None
     if args.shards > 1:
         ops = shard_aligned_fault_workload(
             args.shards, transactions=args.fault_transactions,
             group_size=config.group_size)
+    elif config.record_logging:
+        ops = record_fault_workload(transactions=args.fault_transactions,
+                                    group_size=config.group_size)
+        setup = record_fault_setup(ops)
     else:
         ops = default_fault_workload(transactions=args.fault_transactions,
                                      group_size=config.group_size)
@@ -209,15 +254,19 @@ def _cmd_fault_sweep(args, overrides) -> int:
     except ModelError as error:
         print(f"fault-sweep: {error}")
         return 2
-    needed = max(op[2] for op in ops if op[0] == "write") + 1
+    needed = max(op[2] for op in ops if op[0] in ("write", "update")) + 1
     if needed > probe.num_data_pages:
         print(f"fault-sweep: workload needs {needed} pages; raise "
               f"--num-groups (have {probe.num_data_pages})")
         return 2
 
-    report = run_sweep(make_db, ops, modes=modes, tracer=tracer)
+    report = run_sweep(make_db, ops, modes=modes, tracer=tracer, setup=setup)
     counts = report.counts
     print(f"configuration : {config.algorithm_name}")
+    if config.redo_only and not any(w.kind == "data" for w in report.schedule):
+        print("note          : the write-behind gate held every data write "
+              "in this script; lower --buffer / --checkpoint-interval to "
+              "sweep data-page crash points too")
     if args.shards > 1:
         print(f"shards        : {args.shards} "
               f"(group commit H={args.group_commit})")
@@ -255,6 +304,8 @@ def _cmd_check(args) -> int:
     """Conformance suite across presets (``repro check``)."""
     from .check import conformance_matrix
 
+    if args.list_presets:
+        return _cmd_list_presets()
     if args.presets == "all":
         presets = None
     else:
@@ -523,6 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated crash-point perturbations")
     simulate.add_argument("--fault-report", metavar="FILE", default=None,
                           help="write the FaultSweepReport (JSON) to FILE")
+    simulate.add_argument("--list-presets", action="store_true",
+                          help="print the preset x backend x shards matrix "
+                               "with one-line descriptions and exit")
     simulate.set_defaults(func=_cmd_simulate)
 
     check = sub.add_parser(
@@ -546,6 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write recorded histories (JSONL) to FILE")
     check.add_argument("--report-out", metavar="FILE", default=None,
                        help="write the verdict (JSON) to FILE")
+    check.add_argument("--list-presets", action="store_true",
+                       help="print the preset x backend x shards matrix "
+                            "with one-line descriptions and exit")
     check.set_defaults(func=_cmd_check)
 
     stress = sub.add_parser(
@@ -553,7 +610,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="nemesis-driven continuous chaos with live judging")
     stress.add_argument("--preset", default=None,
                         help="run one cell (default: the acceptance matrix "
-                             "of all four RDA classes at K=1 plus K=2)")
+                             "of all five recovery classes at K=1 plus "
+                             "K=2 cells)")
     stress.add_argument("--shards", type=int, default=1,
                         help="K for a --preset run (matrix mode sets its "
                              "own K per cell)")

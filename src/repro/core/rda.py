@@ -480,6 +480,49 @@ class RDAManager:
 
     # -- crash recovery (Section 4.3) ---------------------------------------------------------
 
+    def find_parity_holes(self) -> list:
+        """Restart scrub: clean groups whose current parity does not
+        match the XOR of their data pages.
+
+        A committed write-back is two transfers (data page, then the
+        current twin); a crash between them leaves the group's parity
+        stale with nothing in the twin headers to say so — the RAID
+        write hole, on the twin substrate.  Steals are immune
+        (twin-first ordering plus the WORKING header make the hole
+        detectable and undoable), so only groups *without* a Dirty_Set
+        entry need the check.  Detection uses uncounted peeks, like the
+        WAL substrate's restart scrub; call after :meth:`crash_scan`
+        (which rebuilds the Dirty_Set and the current-twin bitmap).
+        """
+        holes = []
+        geometry = self.array.geometry
+        disks = self.array.disks
+        for group in range(geometry.num_groups):
+            if self.dirty_set.get(group) is not None:
+                continue
+            data = []
+            for page in geometry.group_pages(group):
+                addr = geometry.data_address(page)
+                data.append(disks[addr.disk].peek(addr.slot))
+            payload, _ = self.array.peek_twin(group,
+                                              self.current_twin(group))
+            if payload != compute_parity(data):
+                holes.append(group)
+        return holes
+
+    def resync_group(self, group: int) -> None:
+        """Recompute and rewrite a clean group's current parity from its
+        data pages (counted reads + one twin write); the repair half of
+        :meth:`find_parity_holes`."""
+        data = self.array.group_data_payloads(group)
+        current = self.current_twin(group)
+        header = ParityHeader(timestamp=self.array.next_timestamp(),
+                              state=TwinState.COMMITTED)
+        self.array.write_twin(group, current, compute_parity(data), header)
+        self._cached_headers(group)[current] = header
+        if self.tracer.enabled:
+            self.tracer.emit("rda.parity_resync", group=group)
+
     def crash_scan(self, committed_txns: set) -> list:
         """Rebuild the Dirty_Set and current-parity bitmap from disk.
 

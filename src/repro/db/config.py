@@ -13,7 +13,11 @@ Figure 12           record        ¬FORCE + ACC   ±
 ==================  ============  =============  =====
 
 A :class:`DBConfig` captures one cell; :func:`preset` builds any of them
-by name.
+by name.  Beyond the paper's grid, four ``…-raid6`` presets rerun the
+WAL classes on a double-parity array, and two REDO-only presets add a
+fifth algorithm class (no undo log; write-behind propagation and
+per-page redo chains): ``page-noforce-redo`` and the RDA+REDO hybrid
+``record-noforce-rda-redo``.
 """
 
 from __future__ import annotations
@@ -58,6 +62,14 @@ class DBConfig:
             legacy loop (the determinism tests diff the two).  The
             ``REPRO_HOTPATH=legacy`` environment variable overrides
             this to False at engine construction.
+        redo_only: the fifth (beyond-paper) recovery class: no undo
+            log at all.  Redo records are threaded into per-page
+            chains and dirty pages may only reach disk once their
+            chain is durable (write-behind propagation); restart
+            replays each page's chain forward from its on-disk state.
+            Requires ¬FORCE.  With ``rda`` this is the RDA+REDO
+            hybrid: twin-parity undo handles losers while winners pay
+            only redo logging.
     """
 
     group_size: int = 4
@@ -74,6 +86,7 @@ class DBConfig:
     log_transfers_per_page: int = 1
     backend: str | None = None
     batched: bool = True
+    redo_only: bool = False
 
     def __post_init__(self) -> None:
         if self.group_size < 2:
@@ -82,6 +95,9 @@ class DBConfig:
             raise ModelError("num_groups (G) must be at least 1")
         if self.buffer_capacity < 2:
             raise ModelError("buffer_capacity (B) must be at least 2")
+        if self.redo_only and self.force:
+            raise ModelError("redo_only requires the ¬FORCE discipline "
+                             "(there is no undo log to force against)")
 
     @property
     def num_data_pages(self) -> int:
@@ -102,6 +118,8 @@ class DBConfig:
         discipline = "FORCE/TOC" if self.force else "¬FORCE/ACC"
         recovery = "RDA" if self.rda else "¬RDA"
         name = f"{logging} logging, {discipline}, {recovery}"
+        if self.redo_only:
+            name += ", REDO-only"
         if self.backend is not None:
             name += f", backend={self.backend}"
         return name
@@ -119,7 +137,9 @@ _PRESETS = {
 }
 
 # beyond-paper presets: the WAL configurations over the double-parity
-# RAID-6 tier (RDA needs twins, so there is no "-rda" raid6 cell)
+# RAID-6 tier (RDA needs twins, so there is no "-rda" raid6 cell), plus
+# the fifth recovery class — REDO-only (no undo log, write-behind
+# propagation, per-page redo chains) — pure and as the RDA hybrid
 _EXTENDED_PRESETS = {
     "page-force-raid6": dict(record_logging=False, force=True, rda=False,
                              backend="raid6"),
@@ -129,6 +149,10 @@ _EXTENDED_PRESETS = {
                                backend="raid6"),
     "record-noforce-raid6": dict(record_logging=True, force=False, rda=False,
                                  backend="raid6"),
+    "page-noforce-redo": dict(record_logging=False, force=False, rda=False,
+                              redo_only=True),
+    "record-noforce-rda-redo": dict(record_logging=True, force=False,
+                                    rda=True, redo_only=True),
 }
 
 

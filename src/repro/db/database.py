@@ -34,8 +34,7 @@ from ..storage import IOStats, create_backend
 from ..storage.kernels import active_tier, available_tiers
 from ..storage.page import PAGE_SIZE, ZERO_PAGE
 from ..txn import LockManager, LockMode, TransactionManager, TxnState
-from ..wal import (BOTRecord, CommitRecord, LogManager, PageBeforeImage,
-                   RecordAfterEntry, RecordBeforeEntry)
+from ..wal import BOTRecord, CommitRecord, LogManager, PageBeforeImage
 from .config import DBConfig
 from .policy import RecoveryPolicy
 from .recovery import RecoveryManager
@@ -153,9 +152,20 @@ class Database:
         self._logged_stolen: set = set()  # (txn, page) stolen WITH logging
         self._last_stolen: dict = {}     # (txn, page) -> last on-disk payload
         self._pending_undo: dict = {}    # txn -> [RecordBeforeEntry] (RDA defer)
+        self._pending_redo: dict = {}    # txn -> [RecordRedoEntry] (REDO-only)
         self._bot_written: set = set()
         self._bot_lsns: dict = {}        # txn -> BOT record LSN (for trim_log)
         self._residue: set = set()       # pages with committed-unflushed data
+
+        # REDO-only class: the stand-in for each page's on-disk header
+        # LSN — page -> highest chain LSN known reflected on disk.  It
+        # deliberately survives crash() (it models durable state) and is
+        # advanced only by _write_committed.
+        self._durable_page_lsn: dict = {}
+        if self.policy.redo_only:
+            self.buffer.set_writeback_filter(
+                lambda page, frame: self.policy.may_writeback(self, page,
+                                                              frame))
 
     # -- construction helpers --------------------------------------------------------
 
@@ -263,6 +273,11 @@ class Database:
         """Parity-tracking write of committed (or log-protected) data."""
         self.policy.protection.write_committed(self, page, payload,
                                                old_data=old_data)
+        if self.policy.redo_only:
+            # the page image now reflects its whole chain (chained
+            # records exist only for committed transactions, and every
+            # committed change is in the written frame)
+            self._durable_page_lsn[page] = self.redo_log.page_chain_head(page)
 
     def _append_and_force_redo(self, record) -> int:
         lsn = self.redo_log.append(record)
@@ -364,11 +379,8 @@ class Database:
         txn = self.txns.require_active(txn_id)
         self._ensure_bot(txn_id)
         self.policy.protection.maybe_promote(self, page, txn_id)
-        undo = RecordBeforeEntry(txn_id=txn_id, page_id=page, slot=slot,
-                                 image=before)
-        self.policy.protection.stage_record_undo(self, txn_id, undo)
-        self.redo_log.append(RecordAfterEntry(txn_id=txn_id, page_id=page,
-                                              slot=slot, image=after))
+        self.policy.logging.note_record_modify(self, txn_id, page, slot,
+                                               before, after)
         sp = self._slotted(page)
         # drop the cache entry across the mutation: if ``mutate`` raises
         # half-way, the buffered bytes are unchanged but ``sp`` is not —
@@ -509,10 +521,12 @@ class Database:
         self._logged_stolen.clear()
         self._last_stolen.clear()
         self._pending_undo.clear()
+        self._pending_redo.clear()
         self._bot_written.clear()
         self._bot_lsns.clear()
         self._residue.clear()
         self._slotted_cache.clear()
+        # _durable_page_lsn survives: it models on-disk page headers
 
     def recover(self, fault_hook=None) -> dict:
         """Restart after :meth:`crash`; returns recovery statistics.
@@ -543,6 +557,7 @@ class Database:
         for key in [k for k in self._last_stolen if k[0] == txn_id]:
             del self._last_stolen[key]
         self._pending_undo.pop(txn_id, None)
+        self._pending_redo.pop(txn_id, None)
         self._bot_written.discard(txn_id)
         self._bot_lsns.pop(txn_id, None)
 

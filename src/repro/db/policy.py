@@ -27,7 +27,8 @@ from __future__ import annotations
 from ..core import ACCCheckpointer, RDAManager
 from ..errors import RecoveryError
 from ..wal import (CheckpointRecord, PageAfterImage, PageBeforeImage,
-                   RecordAfterEntry, RecordBeforeEntry)
+                   PageRedoEntry, RecordAfterEntry, RecordBeforeEntry,
+                   RecordRedoEntry)
 from .slotted_page import SlottedPage
 
 
@@ -71,6 +72,7 @@ class PageLogging:
 
     name = "page"
     record_granularity = False
+    logs_undo = True
 
     def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
         """Log the before-image covering one modifier of a stolen page
@@ -135,6 +137,16 @@ class RecordLogging:
 
     name = "record"
     record_granularity = True
+    logs_undo = True
+
+    def note_record_modify(self, db, txn_id: int, page: int, slot: int,
+                           before: bytes, after: bytes) -> None:
+        """Stage undo and append redo for one record modification."""
+        undo = RecordBeforeEntry(txn_id=txn_id, page_id=page, slot=slot,
+                                 image=before)
+        db.policy.protection.stage_record_undo(db, txn_id, undo)
+        db.redo_log.append(RecordAfterEntry(txn_id=txn_id, page_id=page,
+                                            slot=slot, image=after))
 
     def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
         """Flush this modifier's deferred record before-entries for the
@@ -196,6 +208,103 @@ class RecordLogging:
             db.buffer.invalidate(page)
             db.buffer.put_page(page, touched[page], None)
             db.buffer.flush_page(page)
+
+
+class RedoPageLogging(PageLogging):
+    """REDO-only at page granularity: no undo log ever.  Commit appends
+    each written page's after-image as a chained :class:`~repro.wal.
+    records.PageRedoEntry`; the write-behind gate keeps uncommitted
+    pages out of the array, so abort needs only the buffer (plus parity
+    twins for the RDA hybrid's covered steals)."""
+
+    name = "redo-page"
+    logs_undo = False
+
+    def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
+        raise RecoveryError(
+            "REDO-only class has no undo log: a steal that needs one "
+            "escaped the write-behind propagation gate")
+
+    def append_commit_images(self, db, txn) -> None:
+        """Chain each written page's after-image into its per-page redo
+        chain (before the commit record, satisfying the WAL order)."""
+        txn_id = txn.txn_id
+        db.redo_log.append_batch([
+            PageRedoEntry(txn_id=txn_id, page_id=page,
+                          image=db._after_image(txn_id, page))
+            for page in sorted(txn.pages_written)])
+
+    # rollback: PageLogging's path degenerates correctly — there are
+    # never logged steals, parity undo rewinds the hybrid's covered
+    # steals, and buffered frames are discarded / rebuilt from the
+    # captured pre-transaction images.
+
+
+class RedoRecordLogging(RecordLogging):
+    """REDO-only at record granularity (the RDA hybrid's logging): undo
+    entries stay in memory for live aborts and are never logged; redo
+    entries are staged per transaction and appended at commit as chained
+    :class:`~repro.wal.records.RecordRedoEntry` records."""
+
+    name = "redo-record"
+    logs_undo = False
+
+    def append_steal_undo(self, db, txn_id: int, page: int) -> bool:
+        raise RecoveryError(
+            "REDO-only class has no undo log: a steal that needs one "
+            "escaped the write-behind propagation gate")
+
+    def note_record_modify(self, db, txn_id: int, page: int, slot: int,
+                           before: bytes, after: bytes) -> None:
+        """Stage both directions in memory: undo for a live abort (never
+        durable), redo for the commit-time chain append."""
+        db._pending_undo.setdefault(txn_id, []).append(
+            RecordBeforeEntry(txn_id=txn_id, page_id=page, slot=slot,
+                              image=before))
+        db._pending_redo.setdefault(txn_id, []).append(
+            RecordRedoEntry(txn_id=txn_id, page_id=page, slot=slot,
+                            image=after))
+
+    def append_commit_images(self, db, txn) -> None:
+        """Drain the staged redo entries into the per-page chains."""
+        staged = db._pending_redo.pop(txn.txn_id, None)
+        if staged:
+            db.redo_log.append_batch(staged)
+
+    def rollback(self, db, txn) -> None:
+        """Abort from memory: parity undo rewinds covered steals on
+        disk, then the staged before-entries are re-applied backward
+        onto the buffered pages.  Nothing is flushed — an aborted
+        transaction's data was never durable except via covered steals
+        (just rewound), and its staged redo entries never reach the
+        log, so a later crash cannot resurrect it."""
+        txn_id = txn.txn_id
+        restored = db.policy.protection.parity_undo_for_abort(db, txn_id)
+        for page in restored:
+            if page in db.buffer:
+                # single-modifier + no-residue steal rule: the frame
+                # held only this transaction's changes beyond the
+                # restored disk image
+                db.buffer.invalidate(page)
+
+        pending = list(db._pending_undo.get(txn_id, ()))
+        touched = {}
+        for entry in reversed(pending):
+            page = entry.page_id
+            if page in restored:
+                continue
+            payload = touched.get(page)
+            if payload is None:
+                payload = db.buffer.get_page(page)
+            touched[page] = apply_record_image(payload, entry.slot,
+                                               entry.image)
+        for page in sorted(touched):
+            db.buffer.put_page(page, touched[page], None)
+        # drop only this transaction's modifier marks: a co-modifier's
+        # uncommitted slots stay tracked so the write-behind gate keeps
+        # holding their pages in the buffer
+        db.buffer.clear_modifier(txn_id)
+        db._pending_redo.pop(txn_id, None)
 
 
 # ==================== axis 2: commit discipline ====================
@@ -294,6 +403,65 @@ class NoForceAcc:
         if checkpoint_lsn is None:
             return 0        # committed data may exist only in the log
         candidates.append(checkpoint_lsn)
+        return db.undo_log.truncate_before(min(candidates))
+
+
+class RedoOnlyDiscipline(NoForceAcc):
+    """¬FORCE with REDO-only restart: no undo phase is ever needed —
+    the write-behind gate guarantees disk never holds data the log
+    cannot redo past.  Restart replays each page's redo chain forward
+    from its durable page LSN; trim walks every page's chain so no
+    unreflected record is ever discarded."""
+
+    name = "redo-acc"
+
+    def restart_redo(self, db, winners, cache, page_base, fault) -> int:
+        """Replay winners' per-page chains from each page's on-disk LSN
+        forward (absolute images: idempotent and prefix-closed)."""
+        redone = 0
+        with db.tracer.span("recovery.phase", stats=db.stats,
+                            log_split=True, phase="redo") as span:
+            durable = db._durable_page_lsn
+            replay = [r for r in db.redo_log.records()
+                      if r.page_chained and r.txn_id in winners
+                      and r.lsn > durable.get(r.page_id, 0)]
+            db.redo_log.charge_read(replay)
+            for record in replay:
+                if isinstance(record, PageRedoEntry):
+                    cache[record.page_id] = record.image
+                else:
+                    cache[record.page_id] = apply_record_image(
+                        page_base(record.page_id), record.slot,
+                        record.image)
+                redone += 1
+            span.set(applied=redone)
+        return redone
+
+    def trim_log(self, db, candidates: list, archive_floor) -> int:
+        """ACC bound plus a chain walk: for every page whose chain head
+        is past its durable LSN, retain back to the earliest record the
+        page's replay could still need.  (The checkpoint bound alone is
+        unsafe here: the gate may have skipped a committed residue page
+        at checkpoint time, leaving its older chain records the only
+        copy of committed data.)"""
+        checkpoint_lsn = None
+        for record in db.redo_log.scan(CheckpointRecord):
+            checkpoint_lsn = record.lsn
+        if checkpoint_lsn is None:
+            return 0        # committed data may exist only in the log
+        candidates.append(checkpoint_lsn)
+        durable = db._durable_page_lsn
+        log = db.redo_log
+        base = log.base_lsn
+        for page, head in log.page_chain_heads().items():
+            floor = durable.get(page, 0)
+            lsn = head
+            earliest = None
+            while lsn >= base and lsn > floor:
+                earliest = lsn
+                lsn = log.get(lsn).prev_page_lsn
+            if earliest is not None:
+                candidates.append(earliest)
         return db.undo_log.truncate_before(min(candidates))
 
 
@@ -426,6 +594,11 @@ class RdaProtection:
             else:
                 db._residue.discard(item.page)
                 db.counters.committed_writebacks += 1
+                if db.policy.redo_only:
+                    # same marker advance as _write_committed: the
+                    # on-disk image now reflects its whole redo chain
+                    db._durable_page_lsn[item.page] = \
+                        db.redo_log.page_chain_head(item.page)
             db.buffer.mark_clean(item.page)
 
         db.rda.write_batch(run, on_page=on_page)
@@ -437,8 +610,14 @@ class RdaProtection:
     def restart_parity_phase(self, db, winners: set, losers: set,
                              fault) -> tuple:
         """Parity undo of unlogged stolen pages (must precede log
-        writes); the twin array needs no write-hole resync — interrupted
-        writes are resolved through the headers here."""
+        writes), then write-hole resync of clean groups.
+
+        Interrupted *steals* are resolved through the twin headers
+        (twin-first ordering makes them detectable and undoable); an
+        interrupted *committed* write-back leaves stale parity with no
+        header evidence, so the remaining clean groups are scrubbed
+        against their data and repaired — the twin-substrate analogue
+        of :class:`WalProtection`'s restart resync."""
         parity_undone = 0
         with db.tracer.span("recovery.phase", stats=db.stats,
                             log_split=True, phase="parity_undo") as span:
@@ -448,7 +627,16 @@ class RdaProtection:
                 db.rda.undo_group(entry.group)
                 parity_undone += 1
             span.set(pages=parity_undone)
-        return 0, parity_undone
+        holes = db.rda.find_parity_holes()
+        if holes:
+            with db.tracer.span("recovery.phase", stats=db.stats,
+                                log_split=True,
+                                phase="parity_resync") as span:
+                for group in holes:
+                    fault(f"parity resync group {group}")
+                    db.rda.resync_group(group)
+                span.set(groups=len(holes))
+        return len(holes), parity_undone
 
     def media_recover(self, db, disk_id: int, on_lost_undo: str):
         report, must_commit = db.rda.rebuild_disk(
@@ -530,18 +718,61 @@ class WalProtection:
         return db.array.rebuild_disk(disk_id)
 
 
+class RedoRdaProtection(RdaProtection):
+    """The RDA+REDO hybrid's protection: twin parity covers losers'
+    steals exactly as in :class:`RdaProtection`, but a steal that the
+    twins cannot cover is never logged — the write-behind gate keeps
+    the page buffered instead.  With no undo log, a covered steal whose
+    page another transaction wants to share cannot be *promoted* to
+    logged; it is **un-stolen**: the twins rewind the disk to the
+    pre-steal state and the page re-dirties in the buffer under its
+    owner."""
+
+    name = "rda-redo"
+
+    def maybe_promote(self, db, page: int, txn_id: int) -> None:
+        group = db.array.geometry.group_of(page)
+        entry = db.rda.dirty_set.get(group)
+        if entry is None or entry.page_id != page or entry.txn_id == txn_id:
+            return
+        owner = entry.txn_id
+        # the XOR rewind needs the page's *on-disk* bytes (what the
+        # steal wrote), not the live buffer, which may be newer
+        on_disk = db._last_stolen.get((owner, page))
+        if page in db.buffer:
+            current = db.buffer.get_page(page)
+        elif on_disk is not None:
+            current = on_disk
+        else:
+            current = db.array.read_page(page)
+        # rewind the disk through the twins; the owner's version lives
+        # on in the buffer, where the gate will hold it (the frame is
+        # about to gain a second modifier)
+        db.rda.undo_group(group, new_data=on_disk)
+        db.buffer.put_page(page, current, owner)
+        db._last_stolen.pop((owner, page), None)
+        db.counters.promotions += 1
+        if db.tracer.enabled:
+            db.tracer.emit("redo.unsteal", page=page, txn=owner)
+
+
 # ==================== the composed policy ====================
 
 PAGE_LOGGING = PageLogging()
 RECORD_LOGGING = RecordLogging()
+REDO_PAGE_LOGGING = RedoPageLogging()
+REDO_RECORD_LOGGING = RedoRecordLogging()
 FORCE_TOC = ForceToc()
 NOFORCE_ACC = NoForceAcc()
+REDO_ONLY_DISCIPLINE = RedoOnlyDiscipline()
 RDA_PROTECTION = RdaProtection()
 WAL_PROTECTION = WalProtection()
+REDO_RDA_PROTECTION = RedoRdaProtection()
 
 
 class RecoveryPolicy:
-    """One of the paper's eight configurations as a strategy triple."""
+    """One of the recovery configurations as a strategy triple: the
+    paper's eight plus the beyond-paper REDO-only class."""
 
     def __init__(self, logging, discipline, protection) -> None:
         self.logging = logging
@@ -550,6 +781,13 @@ class RecoveryPolicy:
 
     @classmethod
     def for_config(cls, config) -> "RecoveryPolicy":
+        if getattr(config, "redo_only", False):
+            return cls(
+                REDO_RECORD_LOGGING if config.record_logging
+                else REDO_PAGE_LOGGING,
+                REDO_ONLY_DISCIPLINE,
+                REDO_RDA_PROTECTION if config.rda else WAL_PROTECTION,
+            )
         return cls(
             RECORD_LOGGING if config.record_logging else PAGE_LOGGING,
             FORCE_TOC if config.force else NOFORCE_ACC,
@@ -562,12 +800,34 @@ class RecoveryPolicy:
                 f"{self.protection.name}")
 
     @property
+    def redo_only(self) -> bool:
+        """True for the fifth (no-undo-log) recovery class."""
+        return not self.logging.logs_undo
+
+    @property
     def log_page_undo_at_first_write(self) -> bool:
         """Classical ¬FORCE WAL logs a page's before-image eagerly at
         first modification (RDA defers; FORCE can always abort from the
-        buffer + logged steals)."""
-        return (not self.protection.uses_twins
+        buffer + logged steals; REDO-only never logs undo at all)."""
+        return (self.logging.logs_undo
+                and not self.protection.uses_twins
                 and not self.discipline.forces_at_commit)
+
+    def may_writeback(self, db, page: int, frame) -> bool:
+        """The write-behind propagation gate (REDO-only class only —
+        installed as the buffer pool's writeback filter).
+
+        A frame with uncommitted modifiers may reach disk only as a
+        twin-covered steal (the RDA hybrid); anything else waits in the
+        buffer.  A committed-dirty frame may reach disk only once its
+        page's redo chain is durable (``page_lsn <= durable_lsn``)."""
+        if frame.modifiers:
+            if len(frame.modifiers) != 1:
+                return False
+            single = next(iter(frame.modifiers))
+            return self.protection.covers_unlogged_steal(
+                db, page, single, page in db._residue)
+        return db.redo_log.page_chain_head(page) <= db.redo_log.durable_lsn
 
     def writeback(self, db, page: int, payload: bytes,
                   modifiers: frozenset) -> None:
@@ -612,6 +872,18 @@ class RecoveryPolicy:
         db._barrier("steal", page=page, txns=frozenset(modifiers),
                     logged=True)
 
+    def _batch_gate_stale(self, db, page: int, modifiers: frozenset) -> bool:
+        """Batched flush admitted this modifier frame through the gate,
+        but execution-time state (a steal earlier in the same batch, a
+        degraded array) may have withdrawn the twin cover.  REDO-only
+        has no undo log to fall back to, so a stale admission means
+        *skip* — the frame stays dirty behind the gate."""
+        if self.logging.logs_undo:
+            return False
+        single = next(iter(modifiers)) if len(modifiers) == 1 else None
+        return not self.protection.covers_unlogged_steal(
+            db, page, single, page in db._residue)
+
     def writeback_batch(self, db, entries: list) -> None:
         """Write back a commit window of dirty pages, batching what the
         Figure 3 rule allows.
@@ -633,6 +905,8 @@ class RecoveryPolicy:
         if (db.rda is None or not protection.uses_twins
                 or db.array.any_failed):
             for page, payload, modifiers in entries:
+                if modifiers and self._batch_gate_stale(db, page, modifiers):
+                    continue
                 self.writeback(db, page, payload, modifiers)
                 buffer.mark_clean(page)
             return
@@ -668,6 +942,13 @@ class RecoveryPolicy:
                     run.append(BatchWriteItem("steal", page, group, payload,
                                               old, single))
                     run_groups.add(group)
+                    continue
+                if not self.logging.logs_undo:
+                    # REDO-only: the write-behind gate admitted this
+                    # frame, but an earlier steal in the same batch
+                    # claimed its parity group (Figure 3 rule) — there
+                    # is no undo log to promote to, so the frame just
+                    # stays dirty behind the gate for a later flush
                     continue
             if run:
                 flush_run()

@@ -93,7 +93,10 @@ class RecoveryManager:
                 span.set(winners=len(winners), losers=len(losers))
 
             # 0. media scan: repair latent sector errors (torn or corrupt
-            # sectors left by the crash) before anything reads them
+            # sectors left by the crash) before anything reads them.
+            # Under REDO-only a repaired data page also schedules
+            # single-page recovery (its durable page LSN is reset, so
+            # the redo phase below replays its whole retained chain).
             sectors_repaired = self._media_scan(winners, fault)
 
             # 0b/1. the protection policy's restart phase: RAID
@@ -199,6 +202,16 @@ class RecoveryManager:
             # write completes or rolls back, matching what parity undo /
             # log undo will conclude from the same headers
             db.array.repair_page(page)
+            if db.policy.redo_only:
+                # single-page recovery: the repair may have rolled the
+                # page back behind its durable marker (torn write
+                # resolved to the old version), so forget the marker —
+                # the redo phase replays the page's whole retained
+                # chain forward (trim keeps chains replayable onto any
+                # disk version a twin rollback can expose)
+                db._durable_page_lsn.pop(page, None)
+                if db.tracer.enabled:
+                    db.tracer.emit("redo.single_page", page=page)
             return
 
         group = slot

@@ -56,6 +56,17 @@ OPERATION_COSTS = (
     OperationCost("rda.undo", "5-6", 5, 6),
     OperationCost("array.degraded_read", "N"),
     OperationCost("txn[outcome=committed]", "-"),
+    OperationCost("txn[outcome=aborted]", "-"),
+    # composite spans: the model prices the primitives inside them, not
+    # the span totals (restart cost is c_s at run granularity)
+    OperationCost("recovery.", "-"),
+    OperationCost("checkpoint", "-"),
+    OperationCost("array.rebuild", "-"),
+    # REDO-only class: chain replay of one repaired sector and the
+    # hybrid's un-steal promotion are run-shape dependent, so unpriced
+    OperationCost("redo.single_page", "-"),
+    OperationCost("redo.unsteal", "-"),
+    OperationCost("rda.parity_resync", "-"),
 )
 """The paper's cost model, one row per priced event variant."""
 

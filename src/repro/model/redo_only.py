@@ -1,0 +1,140 @@
+"""Cost models for the REDO-only class (beyond-paper extension).
+
+The paper's four classes all log **before-images** so that restart (or
+abort) can undo stolen pages.  The REDO-only class removes the undo
+log entirely: dirty pages may reach disk only once their redo chain is
+durable (write-behind propagation), so no on-disk state ever needs
+undoing and the log carries after-images only.  Two configurations:
+
+* :func:`page_noforce` — pure REDO-only over a plain parity array
+  (preset ``page-noforce-redo``).  Page-sized after-images, half the
+  log volume of page ¬FORCE/ACC: ``c_l = 4 (s p_u + 2)`` versus the
+  paper's ``4 (2 s p_u + 2)``.
+* :func:`record_noforce_rda` — the RDA+REDO hybrid (preset
+  ``record-noforce-rda-redo``).  Twin-parity undo covers losers (the
+  write-behind gate only admits twin-covered steals, so **no** steal
+  ever logs a before-entry), record-sized redo entries cover winners:
+  ``c_l = 4 (2 l_bc + s p_u (l_bc + L)) / l_p`` — the paper's record
+  ¬FORCE/ACC cost with the before-bytes term gone entirely, cheaper
+  than every before-image class.
+
+Both are reconstructions in the style of Sections 5.2.2/5.3.2 (same
+probabilities, same checkpoint/restart framework), not equations from
+the scan: the paper never priced a redo-only discipline.
+"""
+
+from __future__ import annotations
+
+from .params import ModelParams
+from .probabilities import (average_log_entry_length,
+                            concurrent_modifier_fraction,
+                            logging_probability,
+                            optimal_checkpoint_interval,
+                            replaced_page_modified, shared_update_pages,
+                            stolen_before_eot)
+from .throughput import (CostBreakdown, interval_throughput,
+                         mean_transaction_cost)
+
+
+def page_noforce(params: ModelParams) -> CostBreakdown:
+    """Page REDO-only, ¬FORCE + ACC, no RDA (``page-noforce-redo``).
+
+    Components:
+
+    * ``c_l = 4 (s p_u + 2)`` — after-images only (one log page per
+      updated page) plus BOT/EOT into the combined log; the before
+      half of page ¬FORCE/ACC's ``4 (2 s p_u + 2)`` disappears.
+    * ``c_b = 4`` — backout writes the abort record and drops the
+      transaction's buffered pages; the write-behind gate guarantees
+      none of them reached disk, so there is nothing to undo.
+    * ``c_c = 4 B p_m + 4`` — unchanged: checkpoints push committed
+      dirty pages whose chains are durable by then.
+    * restart replays each page's chain forward from its on-disk LSN:
+      the same ``redo_per_txn = c_l / 4 + 4 s p_u`` framework as
+      Section 5.2.2, with no undo pass at all.
+    """
+    p = params
+    spu = p.s * p.p_u
+    p_m = replaced_page_modified(p.f_u, p.p_u, p.C)
+    a_write = 4.0
+    c_l = 4.0 * (spu + 2.0)
+    c_b = 4.0
+    c_c = 4.0 * p.B * p_m + 4.0
+    c_r = p.s * (1.0 - p.C) + a_write * p.s * (1.0 - p.C) * p_m
+    c_u = c_r + c_l + p.p_b * c_b
+    c_E = mean_transaction_cost(p.f_u, c_r, c_u)
+    redo_per_txn = c_l / 4.0 + 4.0 * spu
+    interval = optimal_checkpoint_interval(c_E, c_c, p.T, redo_per_txn, p.f_u)
+    r_c = interval / c_E
+    c_s = (r_c / 2.0) * p.f_u * redo_per_txn + p.P * p.f_u * redo_per_txn
+    r_t = interval_throughput(p.T, c_E, c_s=c_s, c_c=c_c, interval=interval)
+    return CostBreakdown(algorithm="page ¬FORCE/ACC REDO-only", rda=False,
+                         c_r=c_r, c_u=c_u, c_l=c_l, c_b=c_b, c_c=c_c,
+                         c_s=c_s, checkpoint_interval=interval, p_l=0.0,
+                         c_E=c_E, throughput=r_t)
+
+
+def record_noforce_rda(params: ModelParams) -> CostBreakdown:
+    """Record REDO + RDA hybrid, ¬FORCE + ACC
+    (``record-noforce-rda-redo``).
+
+    Components:
+
+    * ``c_l = 4 (2 l_bc + s p_u (l_bc + L)) / l_p`` — BOT/EOT plus one
+      redo entry per update; no before bytes and no conditional
+      ``p_l``-dependent logging, because steals are only admitted when
+      the parity twins cover them (uncoverable steals are refused and
+      the page stays buffered).
+    * ``c_b = (p_u s / 2) p_s (6 p_l + 5 (1 - p_l)) + 4`` — losers
+      restore stolen pages through the twins (5, or 6 into a dirty
+      group); unstolen updates die in the buffer for free.
+    * ``c_c = (4 + 2 p_l) B p_m + 4`` — committed write-back touches
+      both twins when the group is dirty.
+    * restart: twin undo for losers (priced inside ``c_s`` via the
+      same ``redo_per_txn`` framework) plus the ``S / N``
+      current-parity bitmap rebuild.
+    """
+    p = params
+    spu = p.s * p.p_u
+    L = average_log_entry_length(p.d, p.r, p.s, p.e)
+    p_m = replaced_page_modified(p.f_u, p.p_u, p.C)
+    p_s_steal = stolen_before_eot(p.B, p.C, p.s, p.P)
+    p_i = concurrent_modifier_fraction(p.B, p.C, p.s, p.p_u, p.P, p.f_u)
+    s_u = shared_update_pages(p.B, p.C, p.s, p.p_u, p.P, p.f_u)
+    p_l = logging_probability(s_u * p_s_steal / 2.0, p.S, p.N)
+    c_l = 4.0 * (2.0 * p.l_bc + spu * (p.l_bc + L)) / p.l_p
+    c_b = ((p.p_u * p.s / 2.0) * p_s_steal * (6.0 * p_l + 5.0 * (1.0 - p_l))
+           + 4.0)
+    c_c = (4.0 + 2.0 * p_l) * p.B * p_m + 4.0
+    c_r = p.s * (1.0 - p.C) + 4.0 * p.s * (1.0 - p.C) * (p_m
+                                                         + 2.0 * p_i * p_l)
+    c_u = c_r + c_l + p.p_b * c_b
+    c_E = mean_transaction_cost(p.f_u, c_r, c_u)
+    redo_per_txn = c_l / 4.0 + 4.0 * spu
+    interval = optimal_checkpoint_interval(c_E, c_c, p.T, redo_per_txn, p.f_u)
+    r_c = interval / c_E
+    c_s = ((r_c / 2.0) * p.f_u * redo_per_txn
+           + p.P * p.f_u * redo_per_txn
+           + p.S / p.N)
+    r_t = interval_throughput(p.T, c_E, c_s=c_s, c_c=c_c, interval=interval)
+    return CostBreakdown(algorithm="record ¬FORCE/ACC RDA+REDO", rda=True,
+                         c_r=c_r, c_u=c_u, c_l=c_l, c_b=c_b, c_c=c_c,
+                         c_s=c_s, checkpoint_interval=interval, p_l=p_l,
+                         c_E=c_E, throughput=r_t)
+
+
+def log_cost_comparison(params: ModelParams) -> dict:
+    """``c_l`` (log transfers per update transaction) across the five
+    recovery classes — the analytical counterpart of
+    ``benchmarks/bench_recovery.py``."""
+    from . import page_logging, record_logging
+    return {
+        "page-noforce-log": page_logging.noforce_acc(params, rda=False).c_l,
+        "page-noforce-rda": page_logging.noforce_acc(params, rda=True).c_l,
+        "record-noforce-log":
+            record_logging.noforce_acc(params, rda=False).c_l,
+        "record-noforce-rda":
+            record_logging.noforce_acc(params, rda=True).c_l,
+        "page-noforce-redo": page_noforce(params).c_l,
+        "record-noforce-rda-redo": record_noforce_rda(params).c_l,
+    }

@@ -33,7 +33,8 @@ uninstrumented-feeling hot paths stay hot.
 from .drift import DriftAlarm, DriftDetector, check_events
 from .export import export_chrome_trace, export_trace_file
 from .inspect import (aggregate_events, aggregate_trace_file, event_key,
-                      format_cost_table, load_trace, model_expectation)
+                      format_cost_table, load_trace, model_expectation,
+                      unpriced_ops)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       escape_label_value, prometheus_name)
 from .recovery_profile import RecoveryProfile, format_recovery_profile
@@ -63,6 +64,7 @@ __all__ = [
     "format_cost_table",
     "load_trace",
     "model_expectation",
+    "unpriced_ops",
     "DriftAlarm",
     "DriftDetector",
     "check_events",

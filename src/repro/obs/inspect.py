@@ -159,6 +159,17 @@ def aggregate_trace_file(path) -> dict:
     return aggregate_events(load_trace(path))
 
 
+def unpriced_ops(rows: dict) -> list:
+    """Variant keys that carried transfer costs the model knows nothing
+    about (``model == ""``): candidates for a new
+    :data:`~repro.model.operations.OPERATION_COSTS` row.  Rows the
+    model *explicitly* declines to price (``"-"``) are not returned —
+    only silent gaps.  Sorted by total transfers, heaviest first."""
+    return sorted((key for key, row in rows.items()
+                   if row.get("transfers") is not None and not row["model"]),
+                  key=lambda key: (-(rows[key]["transfers"] or 0), key))
+
+
 def format_cost_table(rows: dict) -> str:
     """Render aggregated rows as the per-event-type cost table."""
     header = (f"{'event':<48} {'count':>7} {'reads':>7} {'writes':>7} "
@@ -174,4 +185,10 @@ def format_cost_table(rows: dict) -> str:
             f"{key:<48} {row['count']:>7} {fmt(row['mean_reads']):>7} "
             f"{fmt(row['mean_writes']):>7} {fmt(row['mean_transfers']):>9}  "
             f"{row['model']:<8}")
+    missing = unpriced_ops(rows)
+    if missing:
+        # previously these rows rendered with an empty model column and
+        # nothing flagged the gap; make the accounting hole explicit
+        lines.append(f"warning: {len(missing)} op class(es) carry transfer "
+                     f"costs the model does not know: {', '.join(missing)}")
     return "\n".join(lines)

@@ -3,8 +3,10 @@
 from .crash import CampaignResult, crash_campaign, media_campaign
 from .faultplan import (CrashPointReached, FaultInjector, FaultPlan,
                         FaultSweepReport, PlanOutcome, Violation, WriteRecord,
-                        default_fault_workload, record_schedule, run_plan,
-                        run_sweep, violations_by_kind)
+                        default_fault_workload, record_fault_setup,
+                        record_fault_workload, record_schedule, run_plan,
+                        run_sweep, shard_aligned_fault_workload,
+                        violations_by_kind)
 from .metrics import DEFAULT_T, SimulationReport
 from .simulator import Simulator, run_workload
 from .timed import TimedObserver
@@ -26,9 +28,12 @@ __all__ = [
     "Violation",
     "WriteRecord",
     "default_fault_workload",
+    "record_fault_setup",
+    "record_fault_workload",
     "record_schedule",
     "run_plan",
     "run_sweep",
+    "shard_aligned_fault_workload",
     "violations_by_kind",
     "DEFAULT_T",
     "SimulationReport",

@@ -42,10 +42,14 @@ The expected page image is then derived from the transactions that
 actually won, applied in script commit order.
 
 Workload scripts are tuples: ``("begin", t)``, ``("write", t, page,
-version)``, ``("commit", t)``, ``("abort", t)`` with opaque labels
-``t``.  Scripts must be conflict-free (no two concurrently-active
-transactions touching the same page), since the replay executes them on
-a single thread and a lock wait would deadlock the script.
+version)``, ``("update", t, page, version)`` (record mode: overwrite
+slot 0), ``("commit", t)``, ``("abort", t)`` with opaque labels ``t``.
+Scripts must be conflict-free (no two concurrently-active transactions
+touching the same page), since the replay executes them on a single
+thread and a lock wait would deadlock the script.  Record-mode scripts
+pair with a ``setup`` callable (see :func:`record_fault_setup`) that
+formats and seeds the touched pages before the injector attaches, so
+seeding writes never enter the schedule.
 """
 
 from __future__ import annotations
@@ -252,6 +256,15 @@ def payload_for(label, page: int, version: int) -> bytes:
     return make_page(f"t{label}p{page}v{version}.")
 
 
+RECORD_SEED = b"seed"
+"""Slot-0 value :func:`record_fault_setup` installs on every page."""
+
+
+def record_payload_for(label, page: int, version: int) -> bytes:
+    """Deterministic slot-0 record value for a script update."""
+    return f"t{label}p{page}v{version}".encode()
+
+
 def default_fault_workload(transactions: int = 2, group_size: int = 4,
                            pages_per_txn: int = 2) -> list:
     """The acceptance workload: each transaction writes its own pages
@@ -315,9 +328,55 @@ def shard_aligned_fault_workload(shards: int, transactions: int = 4,
     return ops
 
 
+def record_fault_workload(transactions: int = 2, group_size: int = 4,
+                          pages_per_txn: int = 2) -> list:
+    """The record-mode acceptance workload: the same shape as
+    :func:`default_fault_workload`, but every write is a slot-0
+    ``update`` — exercising record logging (deferred before-entries,
+    staged redo chains) instead of whole-page images.  Pair with
+    :func:`record_fault_setup`."""
+
+    def page_of(t: int, j: int) -> int:
+        return (t * pages_per_txn + j) * group_size
+
+    ops: list = []
+    for t in range(transactions):
+        ops.append(("begin", t))
+        for j in range(pages_per_txn):
+            ops.append(("update", t, page_of(t, j), 1))
+        ops.append(("update", t, page_of(t, 0), 2))
+        if t > 0:
+            ops.append(("update", t, page_of(t - 1, 0), 2 + t))
+        if t % 3 == 2:
+            ops.append(("abort", t))
+        else:
+            ops.append(("commit", t))
+    return ops
+
+
+def record_fault_setup(ops):
+    """Setup callable for a record-mode script: format every touched
+    page and commit :data:`RECORD_SEED` into slot 0.  Under a REDO-only
+    configuration the seeding commits one page per transaction (the
+    write-behind gate holds uncommitted pages in the buffer)."""
+    pages = workload_pages(ops)
+
+    def setup(db) -> None:
+        db.format_record_pages(pages)
+        batches = ([[page] for page in pages]
+                   if getattr(db.config, "redo_only", False) else [pages])
+        for batch in batches:
+            txn = db.begin()
+            for page in batch:
+                db.insert_record(txn, page, RECORD_SEED)
+            db.commit(txn)
+
+    return setup
+
+
 def workload_pages(ops) -> list:
     """Sorted set of pages any script write touches."""
-    return sorted({op[2] for op in ops if op[0] == "write"})
+    return sorted({op[2] for op in ops if op[0] in ("write", "update")})
 
 
 # -- plan execution --------------------------------------------------------
@@ -349,6 +408,9 @@ def _execute(db, ops, txn_ids: dict, commit_spans: dict,
         elif name == "write":
             db.write_page(txn_ids[label], op[2], payload_for(label, op[2],
                                                              op[3]))
+        elif name == "update":
+            db.update_record(txn_ids[label], op[2], 0,
+                             record_payload_for(label, op[2], op[3]))
         elif name == "commit":
             start = position_of()
             # provisional (end=None) marks an in-flight commit: if the
@@ -402,10 +464,29 @@ def _expected_state(ops, winner_labels: set) -> dict:
     return expected
 
 
-def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
+def _expected_records(ops, winner_labels: set) -> dict:
+    """Slot-0 record value implied by the winning transactions, applied
+    in script commit order (record-mode scripts)."""
+    expected = {page: RECORD_SEED for page in workload_pages(ops)}
+    writes: dict = {}               # label -> {page: value}
+    for op in ops:
+        if op[0] == "update":
+            writes.setdefault(op[1], {})[op[2]] = record_payload_for(
+                op[1], op[2], op[3])
+        elif op[0] == "commit" and op[1] in winner_labels:
+            expected.update(writes.get(op[1], {}))
+    return expected
+
+
+def run_plan(make_db, ops, plan: FaultPlan, setup=None) -> PlanOutcome:
     """Replay ``ops`` on a fresh database under ``plan``, crash, recover,
-    and judge the outcome against the committed-state oracle."""
+    and judge the outcome against the committed-state oracle.
+
+    ``setup(db)``, if given, runs *before* the injector attaches
+    (record-mode seeding: its writes stay out of the schedule)."""
     db = make_db()
+    if setup is not None:
+        setup(db)
     injector = FaultInjector(db, plan)
     injector.attach()
     txn_ids: dict = {}
@@ -470,13 +551,24 @@ def run_plan(make_db, ops, plan: FaultPlan) -> PlanOutcome:
             f"transaction {label!r} never finished committing "
             "but survived recovery"))
 
-    for page, payload in _expected_state(ops, winner_labels).items():
-        actual = db.disk_page(page)
-        if actual != payload:
-            violations.append(Violation(
-                "state",
-                f"page {page}: on-disk bytes do not match the oracle "
-                f"(winners {sorted(winner_labels, key=repr)})"))
+    if any(op[0] == "update" for op in ops):
+        from ..db.slotted_page import SlottedPage
+        for page, value in _expected_records(ops, winner_labels).items():
+            actual = SlottedPage.from_bytes(db.disk_page(page)).read(0)
+            if actual != value:
+                violations.append(Violation(
+                    "state",
+                    f"page {page} slot 0: on-disk record does not match "
+                    f"the oracle (winners "
+                    f"{sorted(winner_labels, key=repr)})"))
+    else:
+        for page, payload in _expected_state(ops, winner_labels).items():
+            actual = db.disk_page(page)
+            if actual != payload:
+                violations.append(Violation(
+                    "state",
+                    f"page {page}: on-disk bytes do not match the oracle "
+                    f"(winners {sorted(winner_labels, key=repr)})"))
 
     outcome = "violation" if violations else "recovered"
     return PlanOutcome(plan, outcome, violations,
@@ -564,9 +656,11 @@ class FaultSweepReport:
         return json.dumps(self.to_dict(), indent=indent)
 
 
-def record_schedule(make_db, ops) -> list:
+def record_schedule(make_db, ops, setup=None) -> list:
     """Run the script once without faults; returns its write schedule."""
     db = make_db()
+    if setup is not None:
+        setup(db)
     injector = FaultInjector(db, plan=None)
     injector.attach()
     try:
@@ -576,20 +670,23 @@ def record_schedule(make_db, ops) -> list:
     return injector.schedule
 
 
-def run_sweep(make_db, ops, modes=MODES, tracer=None) -> FaultSweepReport:
+def run_sweep(make_db, ops, modes=MODES, tracer=None,
+              setup=None) -> FaultSweepReport:
     """Enumerate every crash point of the script under every mode.
 
     ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) receives one
-    ``faultplan.crash_point`` event per schedule run.
+    ``faultplan.crash_point`` event per schedule run.  ``setup(db)``
+    runs on every fresh database before its injector attaches.
     """
     for mode in modes:
         if mode not in MODES:
             raise ValueError(f"unknown fault mode {mode!r}")
-    schedule = record_schedule(make_db, ops)
+    schedule = record_schedule(make_db, ops, setup=setup)
     report = FaultSweepReport(schedule=schedule, modes=tuple(modes))
     for entry in schedule:
         for mode in modes:
-            result = run_plan(make_db, ops, FaultPlan(entry.index, mode))
+            result = run_plan(make_db, ops, FaultPlan(entry.index, mode),
+                              setup=setup)
             report.results.append(result)
             if tracer is not None and tracer.enabled:
                 tracer.emit("faultplan.crash_point",

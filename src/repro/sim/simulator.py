@@ -19,10 +19,27 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from ..db.database import Database, LockWait
-from ..errors import DeadlockError
+from ..errors import BufferFullError, DeadlockError
 from ..obs.recovery_profile import RecoveryProfile
 from .metrics import SimulationReport
 from .workload import WorkloadGenerator, WorkloadSpec
+
+
+def seeding_batches(db) -> list:
+    """Page batches for record-mode seeding, one transaction each.
+
+    The REDO-only classes hold every uncommitted dirty page in the
+    buffer (write-behind gate), so one giant seeding transaction
+    overflows any realistic pool; seed one parity group's worth of
+    pages per transaction instead.  Other classes keep the original
+    single transaction, byte-identical to before.
+    """
+    pages = db.num_data_pages
+    if not getattr(db.config, "redo_only", False):
+        return [list(range(pages))]
+    size = max(db.config.group_size, 1)
+    return [list(range(start, min(start + size, pages)))
+            for start in range(0, pages, size)]
 
 
 @dataclass
@@ -62,6 +79,7 @@ class Simulator:
         self.report = SimulationReport()
         self._live: list = []
         self._started = 0
+        self._buffer_stalls = 0
         self.record_mode = db.config.record_logging
         self.buffer_feedback = buffer_feedback
         self.conformance = conformance
@@ -83,10 +101,11 @@ class Simulator:
         """Record-mode setup: format every page and put one record in
         slot 0 (the record the driver reads/updates)."""
         self.db.format_record_pages(range(self.db.num_data_pages))
-        txn = self.db.begin()
-        for page in range(self.db.num_data_pages):
-            self.db.insert_record(txn, page, b"seed")
-        self.db.commit(txn)
+        for batch in seeding_batches(self.db):
+            txn = self.db.begin()
+            for page in batch:
+                self.db.insert_record(txn, page, b"seed")
+            self.db.commit(txn)
 
     # -- driving -------------------------------------------------------------------
 
@@ -180,6 +199,18 @@ class Simulator:
             self.report.aborted += 1
             self.report.deadlocks += 1
             return True
+        except BufferFullError:
+            # REDO-only back-pressure: every frame is pinned or held by
+            # the write-behind gate.  Rolling this transaction back
+            # releases its gated frames, like a real engine cancelling
+            # the statement that cannot get a free frame.
+            self.db.abort(live.txn_id)
+            if self.conformance is not None:
+                self.conformance.abort(live.txn_id)
+            self._live.remove(live)
+            self.report.aborted += 1
+            self._buffer_stalls += 1
+            return True
         if self.conformance is not None and observed is not None:
             page, slot, value, is_write = observed
             if is_write:
@@ -268,6 +299,8 @@ class Simulator:
         self.report.unlogged_steal_fraction = \
             self.db.counters.unlogged_fraction
         self.report.extra["steals"] = self.db.counters.steals
+        if self._buffer_stalls:
+            self.report.extra["buffer_stalls"] = self._buffer_stalls
         self.report.extra["before_images_logged"] = \
             self.db.counters.before_images_logged
         if self.observer is not None:

@@ -157,12 +157,14 @@ class _Campaign:
 
     def _seed_records(self) -> None:
         """Record-mode setup: one slot-0 record per page, mirrored."""
+        from ..sim.simulator import seeding_batches
         db = self.db
         db.format_record_pages(range(db.num_data_pages))
-        txn = db.begin()
-        for page in range(db.num_data_pages):
-            db.insert_record(txn, page, b"seed")
-        db.commit(txn)
+        for batch in seeding_batches(db):
+            txn = db.begin()
+            for page in batch:
+                db.insert_record(txn, page, b"seed")
+            db.commit(txn)
         self.mirror.seed({(page, 0): b"seed"
                           for page in range(db.num_data_pages)})
 
@@ -570,14 +572,19 @@ class StressRunner:
 
 def default_matrix(seed: int = 0, nemesis_profile: object = "default",
                    **option_overrides) -> List[StressOptions]:
-    """The acceptance matrix: all four recovery classes at K=1 plus one
-    K=2 sharded cell under group commit."""
+    """The acceptance matrix: all five recovery classes at K=1 (the
+    four RDA classes plus both REDO-only presets) and three K=2
+    sharded cells under group commit."""
     cells: List[Tuple[str, int]] = [
         ("page-force-rda", 1),
         ("page-noforce-rda", 1),
         ("record-force-rda", 1),
         ("record-noforce-rda", 1),
+        ("page-noforce-redo", 1),
+        ("record-noforce-rda-redo", 1),
         ("page-force-rda", 2),
+        ("page-noforce-redo", 2),
+        ("record-noforce-rda-redo", 2),
     ]
     base = StressOptions(seed=seed, nemesis_profile=nemesis_profile,
                          **option_overrides)

@@ -4,8 +4,8 @@ from .group_commit import GroupCommitCoordinator, GroupCommitLog
 from .log import DEFAULT_LOG_PAGE_SIZE, LogDevice, LogManager
 from .records import (AbortRecord, BOTRecord, CheckpointRecord, CommitRecord,
                       LogRecord, NULL_LSN, PageAfterImage, PageBeforeImage,
-                      RecordAfterEntry, RecordBeforeEntry, RecordType,
-                      deserialize)
+                      PageRedoEntry, RecordAfterEntry, RecordBeforeEntry,
+                      RecordRedoEntry, RecordType, deserialize)
 
 __all__ = [
     "DEFAULT_LOG_PAGE_SIZE",
@@ -21,8 +21,10 @@ __all__ = [
     "NULL_LSN",
     "PageAfterImage",
     "PageBeforeImage",
+    "PageRedoEntry",
     "RecordAfterEntry",
     "RecordBeforeEntry",
+    "RecordRedoEntry",
     "RecordType",
     "deserialize",
 ]

@@ -162,6 +162,7 @@ class LogManager:
                           transfers_per_log_page, self.stats))
         self._records: list = []
         self._last_lsn_of_txn: dict = {}
+        self._last_lsn_of_page: dict = {}
         self._next_lsn = 1
         self._base_lsn = 1          # first retained LSN (grows on truncation)
         self._forced_lsn = NULL_LSN
@@ -176,6 +177,10 @@ class LogManager:
         if record.txn_id:
             record.prev_lsn = self._last_lsn_of_txn.get(record.txn_id, NULL_LSN)
             self._last_lsn_of_txn[record.txn_id] = record.lsn
+        if record.page_chained:
+            record.prev_page_lsn = self._last_lsn_of_page.get(
+                record.page_id, NULL_LSN)
+            self._last_lsn_of_page[record.page_id] = record.lsn
         blob = record.serialize()
         for device in self._devices:
             device.append(blob)
@@ -200,6 +205,7 @@ class LogManager:
         """
         lsn = self._next_lsn
         last_of = self._last_lsn_of_txn
+        last_of_page = self._last_lsn_of_page
         devices = self._devices
         index = self._records
         m_records = self._m_records
@@ -209,6 +215,10 @@ class LogManager:
             if record.txn_id:
                 record.prev_lsn = last_of.get(record.txn_id, NULL_LSN)
                 last_of[record.txn_id] = lsn
+            if record.page_chained:
+                record.prev_page_lsn = last_of_page.get(record.page_id,
+                                                        NULL_LSN)
+                last_of_page[record.page_id] = lsn
             lsn += 1
             blob = record.serialize()
             for device in devices:
@@ -285,6 +295,15 @@ class LogManager:
             lsn = record.prev_lsn
         return out
 
+    def page_chain_head(self, page_id: int) -> int:
+        """Newest chained redo record of a page (:data:`NULL_LSN` when
+        the page has no retained chain)."""
+        return self._last_lsn_of_page.get(page_id, NULL_LSN)
+
+    def page_chain_heads(self) -> dict:
+        """Snapshot of every page's chain head LSN."""
+        return dict(self._last_lsn_of_page)
+
     def charge_read(self, records) -> int:
         """Charge page transfers for reading the given records back from
         one log copy (rollback and restart both read the log; the model
@@ -339,6 +358,9 @@ class LogManager:
         for txn_id in [t for t, last in self._last_lsn_of_txn.items()
                        if last < self._base_lsn]:
             del self._last_lsn_of_txn[txn_id]
+        for page_id in [p for p, last in self._last_lsn_of_page.items()
+                        if last < self._base_lsn]:
+            del self._last_lsn_of_page[page_id]
         return cut
 
     # -- duplex integrity -----------------------------------------------------------
@@ -405,9 +427,12 @@ class LogManager:
             device.reset_to(best_bytes)
         self._records = best
         self._last_lsn_of_txn = {}
+        self._last_lsn_of_page = {}
         for record in best:
             if record.txn_id:
                 self._last_lsn_of_txn[record.txn_id] = record.lsn
+            if record.page_chained:
+                self._last_lsn_of_page[record.page_id] = record.lsn
         if best:
             self._base_lsn = best[0].lsn
             self._next_lsn = best[-1].lsn + 1

@@ -63,6 +63,8 @@ class RecordType(Enum):
     RECORD_BEFORE = 6
     RECORD_AFTER = 7
     CHECKPOINT = 8
+    PAGE_REDO = 9
+    RECORD_REDO = 10
 
 
 @dataclass
@@ -80,6 +82,7 @@ class LogRecord:
     prev_lsn: int = NULL_LSN
 
     record_type = None  # set by subclasses
+    page_chained = False  # True for per-page redo-chain record types
 
     def payload_bytes(self) -> bytes:
         """Type-specific payload; overridden by subclasses."""
@@ -188,6 +191,42 @@ class RecordAfterEntry(LogRecord):
 
 
 @dataclass
+class PageRedoEntry(LogRecord):
+    """REDO-only class: a chained full-page after-image.
+
+    ``prev_page_lsn`` threads the per-*page* redo chain (distinct from
+    ``prev_lsn``'s per-transaction chain): restart replays a page's
+    chain forward from its on-disk state, so each record must name the
+    page's previous chain link for trim safety and single-page repair.
+    """
+
+    record_type = RecordType.PAGE_REDO
+    page_chained = True
+    page_id: int = 0
+    prev_page_lsn: int = NULL_LSN
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return struct.pack("<qq", self.page_id, self.prev_page_lsn) + self.image
+
+
+@dataclass
+class RecordRedoEntry(LogRecord):
+    """REDO-only class at record granularity: chained slot after-image."""
+
+    record_type = RecordType.RECORD_REDO
+    page_chained = True
+    page_id: int = 0
+    slot: int = 0
+    prev_page_lsn: int = NULL_LSN
+    image: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        return (struct.pack("<qiq", self.page_id, self.slot,
+                            self.prev_page_lsn) + self.image)
+
+
+@dataclass
 class CheckpointRecord(LogRecord):
     """ACC checkpoint: the action-consistent snapshot marker.
 
@@ -247,6 +286,15 @@ def deserialize(blob: bytes, offset: int = 0) -> tuple:
     elif rtype is RecordType.RECORD_AFTER:
         page_id, slot, image = _unpack_record(payload)
         record = RecordAfterEntry(page_id=page_id, slot=slot, image=image, **common)
+    elif rtype is RecordType.PAGE_REDO:
+        page_id, prev_page_lsn = struct.unpack_from("<qq", payload)
+        record = PageRedoEntry(page_id=page_id, prev_page_lsn=prev_page_lsn,
+                               image=payload[16:], **common)
+    elif rtype is RecordType.RECORD_REDO:
+        page_id, slot, prev_page_lsn = struct.unpack_from("<qiq", payload)
+        record = RecordRedoEntry(page_id=page_id, slot=slot,
+                                 prev_page_lsn=prev_page_lsn,
+                                 image=payload[20:], **common)
     else:
         doc = json.loads(payload.decode("ascii"))
         record = CheckpointRecord(active_txns=tuple(doc["active"]),

@@ -6,7 +6,7 @@ import pytest
 from repro.check import (DirtySetBoundRule, InvariantEngine,
                          LsnMonotonicityRule, MutantError,
                          TwinParityIdentityRule, WalBeforeDataRule,
-                         check_restart, default_rules)
+                         WriteBehindRule, check_restart, default_rules)
 from repro.db import Database, preset
 from repro.storage import make_page
 
@@ -92,10 +92,11 @@ class TestEngineWiring:
         db.recover()
         assert check_restart(db) == []
 
-    def test_default_rules_cover_all_four(self):
+    def test_default_rules_cover_all_five(self):
         names = {rule.name for rule in default_rules()}
         assert names == {"twin-parity-identity", "dirty-set-bound",
-                         "wal-before-data", "lsn-monotonicity"}
+                         "wal-before-data", "lsn-monotonicity",
+                         "write-behind"}
 
 
 class TestTwinParityIdentityRule:
@@ -192,6 +193,65 @@ class TestWalBeforeDataRule:
         db, _txn = dirty_db()
         assert not [v for v in db.invariants.violations
                     if v.kind == "wal-before-data"]
+
+
+class TestWriteBehindRule:
+    def redo_db(self, name="page-noforce-redo", **kw):
+        """A REDO-only database with one committed page flushed to disk
+        (so ``_durable_page_lsn`` has a marker to judge)."""
+        db = make_db(name, checkpoint_interval=None, **kw)
+        txn = db.begin()
+        if db.config.record_logging:
+            db.format_record_pages([0])
+            db.insert_record(txn, 0, b"chained")
+        else:
+            db.write_page(txn, 0, make_page(b"chained"))
+        db.commit(txn)
+        db.checkpoint()
+        return db
+
+    def test_vacuous_outside_redo_only(self):
+        db, _txn = dirty_db()
+        assert WriteBehindRule().check(db, "commit", {}) == []
+
+    def test_clean_checkpointed_run_passes(self):
+        for name in ("page-noforce-redo", "record-noforce-rda-redo"):
+            db = self.redo_db(name)
+            assert db._durable_page_lsn        # the marker is being judged
+            assert WriteBehindRule().check(db, "checkpoint", {}) == []
+            assert db.invariants.clean
+
+    def test_mutant_caught(self):
+        db = self.redo_db()
+        rule = WriteBehindRule()
+        rule.mutate(db)
+        found = rule.check(db, "checkpoint", {})
+        assert found
+        assert all(v.kind == "write-behind" for v in found)
+
+    def test_mutant_refuses_undo_logging_classes(self):
+        db, _txn = dirty_db()
+        with pytest.raises(MutantError):
+            WriteBehindRule().mutate(db)
+
+    def test_mutant_needs_a_flushed_page(self):
+        db = make_db("page-noforce-redo", checkpoint_interval=None)
+        with pytest.raises(MutantError):
+            WriteBehindRule().mutate(db)
+
+    def test_pure_class_steal_flagged(self):
+        db = self.redo_db()
+        found = WriteBehindRule().check(db, "steal",
+                                        {"page": 3, "logged": False,
+                                         "txns": {1}})
+        assert any("stolen under the pure" in v.detail for v in found)
+
+    def test_logged_steal_flagged_under_hybrid(self):
+        db = self.redo_db("record-noforce-rda-redo")
+        found = WriteBehindRule().check(db, "steal",
+                                        {"page": 3, "logged": True,
+                                         "txns": {1}})
+        assert any("logged undo records" in v.detail for v in found)
 
 
 class TestLsnMonotonicityRule:

@@ -24,6 +24,8 @@ from repro.sim import Simulator, WorkloadSpec
 RDA_PRESETS = ("page-force-rda", "page-noforce-rda",
                "record-force-rda", "record-noforce-rda")
 
+REDO_PRESETS = ("page-noforce-redo", "record-noforce-rda-redo")
+
 SPEC = WorkloadSpec(concurrency=4, pages_per_txn=5,
                     update_txn_fraction=0.8, update_probability=0.9,
                     abort_probability=0.05, communality=0.6)
@@ -71,6 +73,34 @@ def test_worker_mode_byte_identical_with_crashes(name, shards):
     assert inproc[0] == worker[0], "SimulationReport diverged"
     assert inproc[1] == worker[1], "recorded history diverged"
     assert inproc[2] == worker[2] == []
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+@pytest.mark.parametrize("name", REDO_PRESETS)
+def test_worker_mode_byte_identical_redo_class(name, shards):
+    """The REDO-only class in worker mode: the write-behind gate, the
+    chain-replay restart, and the hybrid's un-steal must all behave
+    bit-for-bit like the in-process engine, clean and across crashes."""
+    for crash_every in (None, 7):
+        inproc = one_run(ShardedDatabase, name, shards,
+                         crash_every=crash_every)
+        worker = one_run(WorkerShardedDatabase, name, shards,
+                         crash_every=crash_every)
+        assert inproc[0] == worker[0], "SimulationReport diverged"
+        assert inproc[1] == worker[1], "recorded history diverged"
+        assert inproc[2] == worker[2] == []
+
+
+def test_worker_conformance_hybrid_cell_clean():
+    """The extended matrix's hybrid K=2 cell, worker-process edition."""
+    inproc = run_conformance("record-noforce-rda-redo", transactions=20,
+                             seed=3, crash_every=8, shards=2,
+                             flush_horizon=4)
+    worker = run_conformance("record-noforce-rda-redo", transactions=20,
+                             seed=3, crash_every=8, shards=2,
+                             flush_horizon=4, workers=True)
+    assert worker.clean, [str(v) for v in worker.violations[:3]]
+    assert worker.to_dict() == inproc.to_dict()
 
 
 def test_worker_statistics_match_in_process():

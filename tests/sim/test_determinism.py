@@ -1,6 +1,6 @@
 """Seed-determinism regression: the same (spec, seed) pair must
 reproduce the run bit for bit — identical SimulationReport and an
-identical recorded history — across all four recovery classes.
+identical recorded history — across all five recovery classes.
 
 Any nondeterminism (dict-order iteration, id()-keyed structures,
 hidden global RNG use) breaks the faultplan sweeps and makes
@@ -21,6 +21,8 @@ RECOVERY_CLASSES = [
     "page-noforce-rda",
     "record-force-log",
     "record-noforce-log",
+    "page-noforce-redo",
+    "record-noforce-rda-redo",
 ]
 
 SPEC = WorkloadSpec(concurrency=4, pages_per_txn=5,

@@ -126,8 +126,11 @@ class TestCli:
         assert data["clean"] is True
         assert "0 violations" in capsys.readouterr().out
 
-    def test_fault_sweep_refuses_record_mode(self, capsys):
+    def test_fault_sweep_runs_record_mode(self, capsys):
+        # record-mode sweeps used to be refused; since the REDO-only PR
+        # the record fault workload (with its seeding setup) unlocks
+        # them at K=1
         rc = main(["simulate", "--fault-sweep",
                    "--preset", "record-force-rda"])
-        assert rc == 2
-        assert "page-logging" in capsys.readouterr().out
+        assert rc == 0
+        assert "0 violations" in capsys.readouterr().out

@@ -102,7 +102,7 @@ class TestReportMath:
         reports = run_stress_matrix(default_matrix(seed=3, ops=16,
                                                    baseline=False))
         doc = matrix_to_dict(reports)
-        assert len(doc["cells"]) == 5
+        assert len(doc["cells"]) == 9
         assert {c["shards"] for c in doc["cells"]} == {1, 2}
         table = format_stress_report(reports)
         assert "fault kinds" in table

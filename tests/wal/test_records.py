@@ -7,7 +7,8 @@ from hypothesis import strategies as st
 from repro.errors import LogCorruptionError
 from repro.wal.records import (AbortRecord, BOTRecord, CheckpointRecord,
                                CommitRecord, PageAfterImage, PageBeforeImage,
-                               RecordAfterEntry, RecordBeforeEntry, RecordType,
+                               PageRedoEntry, RecordAfterEntry,
+                               RecordBeforeEntry, RecordRedoEntry, RecordType,
                                deserialize)
 
 simple_records = st.one_of(
@@ -88,8 +89,8 @@ class TestSemantics:
         seen = {cls.record_type for cls in
                 (BOTRecord, CommitRecord, AbortRecord, PageBeforeImage,
                  PageAfterImage, RecordBeforeEntry, RecordAfterEntry,
-                 CheckpointRecord)}
-        assert len(seen) == 8
+                 CheckpointRecord, PageRedoEntry, RecordRedoEntry)}
+        assert len(seen) == 10
         assert seen == set(RecordType)
 
     def test_bot_is_small(self):
